@@ -1,0 +1,200 @@
+// Benchmarks regenerating every exhibit of the paper's evaluation
+// (Figures 5-9; the evaluation section contains no numbered tables)
+// plus the ablation studies listed in DESIGN.md. Each benchmark runs
+// the corresponding experiment end to end on a scaled-down
+// configuration (see internal/exp: Default vs PaperScale) and reports a
+// headline metric of the figure via b.ReportMetric. Run a single figure
+// at paper scale with cmd/experiments -paper instead; these benchmarks
+// exist so `go test -bench=.` exercises every experiment path.
+package probprune_test
+
+import (
+	"testing"
+
+	"probprune/internal/exp"
+)
+
+// benchConfig is small enough for the full -bench=. suite to finish in
+// minutes while still producing non-degenerate curves.
+func benchConfig() exp.Config {
+	return exp.Config{
+		SyntheticN:    600,
+		IcebergN:      400,
+		Samples:       32,
+		Queries:       2,
+		TargetRank:    8,
+		MaxExtent:     0.01,
+		MaxIterations: 3,
+		Seed:          1,
+	}
+}
+
+func lastY(s exp.Series) float64 {
+	return s.Points[len(s.Points)-1].Y
+}
+
+func BenchmarkFig5_MCSampleSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig.Series[0]), "sec/query@maxS")
+	}
+}
+
+func BenchmarkFig6a_SpatialPruning(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig6a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, mm := lastY(fig.Series[0]), lastY(fig.Series[1])
+		b.ReportMetric(opt, "optimal-candidates")
+		b.ReportMetric(mm, "minmax-candidates")
+	}
+}
+
+func BenchmarkFig6b_UncertaintyPerIteration(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig6b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig.Series[0]), "final-uncertainty-optimal")
+		b.ReportMetric(lastY(fig.Series[1]), "final-uncertainty-minmax")
+	}
+}
+
+func BenchmarkFig7a_IDCAvsMC_Synthetic(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig7(cfg, "synthetic")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Runtime fraction of MC at the last iteration, largest S.
+		last := fig.Series[len(fig.Series)-1]
+		b.ReportMetric(last.Points[len(last.Points)-1].X, "runtime-fraction-of-MC")
+	}
+}
+
+func BenchmarkFig7b_IDCAvsMC_Iceberg(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig7(cfg, "iceberg")
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := fig.Series[len(fig.Series)-1]
+		b.ReportMetric(last.Points[len(last.Points)-1].X, "runtime-fraction-of-MC")
+	}
+}
+
+func BenchmarkFig8_PredicateQueries(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// IDCA at tau=0.5, k=max vs the flat MC line.
+		b.ReportMetric(lastY(fig.Series[1]), "idca-sec@tau0.5")
+		b.ReportMetric(lastY(fig.Series[3]), "mc-sec")
+	}
+}
+
+func BenchmarkFig9a_InfluenceObjects(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig9a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := fig.Series[len(fig.Series)-1]
+		b.ReportMetric(lastY(last), "sec-last-iter-max-influence")
+	}
+}
+
+func BenchmarkFig9b_DatabaseSize(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.Fig9b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := fig.Series[len(fig.Series)-1]
+		b.ReportMetric(lastY(last), "sec-last-iter-max-db")
+	}
+}
+
+func BenchmarkAblation_UGFvsCDFBounds(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.AblationUGF(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Average width advantage of the UGF across counts.
+		var ugf, two float64
+		for j := range fig.Series[0].Points {
+			ugf += fig.Series[0].Points[j].Y
+			two += fig.Series[1].Points[j].Y
+		}
+		b.ReportMetric(ugf, "ugf-total-width")
+		b.ReportMetric(two, "two-gf-total-width")
+	}
+}
+
+func BenchmarkAblation_TruncatedUGF(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.AblationTruncation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Series[0].Points[0].Y, "sec-truncated-k1")
+		b.ReportMetric(lastY(fig.Series[1]), "sec-full")
+	}
+}
+
+func BenchmarkAblation_AdaptiveRefinement(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.AblationAdaptive(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Last-iteration cost of each variant ("uniform sec" is series
+		// 0, "adaptive sec" is series 2).
+		b.ReportMetric(lastY(fig.Series[0]), "sec-uniform-last-iter")
+		b.ReportMetric(lastY(fig.Series[2]), "sec-adaptive-last-iter")
+	}
+}
+
+func BenchmarkAblation_Dimensionality(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.AblationDimensionality(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig.Series[0]), "influence-at-5d")
+		b.ReportMetric(fig.Series[0].Points[0].Y, "influence-at-2d")
+	}
+}
+
+func BenchmarkAblation_RTreeFilter(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := exp.AblationIndexFilter(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastY(fig.Series[0]), "sec-linear-max-db")
+		b.ReportMetric(lastY(fig.Series[1]), "sec-rtree-max-db")
+	}
+}

@@ -1,0 +1,135 @@
+// Command experiments regenerates the paper's evaluation exhibits
+// (Figures 5-9) and the repository's ablation studies, printing each as
+// a text table.
+//
+// Usage:
+//
+//	experiments [-fig all|5|6a|6b|7a|7b|8|9a|9b|ablations] [-paper]
+//	            [-n N] [-samples S] [-queries Q] [-iterations I] [-seed SEED]
+//
+// Without -paper a scaled-down configuration is used (see EXPERIMENTS.md
+// for the scaling rationale); -paper restores the paper's full
+// parameters (expect very long runtimes for the MC-involved figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"probprune/internal/exp"
+)
+
+func main() {
+	var (
+		figFlag    = flag.String("fig", "all", "which exhibit to run: all, 5, 6a, 6b, 7a, 7b, 8, 9a, 9b, ablations")
+		paper      = flag.Bool("paper", false, "use the paper's full-scale parameters")
+		n          = flag.Int("n", 0, "override synthetic database size")
+		samples    = flag.Int("samples", 0, "override per-object sample count")
+		queries    = flag.Int("queries", 0, "override number of queries per data point")
+		iterations = flag.Int("iterations", 0, "override refinement iteration count")
+		seed       = flag.Int64("seed", 0, "override random seed")
+		chart      = flag.Bool("chart", false, "render ASCII charts in addition to the tables")
+	)
+	flag.Parse()
+	renderChart = *chart
+
+	cfg := exp.Default()
+	if *paper {
+		cfg = exp.PaperScale()
+	}
+	if *n > 0 {
+		cfg.SyntheticN = *n
+	}
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *iterations > 0 {
+		cfg.MaxIterations = *iterations
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	type runner struct {
+		key string
+		run func(exp.Config) (*exp.Figure, error)
+	}
+	runners := []runner{
+		{"5", exp.Fig5},
+		{"6a", exp.Fig6a},
+		{"6b", exp.Fig6b},
+		{"7a", func(c exp.Config) (*exp.Figure, error) { return exp.Fig7(c, "synthetic") }},
+		{"7b", func(c exp.Config) (*exp.Figure, error) { return exp.Fig7(c, "iceberg") }},
+		{"8", exp.Fig8},
+		{"9a", exp.Fig9a},
+		{"9b", exp.Fig9b},
+		{"ablations", nil}, // expanded below
+	}
+	ablations := []runner{
+		{"ablation-ugf", exp.AblationUGF},
+		{"ablation-truncation", exp.AblationTruncation},
+		{"ablation-index", exp.AblationIndexFilter},
+		{"ablation-adaptive", exp.AblationAdaptive},
+		{"ablation-dimensionality", exp.AblationDimensionality},
+	}
+
+	selected := map[string]bool{}
+	switch *figFlag {
+	case "all":
+		for _, r := range runners {
+			selected[r.key] = true
+		}
+	default:
+		selected[*figFlag] = true
+	}
+
+	ran := false
+	for _, r := range runners {
+		if !selected[r.key] {
+			continue
+		}
+		if r.key == "ablations" {
+			for _, a := range ablations {
+				runOne(a.key, a.run, cfg)
+			}
+			ran = true
+			continue
+		}
+		runOne(r.key, r.run, cfg)
+		ran = true
+	}
+	// Individual ablations are addressable by their own key too.
+	for _, a := range ablations {
+		if selected[a.key] {
+			runOne(a.key, a.run, cfg)
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q\n", *figFlag)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// renderChart is set from the -chart flag.
+var renderChart bool
+
+func runOne(key string, run func(exp.Config) (*exp.Figure, error), cfg exp.Config) {
+	start := time.Now()
+	fig, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", key, err)
+		os.Exit(1)
+	}
+	fmt.Println(fig.String())
+	if renderChart {
+		fmt.Println(fig.Chart(64, 16))
+	}
+	fmt.Printf("(%s completed in %v)\n\n", fig.ID, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,68 @@
+// Progressive refinement: drive IDCA step by step with the Session API.
+// An interactive application (or one under a latency budget) does not
+// want to commit to a fixed iteration count: it refines while the
+// deadline allows, rendering the tightening probability bounds as they
+// improve, and stops as soon as the answer is good enough — exactly the
+// anytime behaviour the paper's filter-refinement design enables.
+//
+//	go run ./examples/progressive
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"probprune"
+)
+
+func main() {
+	db, err := probprune.Synthetic(probprune.SyntheticConfig{
+		N:         3000,
+		MaxExtent: 0.01,
+		Samples:   200,
+		Seed:      17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a reference object and the 12th-closest target: close enough
+	// that several neighbors genuinely compete with it.
+	qs := probprune.Queries(db, 1, 12, probprune.L2, 18)
+	target, ref := qs[0].Target, qs[0].Reference
+
+	// Refine until either the expected-rank bounds pin the rank to
+	// within ±0.5 or a 100 ms budget runs out.
+	session := probprune.NewSessionIndexed(probprune.NewIndex(db), target, ref, probprune.Options{
+		Adaptive: true, // skip candidates that are already resolved
+	})
+	res := session.Result()
+	fmt.Printf("target %d vs reference %d: %d influence objects after the filter (%d complete dominators)\n",
+		target.ID, ref.ID, len(res.Influence), res.CompleteDominators)
+
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for {
+		lo, hi := probprune.ExpectedRankBounds(res)
+		bar := strings.Repeat("█", int(res.Uncertainty()*4)+1)
+		fmt.Printf("  level %d: E[rank] in [%6.2f, %6.2f], uncertainty %.3f %s\n",
+			session.Level(), lo, hi, res.Uncertainty(), bar)
+		if hi-lo <= 1.0 {
+			fmt.Println("bounds are tight enough — stopping early")
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("latency budget exhausted — reporting the current bounds as confidence")
+			break
+		}
+		if !session.Step() {
+			fmt.Println("bounds converged to the exact distribution")
+			break
+		}
+	}
+
+	lo, hi := probprune.ExpectedRankBounds(res)
+	fmt.Printf("final answer: object %d ranks between %.1f and %.1f w.r.t. object %d\n",
+		target.ID, lo, hi, ref.ID)
+}

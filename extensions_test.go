@@ -1,0 +1,95 @@
+package probprune_test
+
+import (
+	"testing"
+
+	"probprune"
+)
+
+// TestSessionFacade drives the incremental API end to end through the
+// public surface.
+func TestSessionFacade(t *testing.T) {
+	db, err := probprune.Synthetic(probprune.SyntheticConfig{
+		N: 200, Samples: 16, MaxExtent: 0.05, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := probprune.Queries(db, 1, 8, probprune.L2, 32)
+	s := probprune.NewSession(db, qs[0].Target, qs[0].Reference, probprune.Options{Adaptive: true})
+	prev := s.Result().Uncertainty()
+	steps := 0
+	for s.Step() && steps < 8 {
+		steps++
+		u := s.Result().Uncertainty()
+		if u > prev+1e-9 {
+			t.Fatalf("uncertainty rose: %g -> %g", prev, u)
+		}
+		prev = u
+	}
+	if steps == 0 && !s.Done() {
+		t.Fatal("session neither stepped nor finished")
+	}
+	si := probprune.NewSessionIndexed(probprune.NewIndex(db), qs[0].Target, qs[0].Reference, probprune.Options{})
+	if si.Result().CompleteDominators != s.Result().CompleteDominators {
+		t.Fatal("indexed session filter disagrees")
+	}
+}
+
+// TestTopKNNFacade checks the top-m probable kNN query through the
+// public surface.
+func TestTopKNNFacade(t *testing.T) {
+	db, err := probprune.Synthetic(probprune.SyntheticConfig{
+		N: 150, Samples: 16, MaxExtent: 0.05, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := probprune.NewEngine(db, probprune.Options{MaxIterations: 6})
+	q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
+	top := engine.TopKNN(q, 3, 5)
+	if len(top) != 5 {
+		t.Fatalf("TopKNN returned %d matches", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		mi := top[i-1].Prob.LB + top[i-1].Prob.UB
+		mj := top[i].Prob.LB + top[i].Prob.UB
+		if mj > mi+1e-9 {
+			t.Fatal("TopKNN not ordered by probability")
+		}
+	}
+}
+
+// TestUKRanksFacade checks the U-kRanks query through the public
+// surface against the deterministic certain-data case.
+func TestUKRanksFacade(t *testing.T) {
+	db := probprune.Database{
+		probprune.PointObject(0, probprune.Point{2, 0}),
+		probprune.PointObject(1, probprune.Point{1, 0}),
+	}
+	engine := probprune.NewEngine(db, probprune.Options{MaxIterations: 3})
+	q := probprune.PointObject(-1, probprune.Point{0, 0})
+	winners := engine.UKRanks(q, 2)
+	if len(winners) != 2 || winners[0].Object.ID != 1 || winners[1].Object.ID != 0 {
+		t.Fatalf("UKRanks winners wrong: %+v", winners)
+	}
+	if ids := engine.GlobalTopK(q, 2); len(ids) != 2 {
+		t.Fatalf("GlobalTopK returned %d objects", len(ids))
+	}
+}
+
+// TestExistentialFacade exercises existential uncertainty end to end.
+func TestExistentialFacade(t *testing.T) {
+	ref := probprune.PointObject(10, probprune.Point{0, 0})
+	target := probprune.PointObject(0, probprune.Point{5, 0})
+	maybe := probprune.PointObject(1, probprune.Point{1, 0})
+	if err := maybe.SetExistence(0.4); err != nil {
+		t.Fatal(err)
+	}
+	db := probprune.Database{target, maybe}
+	res := probprune.Run(db, target, ref, probprune.Options{MaxIterations: 3})
+	iv := res.Bound(1)
+	if iv.LB < 0.4-1e-9 || iv.UB > 0.4+1e-9 {
+		t.Fatalf("existential bound %+v, want [0.4, 0.4]", iv)
+	}
+}

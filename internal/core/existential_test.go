@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"probprune/internal/geom"
+	"probprune/internal/mc"
+	"probprune/internal/uncertain"
+)
+
+// existentialWorld builds a database where some candidates exist only
+// with probability < 1.
+func existentialWorld(rng *rand.Rand, nObjects, samples int) (uncertain.Database, *uncertain.Object, *uncertain.Object) {
+	db, target, reference := smallWorld(rng, nObjects, samples)
+	for i, o := range db {
+		if o == target {
+			continue
+		}
+		if i%2 == 1 {
+			if err := o.SetExistence(0.2 + 0.6*rng.Float64()); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return db, target, reference
+}
+
+// TestExistentialBoundsContainExact: the central soundness property
+// carries over to existentially uncertain candidates (Section I-A).
+func TestExistentialBoundsContainExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	for trial := 0; trial < 8; trial++ {
+		db, target, reference := existentialWorld(rng, 10, 16)
+		exact := exactPDF(db, target, reference)
+		for iters := 1; iters <= 5; iters++ {
+			res := Run(db, target, reference, Options{MaxIterations: iters})
+			for k := range exact {
+				if !res.Bound(k).Contains(exact[k], 1e-9) {
+					t.Fatalf("trial %d iters %d: exact P(=%d)=%g outside [%g, %g]",
+						trial, iters, k, exact[k], res.Bound(k).LB, res.Bound(k).UB)
+				}
+			}
+		}
+	}
+}
+
+// TestExistentialDominatorIsNotComplete: a geometrically dominating
+// object with existence < 1 must NOT shift the count; its contribution
+// stays probabilistic.
+func TestExistentialDominatorIsNotComplete(t *testing.T) {
+	reference := uncertain.PointObject(100, geom.Point{0, 0})
+	target := uncertain.PointObject(0, geom.Point{5, 0})
+	maybe := uncertain.PointObject(1, geom.Point{1, 0})
+	if err := maybe.SetExistence(0.3); err != nil {
+		t.Fatal(err)
+	}
+	db := uncertain.Database{target, maybe}
+	res := Run(db, target, reference, Options{MaxIterations: 3})
+	if res.CompleteDominators != 0 {
+		t.Fatalf("CompleteDominators = %d, want 0", res.CompleteDominators)
+	}
+	if len(res.Influence) != 1 {
+		t.Fatalf("Influence = %d, want 1", len(res.Influence))
+	}
+	// The count is 1 with probability 0.3 and 0 with probability 0.7;
+	// geometry is fully decided, so the bounds must be exact.
+	if iv := res.Bound(1); !almostEqual(iv.LB, 0.3, 1e-9) || !almostEqual(iv.UB, 0.3, 1e-9) {
+		t.Errorf("Bound(1) = %+v, want [0.3, 0.3]", iv)
+	}
+	if iv := res.Bound(0); !almostEqual(iv.LB, 0.7, 1e-9) || !almostEqual(iv.UB, 0.7, 1e-9) {
+		t.Errorf("Bound(0) = %+v, want [0.7, 0.7]", iv)
+	}
+}
+
+// TestExistentialConvergence: with full decomposition the bounds
+// converge onto the exact existential PDF.
+func TestExistentialConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	db, target, reference := existentialWorld(rng, 7, 8)
+	exact := exactPDF(db, target, reference)
+	res := Run(db, target, reference, Options{MaxIterations: 10})
+	if u := res.Uncertainty(); u > 1e-9 {
+		t.Fatalf("uncertainty did not converge: %g", u)
+	}
+	for k := range exact {
+		if !almostEqual(res.Bound(k).LB, exact[k], 1e-9) {
+			t.Fatalf("P(=%d): converged %g, exact %g", k, res.Bound(k).LB, exact[k])
+		}
+	}
+}
+
+// TestExistencePDomScaling: the exact PDom scales linearly with the
+// candidate's existence probability.
+func TestExistencePDomScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	a := randObj(rng, 0, 16, 1, 1, 1)
+	b := randObj(rng, 1, 16, 3, 3, 1)
+	r := randObj(rng, 2, 16, 0, 0, 1)
+	full := mc.PDom(geom.L2, a, b, r)
+	if err := a.SetExistence(0.25); err != nil {
+		t.Fatal(err)
+	}
+	quarter := mc.PDom(geom.L2, a, b, r)
+	if !almostEqual(quarter, full*0.25, 1e-12) {
+		t.Errorf("PDom with existence 0.25 = %g, want %g", quarter, full*0.25)
+	}
+}
+
+// TestSetExistenceValidation rejects illegal probabilities.
+func TestSetExistenceValidation(t *testing.T) {
+	o := uncertain.PointObject(0, geom.Point{0})
+	for _, bad := range []float64{-0.1, 0, 1.5} {
+		if err := o.SetExistence(bad); err == nil {
+			t.Errorf("SetExistence(%g) accepted", bad)
+		}
+	}
+	if err := o.SetExistence(1); err != nil {
+		t.Errorf("SetExistence(1) rejected: %v", err)
+	}
+	if o.ExistenceProb() != 1 {
+		t.Error("ExistenceProb after SetExistence(1)")
+	}
+	fresh := uncertain.PointObject(1, geom.Point{0})
+	if fresh.ExistenceProb() != 1 {
+		t.Error("zero-value existence must mean certain existence")
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"time"
+
+	"probprune/internal/domination"
+	"probprune/internal/geom"
+	"probprune/internal/gf"
+	"probprune/internal/uncertain"
+)
+
+// Session is an incremental IDCA computation. Run and RunIndexed drive
+// a Session to completion internally; callers that want to interleave
+// refinement with their own logic (render intermediate bounds, apply
+// custom budgets, refine several targets round-robin) construct one
+// with NewSession and call Step explicitly.
+//
+// A Session also implements the adaptive refinement heuristic the paper
+// names as future work ("investigate further heuristics for the
+// refinement process"): with Options.Adaptive set, candidates whose
+// aggregated domination interval is already tight are not decomposed
+// further, concentrating work on the candidates that still contribute
+// uncertainty. Lemma 3 permits per-candidate decomposition depths, so
+// correctness is unaffected.
+type Session struct {
+	res    *Result
+	opts   Options
+	norm   geom.Norm
+	bTree  *uncertain.DecompTree
+	rTree  *uncertain.DecompTree
+	aTrees []*uncertain.DecompTree
+	// aLevels is the current decomposition level per candidate; without
+	// the adaptive heuristic all entries equal level.
+	aLevels []int
+	// candWidth is the aggregated interval width per candidate after
+	// the last step — the adaptive heuristic's signal.
+	candWidth []float64
+	level     int
+	done      bool
+}
+
+// defaultAdaptiveEps is the interval width below which the adaptive
+// heuristic freezes a candidate's decomposition.
+const defaultAdaptiveEps = 1e-3
+
+// NewSession prepares an incremental run: the complete-domination
+// filter is executed immediately (a linear scan over db); refinement
+// happens on Step.
+func NewSession(db uncertain.Database, target, reference *uncertain.Object, opts Options) *Session {
+	res, trees := filterLinear(db, target, reference, opts)
+	return newSession(res, trees, opts)
+}
+
+// NewSessionIndexed is NewSession with the filter pushed into an R-tree
+// (see RunIndexed).
+func NewSessionIndexed(index IndexTree, target, reference *uncertain.Object, opts Options) *Session {
+	res, trees := filterIndexed(index, target, reference, opts)
+	return newSession(res, trees, opts)
+}
+
+func newSession(res *Result, aTrees []*uncertain.DecompTree, opts Options) *Session {
+	s := &Session{
+		res:       res,
+		opts:      opts,
+		norm:      opts.norm(),
+		aTrees:    aTrees,
+		aLevels:   make([]int, len(aTrees)),
+		candWidth: make([]float64, len(aTrees)),
+	}
+	for i, t := range aTrees {
+		s.candWidth[i] = t.Object().ExistenceProb() // initial interval [0, e]
+	}
+	if len(res.Influence) == 0 {
+		s.done = true
+		return s
+	}
+	s.bTree = uncertain.NewDecompTree(res.Target, opts.MaxHeight)
+	s.rTree = uncertain.NewDecompTree(res.Reference, opts.MaxHeight)
+	return s
+}
+
+// Result returns the session's (live) result; it is updated in place by
+// Step.
+func (s *Session) Result() *Result { return s.res }
+
+// Level returns the number of refinement steps executed so far.
+func (s *Session) Level() int { return s.level }
+
+// Done reports whether further Steps would be no-ops (converged,
+// decided, or nothing to refine).
+func (s *Session) Done() bool { return s.done }
+
+// Step executes one refinement iteration of Algorithm 1 and reports
+// whether the bounds can still improve. It does NOT consult
+// Options.MaxIterations — the caller owns the budget — but it does
+// honor Options.Stop and the convergence threshold.
+func (s *Session) Step() bool {
+	if s.done {
+		return false
+	}
+	if s.opts.Stop != nil && s.opts.Stop(s.res) {
+		s.res.Decided = true
+		s.done = true
+		return false
+	}
+	start := time.Now()
+	s.level++
+	bParts := s.bTree.PartitionsAtLevel(s.level)
+	rParts := s.rTree.PartitionsAtLevel(s.level)
+	c := len(s.aTrees)
+	aParts := make([][]uncertain.Partition, c)
+	exist := make([]float64, c)
+	eps := s.opts.adaptiveEps()
+	for i, t := range s.aTrees {
+		if !s.opts.Adaptive || s.candWidth[i] > eps {
+			s.aLevels[i] = s.level
+		}
+		aParts[i] = t.PartitionsAtLevel(s.aLevels[i])
+		exist[i] = t.Object().ExistenceProb()
+	}
+	bounds, cdf, widths := iterate(s.norm, s.opts, bParts, rParts, aParts, exist)
+	s.res.Bounds, s.res.CDF = bounds, cdf
+	s.candWidth = widths
+	s.res.Iterations = append(s.res.Iterations, IterStat{
+		Level:       s.level,
+		Duration:    time.Since(start),
+		Uncertainty: s.res.Uncertainty(),
+	})
+	if s.opts.Stop != nil && s.opts.Stop(s.res) {
+		s.res.Decided = true
+		s.done = true
+		return false
+	}
+	if s.res.Uncertainty() <= s.opts.eps() {
+		s.done = true
+		return false
+	}
+	return true
+}
+
+// refine drives a session for Options.MaxIterations steps (the Run
+// entry points).
+func refine(res *Result, aTrees []*uncertain.DecompTree, opts Options) {
+	s := newSession(res, aTrees, opts)
+	if s.done {
+		return
+	}
+	// Honor an immediately-satisfied Stop without charging an iteration.
+	for i := 0; i < opts.maxIterations(); i++ {
+		if !s.Step() {
+			return
+		}
+	}
+}
+
+// iterate evaluates one refinement level: for every (B', R') partition
+// pair it computes the candidates' independent domination intervals
+// (Lemma 3 within the conditioned world set, Lemma 5), expands the
+// uncertain generating function, and combines the conditional bounds
+// weighted by P(B')·P(R') (Section IV-E). The third return value is
+// the aggregated per-candidate interval width (the adaptive signal).
+func iterate(n geom.Norm, opts Options, bParts, rParts []uncertain.Partition, aParts [][]uncertain.Partition, exist []float64) ([]gf.Interval, []gf.Interval, []float64) {
+	c := len(aParts)
+	type pair struct{ b, r uncertain.Partition }
+	pairs := make([]pair, 0, len(bParts)*len(rParts))
+	for _, bp := range bParts {
+		for _, rp := range rParts {
+			pairs = append(pairs, pair{b: bp, r: rp})
+		}
+	}
+
+	hi := c
+	if opts.KMax > 0 && opts.KMax-1 < hi {
+		hi = opts.KMax - 1
+	}
+	accB := make([]gf.Interval, hi+1)
+	accC := make([]gf.Interval, hi+2)
+	accW := make([]float64, c)
+
+	// process evaluates one pair into the caller-provided scratch and
+	// returns the expanded bounds.
+	process := func(p pair, ivs []gf.Interval) ([]gf.Interval, []gf.Interval) {
+		for i := range aParts {
+			ivs[i] = domination.BoundsWithExistence(n, opts.Criterion, aParts[i], exist[i], p.b.MBR, p.r.MBR)
+		}
+		return expandBounds(ivs, opts.KMax)
+	}
+
+	workers := opts.Parallelism
+	if workers <= 1 || len(pairs) < 2 {
+		ivs := make([]gf.Interval, c)
+		for _, p := range pairs {
+			b, cd := process(p, ivs)
+			w := p.b.Prob * p.r.Prob
+			addScaled(accB, b, w)
+			addScaled(accC, cd, w)
+			for i := range ivs {
+				accW[i] += w * ivs[i].Width()
+			}
+		}
+	} else {
+		type partial struct {
+			bounds []gf.Interval
+			cdf    []gf.Interval
+			widths []float64
+		}
+		partials := make([]partial, workers)
+		done := make(chan int, workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				pb := make([]gf.Interval, hi+1)
+				pc := make([]gf.Interval, hi+2)
+				pw := make([]float64, c)
+				ivs := make([]gf.Interval, c)
+				for i := w; i < len(pairs); i += workers {
+					p := pairs[i]
+					b, cd := process(p, ivs)
+					weight := p.b.Prob * p.r.Prob
+					addScaled(pb, b, weight)
+					addScaled(pc, cd, weight)
+					for j := range ivs {
+						pw[j] += weight * ivs[j].Width()
+					}
+				}
+				partials[w] = partial{bounds: pb, cdf: pc, widths: pw}
+				done <- w
+			}(w)
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		// Merge in worker order for determinism.
+		for w := 0; w < workers; w++ {
+			addScaled(accB, partials[w].bounds, 1)
+			addScaled(accC, partials[w].cdf, 1)
+			for i := range accW {
+				accW[i] += partials[w].widths[i]
+			}
+		}
+	}
+
+	clampAll(accB)
+	clampAll(accC)
+	return accB, accC, accW
+}
+
+func addScaled(dst, src []gf.Interval, w float64) {
+	for k := range dst {
+		dst[k].LB += w * src[k].LB
+		dst[k].UB += w * src[k].UB
+	}
+}
+
+func clampAll(ivs []gf.Interval) {
+	for i := range ivs {
+		if ivs[i].LB < 0 {
+			ivs[i].LB = 0
+		}
+		if ivs[i].UB > 1 {
+			ivs[i].UB = 1
+		}
+		if ivs[i].UB < ivs[i].LB {
+			ivs[i].UB = ivs[i].LB
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"probprune/internal/rtree"
+	"probprune/internal/uncertain"
+)
+
+// TestSessionMatchesRun: stepping a session manually must reproduce
+// Run's bounds at every iteration count.
+func TestSessionMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	db, target, reference := smallWorld(rng, 14, 16)
+	for iters := 1; iters <= 5; iters++ {
+		want := Run(db, target, reference, Options{MaxIterations: iters})
+		s := NewSession(db, target, reference, Options{})
+		for i := 0; i < iters; i++ {
+			s.Step()
+		}
+		got := s.Result()
+		if len(got.Bounds) != len(want.Bounds) {
+			t.Fatalf("iters %d: bounds length %d vs %d", iters, len(got.Bounds), len(want.Bounds))
+		}
+		for k := range want.Bounds {
+			a, b := want.Bounds[k], got.Bounds[k]
+			if !almostEqual(a.LB, b.LB, 1e-12) || !almostEqual(a.UB, b.UB, 1e-12) {
+				t.Fatalf("iters %d k %d: Run %+v vs Session %+v", iters, k, a, b)
+			}
+		}
+		if s.Level() != iters && !s.Done() {
+			t.Fatalf("iters %d: level %d", iters, s.Level())
+		}
+	}
+}
+
+// TestSessionIndexedMatchesLinear mirrors the Run/RunIndexed agreement
+// for sessions.
+func TestSessionIndexedMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	db, target, reference := smallWorld(rng, 30, 16)
+	index := rtree.New[*uncertain.Object]()
+	for _, o := range db {
+		index.Insert(o.MBR, o)
+	}
+	a := NewSession(db, target, reference, Options{})
+	b := NewSessionIndexed(index, target, reference, Options{})
+	for i := 0; i < 3; i++ {
+		a.Step()
+		b.Step()
+	}
+	ra, rb := a.Result(), b.Result()
+	if ra.CompleteDominators != rb.CompleteDominators || len(ra.Influence) != len(rb.Influence) {
+		t.Fatal("indexed session filter diverged")
+	}
+	for k := range ra.Bounds {
+		if !almostEqual(ra.Bounds[k].LB, rb.Bounds[k].LB, 1e-12) ||
+			!almostEqual(ra.Bounds[k].UB, rb.Bounds[k].UB, 1e-12) {
+			t.Fatalf("k=%d: %+v vs %+v", k, ra.Bounds[k], rb.Bounds[k])
+		}
+	}
+}
+
+// TestSessionDoneAfterConvergence: once converged, further Steps are
+// no-ops.
+func TestSessionDoneAfterConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	db, target, reference := smallWorld(rng, 8, 8)
+	s := NewSession(db, target, reference, Options{})
+	steps := 0
+	for s.Step() {
+		steps++
+		if steps > 20 {
+			t.Fatal("session never converged")
+		}
+	}
+	if !s.Done() {
+		t.Fatal("Done false after Step returned false")
+	}
+	levelAtDone := s.Level()
+	iters := len(s.Result().Iterations)
+	if s.Step() {
+		t.Fatal("Step after Done returned true")
+	}
+	if s.Level() != levelAtDone || len(s.Result().Iterations) != iters {
+		t.Fatal("Step after Done mutated the session")
+	}
+	if u := s.Result().Uncertainty(); u > 1e-9 {
+		t.Fatalf("converged with uncertainty %g", u)
+	}
+}
+
+// TestSessionStopCriterion: a Stop installed in Options ends the
+// session and marks the result decided.
+func TestSessionStopCriterion(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	db, target, reference := smallWorld(rng, 14, 16)
+	calls := 0
+	s := NewSession(db, target, reference, Options{
+		Stop: func(*Result) bool { calls++; return calls > 2 },
+	})
+	for s.Step() {
+	}
+	if !s.Result().Decided {
+		t.Fatal("Decided not set by session stop")
+	}
+}
+
+// TestAdaptiveRefinementSound: with the adaptive heuristic the bounds
+// must still contain the exact PDF at every step.
+func TestAdaptiveRefinementSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(504))
+	for trial := 0; trial < 6; trial++ {
+		db, target, reference := smallWorld(rng, 12, 16)
+		exact := exactPDF(db, target, reference)
+		s := NewSession(db, target, reference, Options{Adaptive: true, AdaptiveEps: 0.05})
+		for i := 0; i < 6 && s.Step(); i++ {
+			for k := range exact {
+				if !s.Result().Bound(k).Contains(exact[k], 1e-9) {
+					t.Fatalf("trial %d level %d: exact P(=%d)=%g outside %+v",
+						trial, s.Level(), k, exact[k], s.Result().Bound(k))
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveUncertaintyStillDecreases: freezing tight candidates must
+// not stall refinement.
+func TestAdaptiveUncertaintyStillDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	db, target, reference := smallWorld(rng, 15, 32)
+	plain := Run(db, target, reference, Options{MaxIterations: 5})
+	adaptive := Run(db, target, reference, Options{MaxIterations: 5, Adaptive: true})
+	if len(adaptive.Iterations) == 0 {
+		t.Skip("no refinement needed for this instance")
+	}
+	lastA := adaptive.Iterations[len(adaptive.Iterations)-1].Uncertainty
+	first := float64(len(adaptive.Influence) + 1)
+	if lastA >= first {
+		t.Fatalf("adaptive refinement made no progress: %g", lastA)
+	}
+	// The heuristic may be marginally looser but must stay in the same
+	// regime as the uniform refinement.
+	lastP := plain.Iterations[len(plain.Iterations)-1].Uncertainty
+	if lastA > 2*lastP+0.5 {
+		t.Fatalf("adaptive %g far looser than uniform %g", lastA, lastP)
+	}
+}
+
+// TestAdaptiveWithHugeEpsFreezesCandidates: with an absurdly large
+// threshold no candidate is ever decomposed; bounds still improve only
+// through B/R decomposition and must remain sound.
+func TestAdaptiveWithHugeEpsFreezesCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(506))
+	db, target, reference := smallWorld(rng, 10, 16)
+	exact := exactPDF(db, target, reference)
+	res := Run(db, target, reference, Options{MaxIterations: 3, Adaptive: true, AdaptiveEps: 10})
+	for k := range exact {
+		if !res.Bound(k).Contains(exact[k], 1e-9) {
+			t.Fatalf("frozen-candidate bounds unsound at %d", k)
+		}
+	}
+}
+
+func BenchmarkAdaptiveVsUniform(b *testing.B) {
+	rng := rand.New(rand.NewSource(507))
+	db, target, reference := smallWorld(rng, 25, 64)
+	b.Run("uniform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Run(db, target, reference, Options{MaxIterations: 4})
+		}
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Run(db, target, reference, Options{MaxIterations: 4, Adaptive: true})
+		}
+	})
+}

@@ -1,0 +1,121 @@
+// Package domination computes conservative and progressive bounds on
+// the probabilistic domination PDom(A, B, R) — the probability that
+// uncertain object A is closer to uncertain reference R than uncertain
+// object B is (Section III of the paper).
+//
+// The bounds avoid any PDF integration: given disjunctive
+// decompositions of the objects into partitions with exactly known
+// probability mass, Lemma 1 accumulates the mass of partition
+// combinations for which the geometric domination criterion decides the
+// relation, and Lemma 2 derives the upper bound from the reverse
+// relation. When only A is decomposed while B and R stay whole, the
+// resulting bounds for different candidates A_i are mutually
+// independent (Lemma 3) — the property that lets the uncertain
+// generating functions of package gf combine them into a domination
+// count.
+package domination
+
+import (
+	"probprune/internal/geom"
+	"probprune/internal/gf"
+	"probprune/internal/uncertain"
+)
+
+// Bounds computes the probability interval [PDomLB, PDomUB] for
+// PDom(A, B, R) with A decomposed into aParts and B and R taken whole
+// (as the rectangles b and r). This is the Lemma 3 setting: bounds
+// computed this way are mutually independent across different
+// candidates A_i, because B and R are not decomposed.
+//
+//	PDomLB = Σ_{A' : Dom(A', B, R)} P(A')
+//	PDomUB = 1 − Σ_{A' : Dom(B, A', R)} P(A')
+func Bounds(n geom.Norm, crit geom.Criterion, aParts []uncertain.Partition, b, r geom.Rect) gf.Interval {
+	return BoundsWithExistence(n, crit, aParts, 1, b, r)
+}
+
+// BoundsWithExistence is Bounds for an existentially uncertain
+// candidate: A exists with probability exist, and its position
+// distribution (the decomposition) is conditional on existence. A
+// non-existing object never dominates, so both bounds scale by exist —
+// the Section I-A adaptation of the framework to ∫ f < 1.
+func BoundsWithExistence(n geom.Norm, crit geom.Criterion, aParts []uncertain.Partition, exist float64, b, r geom.Rect) gf.Interval {
+	lb, notUB := 0.0, 0.0
+	for _, ap := range aParts {
+		if crit.Decide(n, ap.MBR, b, r) {
+			lb += ap.Prob
+		} else if crit.Decide(n, b, ap.MBR, r) {
+			notUB += ap.Prob
+		}
+	}
+	return clampInterval(exist*lb, exist*(1-notUB))
+}
+
+// BoundsDecomposed computes the probability interval for PDom(A, B, R)
+// with all three objects decomposed (the general Lemma 1 / Lemma 2
+// form):
+//
+//	PDomLB = Σ_{A',B',R' : Dom(A',B',R')} P(A')·P(B')·P(R')
+//	PDomUB = 1 − Σ_{A',B',R' : Dom(B',A',R')} P(A')·P(B')·P(R')
+//
+// Bounds obtained this way are tighter than Bounds but are NOT mutually
+// independent across candidates (Section IV-A): they must not be fed
+// into a generating function directly. The iterative algorithm instead
+// fixes one (B', R') pair at a time and calls Bounds per pair (Lemma
+// 5 / Section IV-E).
+func BoundsDecomposed(n geom.Norm, crit geom.Criterion, aParts, bParts, rParts []uncertain.Partition) gf.Interval {
+	lb, notUB := 0.0, 0.0
+	for _, bp := range bParts {
+		for _, rp := range rParts {
+			w := bp.Prob * rp.Prob
+			for _, ap := range aParts {
+				if crit.Decide(n, ap.MBR, bp.MBR, rp.MBR) {
+					lb += w * ap.Prob
+				} else if crit.Decide(n, bp.MBR, ap.MBR, rp.MBR) {
+					notUB += w * ap.Prob
+				}
+			}
+		}
+	}
+	return clampInterval(lb, 1-notUB)
+}
+
+// Complete classifies the complete domination relation between a
+// candidate A and the target B w.r.t. reference R on whole uncertainty
+// regions (the filter step of Algorithm 1).
+type CompleteRelation int
+
+const (
+	// Unknown: neither direction is decided; A is an influence object.
+	Unknown CompleteRelation = iota
+	// DominatesTarget: PDom(A, B, R) = 1 — A counts toward the
+	// domination count in every possible world.
+	DominatesTarget
+	// DominatedByTarget: PDom(A, B, R) = 0 — A can never contribute.
+	DominatedByTarget
+)
+
+// Classify applies the complete-domination filter to whole regions.
+func Classify(n geom.Norm, crit geom.Criterion, a, b, r geom.Rect) CompleteRelation {
+	if crit.Decide(n, a, b, r) {
+		return DominatesTarget
+	}
+	if crit.Decide(n, b, a, r) {
+		return DominatedByTarget
+	}
+	return Unknown
+}
+
+// clampInterval guards against floating-point drift taking the interval
+// outside [0, 1] or inverting it.
+func clampInterval(lb, ub float64) gf.Interval {
+	if lb < 0 {
+		lb = 0
+	}
+	if ub > 1 {
+		ub = 1
+	}
+	if ub < lb {
+		ub = lb
+	}
+	return gf.Interval{LB: lb, UB: ub}
+}

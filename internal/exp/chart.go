@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the figure as an ASCII scatter chart of the given
+// dimensions (characters). Each series uses a distinct marker;
+// overlapping points keep the first marker. Useful for eyeballing the
+// reproduced curves directly in a terminal (`cmd/experiments -chart`).
+func (f *Figure) Chart(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	markers := []byte{'*', 'o', 'x', '+', '#', '@', '%', '&'}
+
+	// Collect the data range.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			total++
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", f.ID, f.Title)
+	if total == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			row = height - 1 - row // y grows upward
+			if grid[row][col] == ' ' {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	// Frame with y range annotations.
+	fmt.Fprintf(&sb, "%10.4g ┤%s\n", maxY, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&sb, "%10s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&sb, "%10.4g ┤%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&sb, "%10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&sb, "%11s%-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&sb, "%11sx: %s, y: %s\n", "", f.XLabel, f.YLabel)
+	legend := make([]string, 0, len(f.Series))
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Label))
+	}
+	fmt.Fprintf(&sb, "%11s%s\n", "", strings.Join(legend, "   "))
+	return sb.String()
+}

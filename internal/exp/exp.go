@@ -1,0 +1,222 @@
+// Package exp regenerates every result exhibit of the paper's
+// evaluation (Section VII, Figures 5–9) plus the ablation studies
+// DESIGN.md calls out. Each figure has one runner returning a Figure —
+// labeled data series that cmd/experiments prints and bench_test.go
+// wraps in testing.B benchmarks.
+//
+// The paper's full-scale parameters (10,000 objects, 1000 samples per
+// object, 100 queries) put single experiments in the multi-hour range
+// on the authors' 2011 testbed — the Monte-Carlo comparison partner
+// alone needed ~450 s per query (Figure 5). Default() therefore selects
+// a proportionally scaled-down configuration that preserves every
+// qualitative shape (who wins, crossovers, scaling exponents) while
+// finishing in seconds to minutes; PaperScale() restores the paper's
+// parameters for full runs. EXPERIMENTS.md records both.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"probprune/internal/geom"
+	"probprune/internal/uncertain"
+	"probprune/internal/workload"
+)
+
+// Config holds the shared experiment parameters.
+type Config struct {
+	// SyntheticN is the synthetic database cardinality.
+	SyntheticN int
+	// IcebergN is the iceberg-simulation cardinality.
+	IcebergN int
+	// Samples is the per-object sample count (the paper's uncertainty
+	// model granularity).
+	Samples int
+	// Queries is the number of evaluation queries averaged per data
+	// point.
+	Queries int
+	// TargetRank selects B as the object with this smallest MinDist to
+	// the reference (paper: 10).
+	TargetRank int
+	// MaxExtent is the synthetic maximum object extent (paper: 0.004).
+	MaxExtent float64
+	// MaxIterations is the refinement depth of unbounded IDCA runs.
+	MaxIterations int
+	// Seed drives all pseudo-randomness.
+	Seed int64
+}
+
+// Default returns the scaled-down configuration used by the benchmark
+// suite and cmd/experiments without flags.
+func Default() Config {
+	return Config{
+		SyntheticN:    2000,
+		IcebergN:      1200,
+		Samples:       100,
+		Queries:       5,
+		TargetRank:    10,
+		MaxExtent:     0.004,
+		MaxIterations: 5,
+		Seed:          1,
+	}
+}
+
+// PaperScale returns the paper's full evaluation parameters. Expect
+// multi-hour runtimes for the MC-involved figures.
+func PaperScale() Config {
+	return Config{
+		SyntheticN:    10000,
+		IcebergN:      6216,
+		Samples:       1000,
+		Queries:       100,
+		TargetRank:    10,
+		MaxExtent:     0.004,
+		MaxIterations: 8,
+		Seed:          1,
+	}
+}
+
+// Point is one (x, y) measurement.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is the reproduction of one paper exhibit.
+type Figure struct {
+	// ID is the paper's exhibit number, e.g. "Fig 6(a)".
+	ID string
+	// Title, XLabel and YLabel describe the axes as in the paper.
+	Title, XLabel, YLabel string
+	// Series holds the measured curves.
+	Series []Series
+	// Notes records scaling caveats for EXPERIMENTS.md.
+	Notes string
+}
+
+// String renders the figure as an aligned text table. Series sharing
+// the same x grid are printed side by side; otherwise each series is
+// listed separately.
+func (f *Figure) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", f.ID, f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", f.Notes)
+	}
+	if aligned, xs := f.sharedGrid(); aligned {
+		fmt.Fprintf(&sb, "%16s", f.XLabel)
+		for _, s := range f.Series {
+			fmt.Fprintf(&sb, " %16s", s.Label)
+		}
+		sb.WriteByte('\n')
+		for i, x := range xs {
+			fmt.Fprintf(&sb, "%16.6g", x)
+			for _, s := range f.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(&sb, " %16.6g", s.Points[i].Y)
+				} else {
+					fmt.Fprintf(&sb, " %16s", "-")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "series %s (%s vs %s)\n", s.Label, f.YLabel, f.XLabel)
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "  %16.6g %16.6g\n", p.X, p.Y)
+		}
+	}
+	return sb.String()
+}
+
+// sharedGrid reports whether all series share one x grid and returns it.
+func (f *Figure) sharedGrid() (bool, []float64) {
+	if len(f.Series) == 0 {
+		return false, nil
+	}
+	first := f.Series[0].Points
+	for _, s := range f.Series[1:] {
+		if len(s.Points) != len(first) {
+			return false, nil
+		}
+		for i := range s.Points {
+			if s.Points[i].X != first[i].X {
+				return false, nil
+			}
+		}
+	}
+	xs := make([]float64, len(first))
+	for i, p := range first {
+		xs[i] = p.X
+	}
+	return true, xs
+}
+
+// synthetic builds the default synthetic database for the config.
+func (c Config) synthetic() (uncertain.Database, error) {
+	return workload.Synthetic(workload.SyntheticConfig{
+		N:         c.SyntheticN,
+		MaxExtent: c.MaxExtent,
+		Samples:   c.Samples,
+		Seed:      c.Seed,
+	})
+}
+
+// queries builds the evaluation query set for db.
+func (c Config) queries(db uncertain.Database) []workload.Query {
+	return workload.Queries(db, c.Queries, c.TargetRank, geom.L2, c.Seed+100)
+}
+
+// timeIt measures fn's wall-clock duration in seconds.
+func timeIt(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+// mean returns the arithmetic mean (0 for empty input).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// sortedKeys returns the sorted keys of an int-keyed map.
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// geometricSteps returns n multiplicative steps from lo to hi.
+func geometricSteps(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	x := lo
+	for i := range out {
+		out[i] = x
+		x *= ratio
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDominates fuzzes the optimal domination criterion with arbitrary
+// rectangle coordinates: whenever it claims domination, random sampled
+// worlds must agree (soundness), and min/max domination must imply
+// optimal domination.
+func FuzzDominates(f *testing.F) {
+	f.Add(0.0, 1.0, 3.0, 4.0, 1.5, 2.0, 0.0, 0.5, 0.0, 0.5, 0.0, 5.0)
+	f.Add(-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0)
+	f.Fuzz(func(t *testing.T, ax0, ax1, bx0, bx1, rx0, rx1, ay0, ay1, by0, by1, ry0, ry1 float64) {
+		mk := func(x0, x1, y0, y1 float64) (Rect, bool) {
+			for _, v := range []float64{x0, x1, y0, y1} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+					return Rect{}, false
+				}
+			}
+			if x1 < x0 {
+				x0, x1 = x1, x0
+			}
+			if y1 < y0 {
+				y0, y1 = y1, y0
+			}
+			return Rect{Min: Point{x0, y0}, Max: Point{x1, y1}}, true
+		}
+		a, ok1 := mk(ax0, ax1, ay0, ay1)
+		b, ok2 := mk(bx0, bx1, by0, by1)
+		r, ok3 := mk(rx0, rx1, ry0, ry1)
+		if !ok1 || !ok2 || !ok3 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(1))
+		if DominatesMinMax(L2, a, b, r) && !Dominates(L2, a, b, r) {
+			t.Fatalf("min/max dominates but optimal does not: a=%v b=%v r=%v", a, b, r)
+		}
+		if Dominates(L2, a, b, r) {
+			if Dominates(L2, b, a, r) {
+				t.Fatalf("mutual domination: a=%v b=%v r=%v", a, b, r)
+			}
+			for i := 0; i < 64; i++ {
+				pa := randPointIn(rng, a)
+				pb := randPointIn(rng, b)
+				pr := randPointIn(rng, r)
+				if L2.Dist(pa, pr) >= L2.Dist(pb, pr) {
+					t.Fatalf("sampled counterexample to claimed domination: a=%v b=%v r=%v", pa, pb, pr)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,144 @@
+// Package geom provides the vector-space primitives the pruning framework
+// is built on: points, axis-aligned rectangles, Lp norms, interval
+// min/max distances, and the spatial domination criteria of Section III
+// of the paper (the optimal criterion of Corollary 1, adopted from
+// Emrich et al. [15], and the classical min/max criterion it improves
+// upon).
+//
+// All geometry is dimension-generic; the paper's evaluation uses d = 2
+// but nothing in this package assumes it.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a location in d-dimensional Euclidean space.
+type Point []float64
+
+// Dim returns the dimensionality of the point.
+func (p Point) Dim() int { return len(p) }
+
+// Clone returns an independent copy of the point.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are identical coordinate-wise.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the point as "(x1, x2, ...)".
+func (p Point) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range p {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%g", v)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Norm identifies an Lp norm. The paper assumes Euclidean distance (L2)
+// but states that the techniques apply to any Lp norm; the criteria in
+// this package therefore take the norm as a parameter.
+type Norm struct {
+	// P is the exponent of the norm; it must be >= 1.
+	P float64
+}
+
+// L1, L2 and LInf are the commonly used norms. LInf is represented by
+// P = +Inf and handled specially where it matters.
+var (
+	L1   = Norm{P: 1}
+	L2   = Norm{P: 2}
+	LInf = Norm{P: math.Inf(1)}
+)
+
+// Valid reports whether the norm has a legal exponent.
+func (n Norm) Valid() bool { return n.P >= 1 }
+
+// IsInf reports whether the norm is the maximum norm.
+func (n Norm) IsInf() bool { return math.IsInf(n.P, 1) }
+
+// Dist computes the Lp distance between two points of equal dimension.
+func (n Norm) Dist(p, q Point) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(p), len(q)))
+	}
+	if n.IsInf() {
+		max := 0.0
+		for i := range p {
+			if d := math.Abs(p[i] - q[i]); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	if n.P == 2 {
+		// Fast path for the default norm.
+		sum := 0.0
+		for i := range p {
+			d := p[i] - q[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+	if n.P == 1 {
+		sum := 0.0
+		for i := range p {
+			sum += math.Abs(p[i] - q[i])
+		}
+		return sum
+	}
+	sum := 0.0
+	for i := range p {
+		sum += math.Pow(math.Abs(p[i]-q[i]), n.P)
+	}
+	return math.Pow(sum, 1/n.P)
+}
+
+// DistPow computes the Lp distance raised to the p-th power, avoiding
+// the final root. It is the quantity the domination criterion sums over
+// dimensions. For LInf the plain distance is returned.
+func (n Norm) DistPow(p, q Point) float64 {
+	if n.IsInf() {
+		return n.Dist(p, q)
+	}
+	if n.P == 2 {
+		sum := 0.0
+		for i := range p {
+			d := p[i] - q[i]
+			sum += d * d
+		}
+		return sum
+	}
+	if n.P == 1 {
+		sum := 0.0
+		for i := range p {
+			sum += math.Abs(p[i] - q[i])
+		}
+		return sum
+	}
+	sum := 0.0
+	for i := range p {
+		sum += math.Pow(math.Abs(p[i]-q[i]), n.P)
+	}
+	return sum
+}

@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestNormDist(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if got := L2.Dist(p, q); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("L2.Dist = %g, want 5", got)
+	}
+	if got := L1.Dist(p, q); !almostEqual(got, 7, 1e-12) {
+		t.Errorf("L1.Dist = %g, want 7", got)
+	}
+	if got := LInf.Dist(p, q); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("LInf.Dist = %g, want 4", got)
+	}
+	l3 := Norm{P: 3}
+	want := math.Pow(27+64, 1.0/3)
+	if got := l3.Dist(p, q); !almostEqual(got, want, 1e-12) {
+		t.Errorf("L3.Dist = %g, want %g", got, want)
+	}
+}
+
+func TestNormDistPow(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := Point{4, 6, 3}
+	if got := L2.DistPow(p, q); !almostEqual(got, 25, 1e-12) {
+		t.Errorf("L2.DistPow = %g, want 25", got)
+	}
+	if got := L1.DistPow(p, q); !almostEqual(got, 7, 1e-12) {
+		t.Errorf("L1.DistPow = %g, want 7", got)
+	}
+	if got := LInf.DistPow(p, q); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("LInf.DistPow = %g, want 4", got)
+	}
+}
+
+func TestNormDistDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	L2.Dist(Point{1}, Point{1, 2})
+}
+
+func TestNormValid(t *testing.T) {
+	if !L1.Valid() || !L2.Valid() || !LInf.Valid() {
+		t.Error("standard norms must be valid")
+	}
+	if (Norm{P: 0.5}).Valid() {
+		t.Error("p < 1 must be invalid")
+	}
+}
+
+func TestPointCloneIndependence(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestPointEqual(t *testing.T) {
+	if !(Point{1, 2}).Equal(Point{1, 2}) {
+		t.Error("equal points reported unequal")
+	}
+	if (Point{1, 2}).Equal(Point{1, 3}) {
+		t.Error("unequal points reported equal")
+	}
+	if (Point{1, 2}).Equal(Point{1}) {
+		t.Error("dimension mismatch reported equal")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1, 2.5}).String(); got != "(1, 2.5)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: Dist is symmetric and satisfies the triangle inequality for
+// random points in a few norms.
+func TestDistMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	norms := []Norm{L1, L2, {P: 3}, LInf}
+	for trial := 0; trial < 300; trial++ {
+		d := 1 + rng.Intn(4)
+		p, q, r := randPoint(rng, d), randPoint(rng, d), randPoint(rng, d)
+		for _, n := range norms {
+			dpq := n.Dist(p, q)
+			if !almostEqual(dpq, n.Dist(q, p), 1e-12) {
+				t.Fatalf("norm %v not symmetric", n)
+			}
+			if dpq > n.Dist(p, r)+n.Dist(r, q)+1e-9 {
+				t.Fatalf("norm %v violates triangle inequality", n)
+			}
+			if n.Dist(p, p) != 0 {
+				t.Fatalf("norm %v: d(p,p) != 0", n)
+			}
+		}
+	}
+}
+
+// Property: DistPow is consistent with Dist.
+func TestDistPowConsistency(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p := Point{clampAbs(ax), clampAbs(ay)}
+		q := Point{clampAbs(bx), clampAbs(by)}
+		d := L2.Dist(p, q)
+		return almostEqual(L2.DistPow(p, q), d*d, 1e-6*(1+d*d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampAbs(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1000)
+}
+
+func randPoint(rng *rand.Rand, d int) Point {
+	p := make(Point, d)
+	for i := range p {
+		p[i] = rng.Float64()*20 - 10
+	}
+	return p
+}
+
+func randRect(rng *rand.Rand, d int, maxExt float64) Rect {
+	c := randPoint(rng, d)
+	ext := make([]float64, d)
+	for i := range ext {
+		ext[i] = rng.Float64() * maxExt
+	}
+	return RectAround(c, ext)
+}
+
+func randPointIn(rng *rand.Rand, r Rect) Point {
+	p := make(Point, r.Dim())
+	for i := range p {
+		p[i] = r.Min[i] + rng.Float64()*(r.Max[i]-r.Min[i])
+	}
+	return p
+}

@@ -1,0 +1,7 @@
+package geom
+
+import "math"
+
+// powFloat wraps math.Pow; split out so the hot powP fast paths above it
+// stay inlinable.
+func powFloat(x, p float64) float64 { return math.Pow(x, p) }

@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect(Point{0, 0}, Point{1, 1}); err != nil {
+		t.Fatalf("valid rect rejected: %v", err)
+	}
+	if _, err := NewRect(Point{0}, Point{1, 1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := NewRect(Point{2, 0}, Point{1, 1}); err == nil {
+		t.Error("inverted extent accepted")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r, _ := NewRect(Point{0, 0}, Point{2, 4})
+	if got := r.Center(); !got.Equal(Point{1, 2}) {
+		t.Errorf("Center = %v", got)
+	}
+	if r.Extent(0) != 2 || r.Extent(1) != 4 {
+		t.Errorf("Extent = %g, %g", r.Extent(0), r.Extent(1))
+	}
+	if r.MaxExtent() != 4 {
+		t.Errorf("MaxExtent = %g", r.MaxExtent())
+	}
+	if r.Area() != 8 {
+		t.Errorf("Area = %g", r.Area())
+	}
+	if r.Dim() != 2 {
+		t.Errorf("Dim = %d", r.Dim())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r, _ := NewRect(Point{0, 0}, Point{1, 1})
+	cases := []struct {
+		p  Point
+		in bool
+	}{
+		{Point{0.5, 0.5}, true},
+		{Point{0, 0}, true},
+		{Point{1, 1}, true},
+		{Point{1.001, 0.5}, false},
+		{Point{-0.001, 0.5}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.in {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.in)
+		}
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer, _ := NewRect(Point{0, 0}, Point{10, 10})
+	inner, _ := NewRect(Point{1, 1}, Point{2, 2})
+	if !outer.ContainsRect(inner) {
+		t.Error("inner should be contained")
+	}
+	if inner.ContainsRect(outer) {
+		t.Error("outer should not be contained in inner")
+	}
+	if !outer.ContainsRect(outer) {
+		t.Error("rect should contain itself")
+	}
+}
+
+func TestRectIntersectsUnion(t *testing.T) {
+	a, _ := NewRect(Point{0, 0}, Point{2, 2})
+	b, _ := NewRect(Point{1, 1}, Point{3, 3})
+	c, _ := NewRect(Point{5, 5}, Point{6, 6})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b must intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c must not intersect")
+	}
+	u := a.Union(c)
+	if !u.Equal(Rect{Min: Point{0, 0}, Max: Point{6, 6}}) {
+		t.Errorf("Union = %v", u)
+	}
+	if !u.ContainsRect(a) || !u.ContainsRect(c) {
+		t.Error("union must contain both inputs")
+	}
+}
+
+func TestIntervalDistances(t *testing.T) {
+	if got := IntervalMinDist(1, 3, 0); got != 1 {
+		t.Errorf("IntervalMinDist left = %g", got)
+	}
+	if got := IntervalMinDist(1, 3, 4); got != 1 {
+		t.Errorf("IntervalMinDist right = %g", got)
+	}
+	if got := IntervalMinDist(1, 3, 2); got != 0 {
+		t.Errorf("IntervalMinDist inside = %g", got)
+	}
+	if got := IntervalMaxDist(1, 3, 0); got != 3 {
+		t.Errorf("IntervalMaxDist left = %g", got)
+	}
+	if got := IntervalMaxDist(1, 3, 2.5); got != 1.5 {
+		t.Errorf("IntervalMaxDist inside = %g", got)
+	}
+}
+
+func TestRectPointDistances(t *testing.T) {
+	r, _ := NewRect(Point{0, 0}, Point{1, 1})
+	if got := r.MinDist(L2, Point{0.5, 0.5}); got != 0 {
+		t.Errorf("MinDist inside = %g", got)
+	}
+	if got := r.MinDist(L2, Point{4, 1}); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("MinDist outside = %g", got)
+	}
+	if got := r.MaxDist(L2, Point{0, 0}); !almostEqual(got, L2.Dist(Point{0, 0}, Point{1, 1}), 1e-12) {
+		t.Errorf("MaxDist corner = %g", got)
+	}
+}
+
+func TestRectRectDistances(t *testing.T) {
+	a, _ := NewRect(Point{0, 0}, Point{1, 1})
+	b, _ := NewRect(Point{4, 0}, Point{5, 1})
+	if got := a.MinDistRect(L2, b); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("MinDistRect = %g", got)
+	}
+	if got := a.MaxDistRect(L2, b); !almostEqual(got, L2.Dist(Point{0, 0}, Point{5, 1}), 1e-12) {
+		t.Errorf("MaxDistRect = %g", got)
+	}
+	c, _ := NewRect(Point{0.5, 0.5}, Point{2, 2})
+	if got := a.MinDistRect(L2, c); got != 0 {
+		t.Errorf("MinDistRect overlapping = %g", got)
+	}
+}
+
+func TestPointRectAndRectAround(t *testing.T) {
+	p := Point{3, 4}
+	pr := PointRect(p)
+	if !pr.Min.Equal(p) || !pr.Max.Equal(p) {
+		t.Error("PointRect must be degenerate at p")
+	}
+	ra := RectAround(Point{1, 1}, []float64{2, 4})
+	if !ra.Equal(Rect{Min: Point{0, -1}, Max: Point{2, 3}}) {
+		t.Errorf("RectAround = %v", ra)
+	}
+}
+
+// Property: for random rectangles and random contained points, the
+// point-rect and rect-rect min/max distances bracket the true
+// point-point distance.
+func TestDistancesBracketSampledDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		d := 1 + rng.Intn(3)
+		a := randRect(rng, d, 5)
+		b := randRect(rng, d, 5)
+		pa := randPointIn(rng, a)
+		pb := randPointIn(rng, b)
+		dist := L2.Dist(pa, pb)
+		if lo := a.MinDistRect(L2, b); lo > dist+1e-9 {
+			t.Fatalf("MinDistRect %g > sampled %g", lo, dist)
+		}
+		if hi := a.MaxDistRect(L2, b); hi < dist-1e-9 {
+			t.Fatalf("MaxDistRect %g < sampled %g", hi, dist)
+		}
+		if lo := a.MinDist(L2, pb); lo > dist+1e-9 {
+			t.Fatalf("MinDist %g > sampled %g", lo, dist)
+		}
+		if hi := a.MaxDist(L2, pb); hi < dist-1e-9 {
+			t.Fatalf("MaxDist %g < sampled %g", hi, dist)
+		}
+	}
+}

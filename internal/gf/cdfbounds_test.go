@@ -1,0 +1,81 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: CDFBounds intervals contain the true probabilities for any
+// admissible instantiation.
+func TestCDFBoundsContainTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(10)
+		ivs := make([]Interval, n)
+		ps := make([]float64, n)
+		for i := range ivs {
+			lb := rng.Float64()
+			ub := lb + rng.Float64()*(1-lb)
+			ivs[i] = Interval{LB: lb, UB: ub}
+			ps[i] = lb + rng.Float64()*(ub-lb)
+		}
+		cb := NewCDFBounds(ivs)
+		truth := PoissonBinomial(ps)
+		truthCDF := CDF(truth)
+		for k := 0; k <= n; k++ {
+			if !cb.Bound(k).Contains(truth[k], 1e-9) {
+				t.Fatalf("P(Σ=%d)=%g outside CDF-derived bound %+v", k, truth[k], cb.Bound(k))
+			}
+			if !cb.CDFBound(k).Contains(truthCDF[k], 1e-9) {
+				t.Fatalf("P(Σ<%d)=%g outside tail bound %+v", k, truthCDF[k], cb.CDFBound(k))
+			}
+		}
+	}
+}
+
+// Property (the paper's tightness claim, extended version [3]): the UGF
+// point-probability bounds are never looser than the two-regular-GF
+// bounds, and are strictly tighter in typical instances.
+func TestUGFTighterThanCDFBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	strictlyTighter := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(10)
+		ivs := make([]Interval, n)
+		f := NewUGF()
+		for i := range ivs {
+			lb := rng.Float64()
+			ub := lb + rng.Float64()*(1-lb)
+			ivs[i] = Interval{LB: lb, UB: ub}
+			f.Multiply(ivs[i])
+		}
+		cb := NewCDFBounds(ivs)
+		for k := 0; k <= n; k++ {
+			u, c := f.Bound(k), cb.Bound(k)
+			if u.LB < c.LB-1e-9 || u.UB > c.UB+1e-9 {
+				t.Fatalf("k=%d: UGF [%g,%g] looser than CDF bounds [%g,%g]",
+					k, u.LB, u.UB, c.LB, c.UB)
+			}
+			if u.Width() < c.Width()-1e-9 {
+				strictlyTighter++
+			}
+		}
+	}
+	if strictlyTighter == 0 {
+		t.Error("UGF was never strictly tighter; ablation claim not exercised")
+	}
+}
+
+func TestCDFBoundsEdges(t *testing.T) {
+	cb := NewCDFBounds([]Interval{{LB: 0.5, UB: 0.5}})
+	if got := cb.CDFBound(0); got.LB != 0 || got.UB != 0 {
+		t.Errorf("P(Σ<0) = %+v, want [0,0]", got)
+	}
+	if got := cb.CDFBound(5); !almostEqual(got.LB, 1, 1e-12) || !almostEqual(got.UB, 1, 1e-12) {
+		t.Errorf("P(Σ<5) = %+v, want [1,1]", got)
+	}
+	// Exact intervals collapse point bounds to the exact value.
+	if got := cb.Bound(1); !almostEqual(got.LB, 0.5, 1e-12) || !almostEqual(got.UB, 0.5, 1e-12) {
+		t.Errorf("Bound(1) = %+v, want [0.5, 0.5]", got)
+	}
+}

@@ -1,0 +1,86 @@
+// Package gf implements the generating-function machinery of Section IV
+// of the paper: the classical generating function over independent
+// Bernoulli variables (the Poisson binomial distribution, following Li,
+// Saha and Deshpande [19]), the paper's novel Uncertain Generating
+// Functions (UGFs) that operate on probability *intervals* instead of
+// exact probabilities, and the k-truncated variants that reduce the
+// complexity from O(N³) to O(k²·N) for kNN-style predicates (Section
+// VI).
+package gf
+
+import "fmt"
+
+// PoissonBinomial expands the generating function
+//
+//	F(x) = Π_i (1 − p_i + p_i·x)
+//
+// and returns its coefficients: out[k] = P(Σ X_i = k) for independent
+// Bernoulli variables X_i with P(X_i = 1) = p_i. The expansion costs
+// O(N²) time and O(N) space.
+func PoissonBinomial(ps []float64) []float64 {
+	coef := make([]float64, 1, len(ps)+1)
+	coef[0] = 1
+	for _, p := range ps {
+		validateProb(p)
+		coef = append(coef, 0)
+		// Multiply by (1-p) + p·x in place, highest degree first.
+		for k := len(coef) - 1; k > 0; k-- {
+			coef[k] = coef[k]*(1-p) + coef[k-1]*p
+		}
+		coef[0] *= 1 - p
+	}
+	return coef
+}
+
+// PoissonBinomialTruncated computes only the first kMax coefficients
+// P(Σ X_i = k) for k < kMax, dropping higher-degree terms as Section
+// IV-C describes ("this cost can be reduced to O(k·N), by simply
+// dropping the summands c_j x^j where j ≥ k"). The returned slice has
+// min(kMax, N+1) entries; they equal the untruncated prefix exactly.
+func PoissonBinomialTruncated(ps []float64, kMax int) []float64 {
+	if kMax <= 0 {
+		return nil
+	}
+	coef := make([]float64, 1, kMax)
+	coef[0] = 1
+	for _, p := range ps {
+		validateProb(p)
+		if len(coef) < kMax {
+			coef = append(coef, 0)
+		}
+		for k := len(coef) - 1; k > 0; k-- {
+			coef[k] = coef[k]*(1-p) + coef[k-1]*p
+		}
+		coef[0] *= 1 - p
+	}
+	return coef
+}
+
+// CDF accumulates coefficients into P(Σ X_i < k) for each k, i.e.
+// out[k] = Σ_{j<k} coef[j]. out has len(coef)+1 entries and out[len]
+// is the total mass.
+func CDF(coef []float64) []float64 {
+	out := make([]float64, len(coef)+1)
+	sum := 0.0
+	for k, c := range coef {
+		out[k] = sum
+		sum += c
+	}
+	out[len(coef)] = sum
+	return out
+}
+
+func validateProb(p float64) {
+	if p < -1e-9 || p > 1+1e-9 {
+		panic(fmt.Sprintf("gf: probability %g out of [0,1]", p))
+	}
+}
+
+// validateInterval checks an [lb, ub] probability interval.
+func validateInterval(lb, ub float64) {
+	validateProb(lb)
+	validateProb(ub)
+	if lb > ub+1e-12 {
+		panic(fmt.Sprintf("gf: inverted probability interval [%g, %g]", lb, ub))
+	}
+}

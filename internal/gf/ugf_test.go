@@ -1,0 +1,233 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUGFPaperExample3 reproduces Example 3 of the paper verbatim:
+// PLB(X1)=20%, PUB(X1)=50%, PLB(X2)=60%, PUB(X2)=80% gives
+// F² = 0.12x² + 0.34x + 0.1 + 0.22xy + 0.16y + 0.06y², hence
+// P(Σ=2) ∈ [12%, 40%], P(Σ=1) ∈ [34%, 78%], P(Σ=0) ∈ [10%, 32%].
+func TestUGFPaperExample3(t *testing.T) {
+	f := NewUGF()
+	f.Multiply(Interval{LB: 0.2, UB: 0.5})
+	f.Multiply(Interval{LB: 0.6, UB: 0.8})
+
+	coeffs := []struct {
+		i, j int
+		want float64
+	}{
+		{2, 0, 0.12}, {1, 0, 0.34}, {0, 0, 0.10},
+		{1, 1, 0.22}, {0, 1, 0.16}, {0, 2, 0.06},
+	}
+	for _, c := range coeffs {
+		if got := f.Coefficient(c.i, c.j); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("c_{%d,%d} = %g, want %g", c.i, c.j, got, c.want)
+		}
+	}
+
+	bounds := []struct {
+		k      int
+		lb, ub float64
+	}{
+		{2, 0.12, 0.40}, {1, 0.34, 0.78}, {0, 0.10, 0.32},
+	}
+	for _, b := range bounds {
+		iv := f.Bound(b.k)
+		if !almostEqual(iv.LB, b.lb, 1e-12) || !almostEqual(iv.UB, b.ub, 1e-12) {
+			t.Errorf("Bound(%d) = [%g, %g], want [%g, %g]", b.k, iv.LB, iv.UB, b.lb, b.ub)
+		}
+	}
+}
+
+func TestUGFTotalMassInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	f := NewUGF()
+	for i := 0; i < 40; i++ {
+		lb := rng.Float64()
+		ub := lb + rng.Float64()*(1-lb)
+		f.Multiply(Interval{LB: lb, UB: ub})
+		if !almostEqual(f.TotalMass(), 1, 1e-9) {
+			t.Fatalf("after %d factors mass = %g", i+1, f.TotalMass())
+		}
+	}
+}
+
+// Property: for exact intervals (LB == UB) the UGF degenerates to the
+// regular Poisson binomial generating function.
+func TestUGFDegeneratesToPoissonBinomial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(15)
+		ps := make([]float64, n)
+		f := NewUGF()
+		for i := range ps {
+			ps[i] = rng.Float64()
+			f.Multiply(Exact(ps[i]))
+		}
+		want := PoissonBinomial(ps)
+		for k := 0; k <= n; k++ {
+			iv := f.Bound(k)
+			if !almostEqual(iv.LB, want[k], 1e-9) || !almostEqual(iv.UB, want[k], 1e-9) {
+				t.Fatalf("k=%d: UGF [%g, %g] vs exact %g", k, iv.LB, iv.UB, want[k])
+			}
+		}
+	}
+}
+
+// Property (the central soundness property of Section IV-C): for any
+// admissible instantiation p_i ∈ [LB_i, UB_i], the true Poisson
+// binomial probability lies within the UGF bounds, for point
+// probabilities and for tails.
+func TestUGFBoundsContainTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(10)
+		ivs := make([]Interval, n)
+		ps := make([]float64, n)
+		f := NewUGF()
+		for i := range ivs {
+			lb := rng.Float64()
+			ub := lb + rng.Float64()*(1-lb)
+			ivs[i] = Interval{LB: lb, UB: ub}
+			ps[i] = lb + rng.Float64()*(ub-lb)
+			f.Multiply(ivs[i])
+		}
+		truth := PoissonBinomial(ps)
+		truthCDF := CDF(truth)
+		for k := 0; k <= n; k++ {
+			if !f.Bound(k).Contains(truth[k], 1e-9) {
+				t.Fatalf("P(Σ=%d)=%g outside UGF bound %+v", k, truth[k], f.Bound(k))
+			}
+			if !f.CDFBound(k).Contains(truthCDF[k], 1e-9) {
+				t.Fatalf("P(Σ<%d)=%g outside UGF CDF bound %+v", k, truthCDF[k], f.CDFBound(k))
+			}
+		}
+	}
+}
+
+// Property: the truncated UGF yields exactly the same bounds as the
+// full UGF for every count below kMax (the Section VI merging argument).
+func TestTruncatedUGFMatchesFullBelowK(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(25)
+		kMax := 1 + rng.Intn(8)
+		full := NewUGF()
+		trunc := NewTruncatedUGF(kMax)
+		for i := 0; i < n; i++ {
+			lb := rng.Float64()
+			ub := lb + rng.Float64()*(1-lb)
+			iv := Interval{LB: lb, UB: ub}
+			full.Multiply(iv)
+			trunc.Multiply(iv)
+		}
+		for k := 0; k < kMax && k <= n; k++ {
+			fb, tb := full.Bound(k), trunc.Bound(k)
+			if !almostEqual(fb.LB, tb.LB, 1e-9) || !almostEqual(fb.UB, tb.UB, 1e-9) {
+				t.Fatalf("n=%d kMax=%d k=%d: full [%g,%g] vs trunc [%g,%g]",
+					n, kMax, k, fb.LB, fb.UB, tb.LB, tb.UB)
+			}
+			fc, tc := full.CDFBound(k+1), trunc.CDFBound(k+1)
+			if !almostEqual(fc.LB, tc.LB, 1e-9) || !almostEqual(fc.UB, tc.UB, 1e-9) {
+				t.Fatalf("n=%d kMax=%d CDF k=%d: full [%g,%g] vs trunc [%g,%g]",
+					n, kMax, k+1, fc.LB, fc.UB, tc.LB, tc.UB)
+			}
+		}
+		if !almostEqual(trunc.TotalMass(), 1, 1e-9) {
+			t.Fatalf("truncated mass = %g", trunc.TotalMass())
+		}
+	}
+}
+
+func TestUGFBoundsSliceAndAccessors(t *testing.T) {
+	f := NewUGF()
+	f.Multiply(Interval{LB: 0.2, UB: 0.5})
+	f.Multiply(Interval{LB: 0.6, UB: 0.8})
+	bs := f.Bounds()
+	if len(bs) != 3 {
+		t.Fatalf("Bounds len = %d", len(bs))
+	}
+	if f.N() != 2 {
+		t.Errorf("N = %d", f.N())
+	}
+	if got := f.Coefficient(-1, 0); got != 0 {
+		t.Errorf("out-of-range coefficient = %g", got)
+	}
+	tr := NewTruncatedUGF(2)
+	tr.Multiply(Interval{LB: 0.2, UB: 0.5})
+	tr.Multiply(Interval{LB: 0.6, UB: 0.8})
+	tr.Multiply(Interval{LB: 0.1, UB: 0.9})
+	if bs := tr.Bounds(); len(bs) != 2 {
+		t.Errorf("truncated Bounds len = %d, want 2", len(bs))
+	}
+	if lb := tr.LowerBound(5); lb != 0 {
+		t.Errorf("LowerBound beyond kMax = %g", lb)
+	}
+	if ub := tr.UpperBound(5); ub != 1 {
+		t.Errorf("UpperBound beyond kMax = %g", ub)
+	}
+}
+
+func TestNewTruncatedUGFPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for kMax <= 0")
+		}
+	}()
+	NewTruncatedUGF(0)
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{LB: 0.2, UB: 0.5}
+	if !almostEqual(iv.Width(), 0.3, 1e-12) {
+		t.Errorf("Width = %g", iv.Width())
+	}
+	if !iv.Contains(0.3, 0) || iv.Contains(0.6, 0) {
+		t.Error("Contains misbehaves")
+	}
+	if e := Exact(0.4); e.LB != 0.4 || e.UB != 0.4 {
+		t.Error("Exact misbehaves")
+	}
+}
+
+func BenchmarkPoissonBinomial(b *testing.B) {
+	rng := rand.New(rand.NewSource(90))
+	ps := make([]float64, 200)
+	for i := range ps {
+		ps[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PoissonBinomial(ps)
+	}
+}
+
+func BenchmarkUGFFull(b *testing.B) {
+	rng := rand.New(rand.NewSource(91))
+	ivs := make([]Interval, 60)
+	for i := range ivs {
+		lb := rng.Float64()
+		ivs[i] = Interval{LB: lb, UB: lb + rng.Float64()*(1-lb)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := NewUGF()
+		f.MultiplyAll(ivs)
+	}
+}
+
+func BenchmarkUGFTruncatedK5(b *testing.B) {
+	rng := rand.New(rand.NewSource(92))
+	ivs := make([]Interval, 60)
+	for i := range ivs {
+		lb := rng.Float64()
+		ivs[i] = Interval{LB: lb, UB: lb + rng.Float64()*(1-lb)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := NewTruncatedUGF(5)
+		f.MultiplyAll(ivs)
+	}
+}

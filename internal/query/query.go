@@ -1,0 +1,264 @@
+// Package query evaluates the probabilistic similarity queries of
+// Section VI of the paper on top of the IDCA domination-count bounds:
+//
+//   - probabilistic inverse ranking (Corollary 3),
+//   - probabilistic threshold k-nearest-neighbor queries (Corollary 4),
+//   - probabilistic threshold reverse kNN queries (Corollary 5),
+//   - expected-rank computation and ranking (Corollary 6).
+//
+// All queries share one structure: the predicate reduces to tail or
+// point probabilities of DomCount, IDCA refines bounds iteratively, and
+// a threshold predicate stops refinement as soon as the bounds decide
+// it — the filter-refinement strategy the paper's Figure 8 measures.
+package query
+
+import (
+	"math"
+	"sort"
+
+	"probprune/internal/core"
+	"probprune/internal/gf"
+	"probprune/internal/rtree"
+	"probprune/internal/uncertain"
+)
+
+// Engine evaluates probabilistic similarity queries over a database.
+type Engine struct {
+	// DB is the uncertain database.
+	DB uncertain.Database
+	// Index optionally accelerates the complete-domination filter; nil
+	// uses linear scans.
+	Index *rtree.Tree[*uncertain.Object]
+	// Opts configures the underlying IDCA runs. Stop and KMax are
+	// managed per query and must be left unset.
+	Opts core.Options
+}
+
+// NewEngine builds an engine and its R-tree index over db.
+func NewEngine(db uncertain.Database, opts core.Options) *Engine {
+	idx := rtree.New[*uncertain.Object]()
+	for _, o := range db {
+		idx.Insert(o.MBR, o)
+	}
+	return &Engine{DB: db, Index: idx, Opts: opts}
+}
+
+// Match is one candidate's outcome in a threshold query.
+type Match struct {
+	// Object is the candidate.
+	Object *uncertain.Object
+	// Prob bounds the query-predicate probability for the candidate
+	// (e.g. P(B is a kNN of Q) for KNN queries).
+	Prob gf.Interval
+	// IsResult reports whether the candidate qualifies (probability at
+	// least the query threshold). Only meaningful when Decided.
+	IsResult bool
+	// Decided reports whether the bounds decided the predicate before
+	// the iteration budget ran out. Undecided candidates are returned
+	// with their final bounds so callers can present a confidence value
+	// (Section V's discussion).
+	Decided bool
+	// Iterations is the number of refinement iterations spent.
+	Iterations int
+}
+
+// run dispatches an IDCA run through the index if present.
+func (e *Engine) run(target, reference *uncertain.Object, opts core.Options) *core.Result {
+	if e.Index != nil {
+		return core.RunIndexed(e.Index, target, reference, opts)
+	}
+	return core.Run(e.DB, target, reference, opts)
+}
+
+// ThresholdStop builds the IDCA stop criterion for a tail predicate
+// P(DomCount < k) vs threshold tau: refinement ends as soon as the
+// bounds decide the predicate either way. It is the stop criterion all
+// threshold queries in this package install, exported for harnesses
+// that drive core.Run directly (the Figure 8 experiment).
+func ThresholdStop(k int, tau float64) func(*core.Result) bool {
+	return func(r *core.Result) bool {
+		iv := r.CDFBound(k)
+		return iv.LB >= tau || iv.UB < tau
+	}
+}
+
+// KNN answers the probabilistic threshold kNN query of Corollary 4:
+// all objects B with P(B ∈ kNN(q)) = P(DomCount(B, q) < k) >= tau.
+// It returns a Match per database object (q itself excluded, if it is a
+// database object).
+func (e *Engine) KNN(q *uncertain.Object, k int, tau float64) []Match {
+	if k < 1 {
+		return nil
+	}
+	// Candidate preselection: objects farther than the (k+1)-th
+	// smallest MaxDist are dominated at least k times in every possible
+	// world and get P = 0 without an IDCA run (see knnfilter.go).
+	norm := e.normOrDefault()
+	thresh := math.Inf(1)
+	if e.Index != nil {
+		thresh = knnPruneThreshold(e.Index, q, k, norm)
+	}
+	matches := make([]Match, 0, len(e.DB))
+	for _, b := range e.DB {
+		if b == q {
+			continue
+		}
+		if knnPrunable(b, q, thresh, norm) {
+			matches = append(matches, Match{Object: b, Decided: true})
+			continue
+		}
+		opts := e.Opts
+		opts.KMax = k
+		opts.Stop = ThresholdStop(k, tau)
+		res := e.run(b, q, opts)
+		iv := res.CDFBound(k)
+		matches = append(matches, Match{
+			Object:     b,
+			Prob:       iv,
+			IsResult:   iv.LB >= tau,
+			Decided:    iv.LB >= tau || iv.UB < tau,
+			Iterations: len(res.Iterations),
+		})
+	}
+	return matches
+}
+
+// RKNN answers the probabilistic threshold reverse kNN query of
+// Corollary 5: all objects B for which q is among B's k nearest
+// neighbors with probability at least tau, i.e.
+// P(DomCount(q, B) < k) >= tau with B as the reference.
+func (e *Engine) RKNN(q *uncertain.Object, k int, tau float64) []Match {
+	if k < 1 {
+		return nil
+	}
+	matches := make([]Match, 0, len(e.DB))
+	for _, b := range e.DB {
+		if b == q {
+			continue
+		}
+		opts := e.Opts
+		opts.KMax = k
+		opts.Stop = ThresholdStop(k, tau)
+		// Target is the query, reference is the candidate: the count is
+		// how many objects are closer to B than q is.
+		res := e.run(q, b, opts)
+		iv := res.CDFBound(k)
+		matches = append(matches, Match{
+			Object:     b,
+			Prob:       iv,
+			IsResult:   iv.LB >= tau,
+			Decided:    iv.LB >= tau || iv.UB < tau,
+			Iterations: len(res.Iterations),
+		})
+	}
+	return matches
+}
+
+// RankDistribution is the probabilistic inverse ranking result for one
+// object: bounds on P(Rank = i) for every rank (Corollary 3; ranks are
+// 1-based: P(Rank = i) = P(DomCount = i−1)).
+type RankDistribution struct {
+	// Object is the ranked object.
+	Object *uncertain.Object
+	// MinRank is the best (1-based) rank with non-zero probability.
+	MinRank int
+	// Ranks[j] bounds P(Rank = MinRank + j).
+	Ranks []gf.Interval
+	// Result carries the underlying IDCA state for further inspection.
+	Result *core.Result
+}
+
+// Bound returns the probability interval of the 1-based rank i.
+func (rd *RankDistribution) Bound(i int) gf.Interval {
+	j := i - rd.MinRank
+	if j < 0 || j >= len(rd.Ranks) {
+		return gf.Interval{}
+	}
+	return rd.Ranks[j]
+}
+
+// InverseRank computes the probabilistic inverse ranking of object b
+// with respect to reference r: the distribution of b's position in a
+// similarity ranking of the database w.r.t. r.
+func (e *Engine) InverseRank(b, r *uncertain.Object) *RankDistribution {
+	res := e.run(b, r, e.Opts)
+	ranks := make([]gf.Interval, len(res.Bounds))
+	copy(ranks, res.Bounds)
+	return &RankDistribution{
+		Object:  b,
+		MinRank: res.CountOffset() + 1,
+		Ranks:   ranks,
+		Result:  res,
+	}
+}
+
+// ExpectedRankBounds derives bounds on the expected rank
+// E[Rank] = Σ_k P(DomCount = k)·(k+1) (Corollary 6) from interval
+// bounds on the count PDF. The definite mass Σ LB_k is placed at its
+// counts; the free mass (1 − Σ LB_k) is pushed greedily to the lowest
+// counts with spare capacity (UB_k − LB_k) for the lower bound and to
+// the highest for the upper bound.
+func ExpectedRankBounds(res *core.Result) (lo, hi float64) {
+	offset := res.CountOffset()
+	nb := len(res.Bounds)
+	base, definite := 0.0, 0.0
+	for k, iv := range res.Bounds {
+		base += iv.LB * float64(offset+k+1)
+		definite += iv.LB
+	}
+	free := 1 - definite
+	if free < 0 {
+		free = 0
+	}
+	lo, hi = base, base
+	rem := free
+	for k := 0; k < nb && rem > 1e-15; k++ {
+		cap := res.Bounds[k].Width()
+		m := minFloat(cap, rem)
+		lo += m * float64(offset+k+1)
+		rem -= m
+	}
+	rem = free
+	for k := nb - 1; k >= 0 && rem > 1e-15; k-- {
+		cap := res.Bounds[k].Width()
+		m := minFloat(cap, rem)
+		hi += m * float64(offset+k+1)
+		rem -= m
+	}
+	return lo, hi
+}
+
+// Ranked is one object in an expected-rank ranking.
+type Ranked struct {
+	Object *uncertain.Object
+	// ExpectedRankLB/UB bound the expected rank of the object.
+	ExpectedRankLB, ExpectedRankUB float64
+}
+
+// RankByExpectedRank orders all database objects by (the midpoint of
+// the bounds on) their expected rank with respect to q — the expected
+// rank semantics of Cormode et al. [14] evaluated with IDCA bounds.
+func (e *Engine) RankByExpectedRank(q *uncertain.Object) []Ranked {
+	out := make([]Ranked, 0, len(e.DB))
+	for _, b := range e.DB {
+		if b == q {
+			continue
+		}
+		res := e.run(b, q, e.Opts)
+		lo, hi := ExpectedRankBounds(res)
+		out = append(out, Ranked{Object: b, ExpectedRankLB: lo, ExpectedRankUB: hi})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		mi := out[i].ExpectedRankLB + out[i].ExpectedRankUB
+		mj := out[j].ExpectedRankLB + out[j].ExpectedRankUB
+		return mi < mj
+	})
+	return out
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

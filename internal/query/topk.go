@@ -1,0 +1,160 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"probprune/internal/core"
+	"probprune/internal/geom"
+	"probprune/internal/gf"
+	"probprune/internal/uncertain"
+)
+
+// TopKNN answers the top-m probable kNN query (the semantics of
+// Beskales et al. [6], which the paper's related work motivates):
+// return the m database objects with the highest probability
+// P(DomCount(B, q) < k) of being among the k nearest neighbors of q.
+//
+// Unlike the threshold query there is no τ to stop against, so the
+// engine refines candidates selectively until the m best are separable
+// by their probability bounds: a candidate is IN once its lower bound
+// beats the upper bounds of all but < m others, OUT once its upper
+// bound falls below m lower bounds. Only candidates straddling the
+// boundary are refined further — the same bound-based pruning idea as
+// IDCA itself, lifted to the candidate set.
+//
+// The returned matches are the selected objects in decreasing order of
+// their probability bounds' midpoint. Decided is false on a candidate
+// whose membership could not be separated within the iteration budget
+// (ties or exhausted refinement); its bounds still quantify the
+// remaining ambiguity.
+func (e *Engine) TopKNN(q *uncertain.Object, k, m int) []Match {
+	if k < 1 || m < 1 {
+		return nil
+	}
+	type cand struct {
+		obj     *uncertain.Object
+		session *core.Session
+		prob    gf.Interval
+		done    bool
+	}
+	// Preselection: impossible candidates have P = 0 and can only
+	// occupy the tail; they never need a session.
+	thresh := math.Inf(1)
+	if e.Index != nil {
+		thresh = knnPruneThreshold(e.Index, q, k, e.normOrDefault())
+	}
+	var cands []*cand
+	for _, b := range e.DB {
+		if b == q {
+			continue
+		}
+		if knnPrunable(b, q, thresh, e.normOrDefault()) {
+			continue
+		}
+		opts := e.Opts
+		opts.KMax = k
+		var s *core.Session
+		if e.Index != nil {
+			s = core.NewSessionIndexed(e.Index, b, q, opts)
+		} else {
+			s = core.NewSession(e.DB, b, q, opts)
+		}
+		c := &cand{obj: b, session: s}
+		c.prob = s.Result().CDFBound(k)
+		c.done = s.Done()
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	if m > len(cands) {
+		m = len(cands)
+	}
+
+	maxIter := e.Opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = core.DefaultMaxIterations
+	}
+	// separated reports whether candidate i is decided relative to the
+	// m-boundary: IN if at most m-1 others can beat it, OUT if at least
+	// m others certainly beat it.
+	countAbove := func(i int, x float64, strictUB bool) int {
+		n := 0
+		for j, c := range cands {
+			if j == i {
+				continue
+			}
+			if strictUB {
+				if c.prob.UB > x {
+					n++
+				}
+			} else {
+				if c.prob.LB > x {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	inSet := func(i int) bool { return countAbove(i, cands[i].prob.LB, true) < m }
+	outSet := func(i int) bool { return countAbove(i, cands[i].prob.UB, false) >= m }
+
+	for round := 0; round < maxIter; round++ {
+		progressed := false
+		for i, c := range cands {
+			if c.done || inSet(i) || outSet(i) {
+				continue
+			}
+			if c.session.Step() {
+				progressed = true
+			} else {
+				c.done = true
+			}
+			c.prob = c.session.Result().CDFBound(k)
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Rank by midpoint (exact bounds collapse to the exact value),
+	// breaking ties by ID for determinism.
+	sort.SliceStable(cands, func(a, b int) bool {
+		ma := cands[a].prob.LB + cands[a].prob.UB
+		mb := cands[b].prob.LB + cands[b].prob.UB
+		if ma != mb {
+			return ma > mb
+		}
+		return cands[a].obj.ID < cands[b].obj.ID
+	})
+	out := make([]Match, 0, m)
+	for i := 0; i < m; i++ {
+		c := cands[i]
+		// The selection is decided when no outside candidate's upper
+		// bound can displace this candidate's lower bound.
+		decided := true
+		for j := m; j < len(cands); j++ {
+			if cands[j].prob.UB > c.prob.LB {
+				decided = false
+				break
+			}
+		}
+		out = append(out, Match{
+			Object:     c.obj,
+			Prob:       c.prob,
+			IsResult:   true,
+			Decided:    decided,
+			Iterations: len(c.session.Result().Iterations),
+		})
+	}
+	return out
+}
+
+// normOrDefault returns the engine's configured norm or L2.
+func (e *Engine) normOrDefault() geom.Norm {
+	if e.Opts.Norm.Valid() {
+		return e.Opts.Norm
+	}
+	return geom.L2
+}

@@ -1,0 +1,430 @@
+// Package rtree implements a classic Guttman R-tree with quadratic
+// splits over axis-aligned rectangles. The pruning framework uses it as
+// its spatial index substrate: the minimum bounding rectangles of
+// uncertain objects are indexed, and the complete-domination filter of
+// the paper walks the tree pruning whole subtrees at node granularity —
+// the index integration the paper names as future work (Section VIII).
+//
+// The domination criterion is monotone in the rectangle arguments
+// (shrinking the candidate region can only help it dominate, and can
+// only help it be dominated), so a verdict established for a node MBR
+// transfers to every object stored beneath it. Walk exposes exactly the
+// traversal contract this needs.
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"probprune/internal/geom"
+)
+
+// Degree bounds for nodes: every node except the root holds between
+// minEntries and maxEntries entries.
+const (
+	maxEntries = 16
+	minEntries = 6
+)
+
+// Tree is an R-tree mapping rectangles to values of type T. The zero
+// value is not usable; construct with New.
+type Tree[T comparable] struct {
+	root *node[T]
+	size int
+}
+
+type entry[T comparable] struct {
+	rect  geom.Rect
+	child *node[T] // non-nil for internal entries
+	value T        // set for leaf entries
+}
+
+type node[T comparable] struct {
+	leaf    bool
+	entries []entry[T]
+	count   int // number of values stored in this subtree
+}
+
+// New returns an empty tree.
+func New[T comparable]() *Tree[T] {
+	return &Tree[T]{root: &node[T]{leaf: true}}
+}
+
+// Len returns the number of stored values.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Insert adds value under the given bounding rectangle. Duplicate
+// rectangles and values are allowed.
+func (t *Tree[T]) Insert(rect geom.Rect, value T) {
+	e := entry[T]{rect: rect.Clone(), value: value}
+	split := t.insert(t.root, e)
+	if split != nil {
+		// Root split: grow the tree by one level.
+		old := t.root
+		t.root = &node[T]{
+			leaf: false,
+			entries: []entry[T]{
+				{rect: nodeRect(old), child: old},
+				{rect: nodeRect(split), child: split},
+			},
+			count: old.count + split.count,
+		}
+	}
+	t.size++
+}
+
+// insert places e into the subtree under n, returning a new sibling if
+// n had to split.
+func (t *Tree[T]) insert(n *node[T], e entry[T]) *node[T] {
+	n.count++
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > maxEntries {
+			return t.split(n)
+		}
+		return nil
+	}
+	best := chooseSubtree(n, e.rect)
+	child := n.entries[best].child
+	split := t.insert(child, e)
+	if split != nil {
+		// The child's entries were redistributed: recompute its MBR
+		// tightly instead of unioning in the new rectangle.
+		n.entries[best].rect = nodeRect(child)
+		n.entries = append(n.entries, entry[T]{rect: nodeRect(split), child: split})
+		if len(n.entries) > maxEntries {
+			return t.split(n)
+		}
+	} else {
+		n.entries[best].rect = n.entries[best].rect.Union(e.rect)
+	}
+	return nil
+}
+
+// chooseSubtree picks the child whose MBR needs the least enlargement
+// to cover r, breaking ties by smaller area (Guttman's ChooseLeaf).
+func chooseSubtree[T comparable](n *node[T], r geom.Rect) int {
+	best := 0
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for i, e := range n.entries {
+		area := e.rect.Area()
+		enl := e.rect.Union(r).Area() - area
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// split performs Guttman's quadratic split on an overflowing node,
+// keeping one group in n and returning the other as a new node.
+func (t *Tree[T]) split(n *node[T]) *node[T] {
+	entries := n.entries
+	// Pick the two seeds wasting the most area if grouped together.
+	s1, s2 := pickSeeds(entries)
+	g1 := []entry[T]{entries[s1]}
+	g2 := []entry[T]{entries[s2]}
+	r1, r2 := entries[s1].rect, entries[s2].rect
+	rest := make([]entry[T], 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must take all remaining entries to reach the
+		// minimum, assign them wholesale.
+		if len(g1)+len(rest) <= minEntries {
+			g1 = append(g1, rest...)
+			for _, e := range rest {
+				r1 = r1.Union(e.rect)
+			}
+			break
+		}
+		if len(g2)+len(rest) <= minEntries {
+			g2 = append(g2, rest...)
+			for _, e := range rest {
+				r2 = r2.Union(e.rect)
+			}
+			break
+		}
+		// PickNext: the entry with the strongest preference.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			d1 := r1.Union(e.rect).Area() - r1.Area()
+			d2 := r2.Union(e.rect).Area() - r2.Area()
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		d1 := r1.Union(e.rect).Area() - r1.Area()
+		d2 := r2.Union(e.rect).Area() - r2.Area()
+		if d1 < d2 || (d1 == d2 && len(g1) <= len(g2)) {
+			g1 = append(g1, e)
+			r1 = r1.Union(e.rect)
+		} else {
+			g2 = append(g2, e)
+			r2 = r2.Union(e.rect)
+		}
+	}
+	n.entries = g1
+	n.count = groupCount(n.leaf, g1)
+	sib := &node[T]{leaf: n.leaf, entries: g2, count: groupCount(n.leaf, g2)}
+	return sib
+}
+
+func groupCount[T comparable](leaf bool, g []entry[T]) int {
+	if leaf {
+		return len(g)
+	}
+	c := 0
+	for _, e := range g {
+		c += e.child.count
+	}
+	return c
+}
+
+func pickSeeds[T comparable](entries []entry[T]) (int, int) {
+	s1, s2, worst := 0, 1, -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			u := entries[i].rect.Union(entries[j].rect).Area()
+			waste := u - entries[i].rect.Area() - entries[j].rect.Area()
+			if waste > worst {
+				s1, s2, worst = i, j, waste
+			}
+		}
+	}
+	return s1, s2
+}
+
+func nodeRect[T comparable](n *node[T]) geom.Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// SearchIntersect calls fn for every stored value whose rectangle
+// intersects query. Traversal stops early if fn returns false.
+func (t *Tree[T]) SearchIntersect(query geom.Rect, fn func(rect geom.Rect, value T) bool) {
+	t.searchIntersect(t.root, query, fn)
+}
+
+func (t *Tree[T]) searchIntersect(n *node[T], query geom.Rect, fn func(geom.Rect, T) bool) bool {
+	for _, e := range n.entries {
+		if !e.rect.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.rect, e.value) {
+				return false
+			}
+		} else if !t.searchIntersect(e.child, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// WalkAction is the verdict a Walk node callback returns for a subtree.
+type WalkAction int
+
+const (
+	// Descend continues into the subtree's children.
+	Descend WalkAction = iota
+	// SkipSubtree prunes the subtree without visiting any value in it.
+	SkipSubtree
+	// TakeSubtree accepts every value in the subtree: leaf is invoked
+	// for each without further node callbacks.
+	TakeSubtree
+)
+
+// Walk traverses the tree top-down. For every node (including leaf
+// nodes), node is called with the node's MBR and the number of values
+// beneath it, and its verdict controls descent. leaf is called for
+// every value that is reached (via Descend into a leaf node, or via
+// TakeSubtree). Either callback may be nil.
+//
+// This is the primitive the bulk complete-domination filter builds on:
+// a node whose MBR is dominated by the target w.r.t. the reference is
+// SkipSubtree'd; a node whose MBR dominates the target is counted via
+// the count argument and SkipSubtree'd; everything else descends.
+func (t *Tree[T]) Walk(node func(mbr geom.Rect, count int) WalkAction, leaf func(rect geom.Rect, value T)) {
+	if t.size == 0 {
+		return
+	}
+	t.walk(t.root, nodeRect(t.root), node, leaf)
+}
+
+func (t *Tree[T]) walk(n *node[T], mbr geom.Rect, nodeFn func(geom.Rect, int) WalkAction, leafFn func(geom.Rect, T)) {
+	action := Descend
+	if nodeFn != nil {
+		action = nodeFn(mbr, n.count)
+	}
+	switch action {
+	case SkipSubtree:
+		return
+	case TakeSubtree:
+		t.emitAll(n, leafFn)
+	default:
+		for _, e := range n.entries {
+			if n.leaf {
+				if leafFn != nil {
+					leafFn(e.rect, e.value)
+				}
+			} else {
+				t.walk(e.child, e.rect, nodeFn, leafFn)
+			}
+		}
+	}
+}
+
+func (t *Tree[T]) emitAll(n *node[T], leafFn func(geom.Rect, T)) {
+	if leafFn == nil {
+		return
+	}
+	for _, e := range n.entries {
+		if n.leaf {
+			leafFn(e.rect, e.value)
+		} else {
+			t.emitAll(e.child, leafFn)
+		}
+	}
+}
+
+// Delete removes one entry with the given rectangle and value, and
+// reports whether an entry was found. Underflowing nodes are condensed
+// and their remaining entries reinserted (Guttman's CondenseTree).
+func (t *Tree[T]) Delete(rect geom.Rect, value T) bool {
+	var orphans []entry[T]
+	found, _ := t.delete(t.root, rect, value, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	// Collapse a root with a single internal child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node[T]{leaf: true}
+	}
+	for _, e := range orphans {
+		if e.child != nil {
+			t.reinsertSubtree(e.child)
+		} else {
+			t.size-- // Insert will re-increment
+			t.Insert(e.rect, e.value)
+		}
+	}
+	return true
+}
+
+func (t *Tree[T]) reinsertSubtree(n *node[T]) {
+	if n.leaf {
+		for _, e := range n.entries {
+			t.size--
+			t.Insert(e.rect, e.value)
+		}
+		return
+	}
+	for _, e := range n.entries {
+		t.reinsertSubtree(e.child)
+	}
+}
+
+// delete removes the matching value from the subtree under n. It
+// returns whether the value was found and how many values left the
+// subtree (the deleted one plus any orphaned by condensing, which the
+// caller reinserts from the top).
+func (t *Tree[T]) delete(n *node[T], rect geom.Rect, value T, orphans *[]entry[T]) (bool, int) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.value == value && e.rect.Equal(rect) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				n.count--
+				return true, 1
+			}
+		}
+		return false, 0
+	}
+	for i, e := range n.entries {
+		if !e.rect.ContainsRect(rect) {
+			continue
+		}
+		found, removed := t.delete(e.child, rect, value, orphans)
+		if !found {
+			continue
+		}
+		if len(e.child.entries) < minEntries {
+			// Condense: orphan the underflowing child's remaining
+			// entries; their values also leave this subtree until the
+			// top-level reinsertion puts them back.
+			removed += e.child.count
+			*orphans = append(*orphans, e.child.entries...)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			n.entries[i].rect = nodeRect(e.child)
+		}
+		n.count -= removed
+		return true, removed
+	}
+	return false, 0
+}
+
+// All calls fn for every stored (rect, value) pair.
+func (t *Tree[T]) All(fn func(rect geom.Rect, value T)) {
+	t.emitAll(t.root, fn)
+}
+
+// CheckInvariants validates structural invariants (entry counts, MBR
+// containment, subtree counts); it is exported for tests.
+func (t *Tree[T]) CheckInvariants() error {
+	n, err := t.check(t.root, true)
+	if err != nil {
+		return err
+	}
+	if n != t.size {
+		return fmt.Errorf("rtree: size %d but %d reachable values", t.size, n)
+	}
+	return nil
+}
+
+func (t *Tree[T]) check(n *node[T], isRoot bool) (int, error) {
+	if !isRoot && (len(n.entries) < minEntries || len(n.entries) > maxEntries) {
+		return 0, fmt.Errorf("rtree: node with %d entries outside [%d, %d]", len(n.entries), minEntries, maxEntries)
+	}
+	if n.leaf {
+		if n.count != len(n.entries) {
+			return 0, fmt.Errorf("rtree: leaf count %d != %d entries", n.count, len(n.entries))
+		}
+		return len(n.entries), nil
+	}
+	total := 0
+	for _, e := range n.entries {
+		sub := nodeRect(e.child)
+		if !e.rect.ContainsRect(sub) {
+			return 0, fmt.Errorf("rtree: entry MBR %v does not contain child MBR %v", e.rect, sub)
+		}
+		c, err := t.check(e.child, false)
+		if err != nil {
+			return 0, err
+		}
+		if c != e.child.count {
+			return 0, fmt.Errorf("rtree: child count %d != %d reachable", e.child.count, c)
+		}
+		total += c
+	}
+	if n.count != total {
+		return 0, fmt.Errorf("rtree: node count %d != %d reachable", n.count, total)
+	}
+	return total, nil
+}

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad hardens the dataset decoder: arbitrary input must produce an
+// error or a valid database, never a panic or a hang. The seed corpus
+// includes a genuine dataset so the fuzzer explores deep into the
+// decoding path.
+func FuzzLoad(f *testing.F) {
+	db, err := Synthetic(SyntheticConfig{N: 3, Samples: 4, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, db); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("\x1f\x8bgarbage"))
+	f.Add(buf.Bytes()[:buf.Len()/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that decodes must be structurally valid.
+		for i, o := range got {
+			if o == nil || o.NumSamples() == 0 {
+				t.Fatalf("decoded object %d invalid", i)
+			}
+			total := 0.0
+			for j := range o.Samples {
+				if !o.MBR.Contains(o.Samples[j]) {
+					t.Fatalf("object %d sample %d outside its MBR", i, j)
+				}
+				total += o.Weight(j)
+			}
+			if total < 1-1e-6 || total > 1+1e-6 {
+				t.Fatalf("object %d weights sum to %g", i, total)
+			}
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"probprune/internal/geom"
+	"probprune/internal/uncertain"
+)
+
+// The on-disk dataset format: a gob stream of flatObject records,
+// gzip-compressed. The format is internal to this repository's tools
+// (cmd/udbgen writes it, cmd/udbquery and cmd/experiments read it).
+
+type flatObject struct {
+	ID        int
+	Samples   []geom.Point
+	Weights   []float64
+	Existence float64
+}
+
+type fileHeader struct {
+	Magic   string
+	Version int
+	Count   int
+}
+
+const (
+	fileMagic   = "probprune-db"
+	fileVersion = 1
+)
+
+// Save writes the database to w.
+func Save(w io.Writer, db uncertain.Database) error {
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(fileHeader{Magic: fileMagic, Version: fileVersion, Count: len(db)}); err != nil {
+		return fmt.Errorf("workload: encoding header: %w", err)
+	}
+	for _, o := range db {
+		f := flatObject{ID: o.ID, Samples: o.Samples, Weights: o.Weights, Existence: o.Existence}
+		if err := enc.Encode(f); err != nil {
+			return fmt.Errorf("workload: encoding object %d: %w", o.ID, err)
+		}
+	}
+	return zw.Close()
+}
+
+// Load reads a database written by Save.
+func Load(r io.Reader) (uncertain.Database, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: opening stream: %w", err)
+	}
+	defer zr.Close()
+	dec := gob.NewDecoder(zr)
+	var hdr fileHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("workload: decoding header: %w", err)
+	}
+	if hdr.Magic != fileMagic {
+		return nil, fmt.Errorf("workload: not a probprune database file")
+	}
+	if hdr.Version != fileVersion {
+		return nil, fmt.Errorf("workload: unsupported version %d", hdr.Version)
+	}
+	if hdr.Count < 0 {
+		return nil, fmt.Errorf("workload: negative object count %d", hdr.Count)
+	}
+	// The count is attacker-controlled until the stream is verified:
+	// never pre-allocate more than a sane chunk up front; append grows
+	// the slice as objects actually decode.
+	capHint := hdr.Count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	db := make(uncertain.Database, 0, capHint)
+	for i := 0; i < hdr.Count; i++ {
+		var f flatObject
+		if err := dec.Decode(&f); err != nil {
+			return nil, fmt.Errorf("workload: decoding object %d: %w", i, err)
+		}
+		obj, err := uncertain.NewWeightedObject(f.ID, f.Samples, f.Weights)
+		if err != nil {
+			return nil, fmt.Errorf("workload: object %d invalid: %w", i, err)
+		}
+		if f.Existence != 0 {
+			if err := obj.SetExistence(f.Existence); err != nil {
+				return nil, fmt.Errorf("workload: object %d: %w", i, err)
+			}
+		}
+		db = append(db, obj)
+	}
+	// Drain to EOF so the gzip trailer (checksum) is verified; a
+	// truncated or corrupted stream must not load silently.
+	switch _, err := io.ReadFull(zr, make([]byte, 1)); err {
+	case io.EOF:
+		return db, nil
+	case nil:
+		return nil, fmt.Errorf("workload: trailing data after %d objects", hdr.Count)
+	default:
+		return nil, fmt.Errorf("workload: verifying stream: %w", err)
+	}
+}
+
+// SaveFile writes the database to path.
+func SaveFile(path string, db uncertain.Database) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a database from path.
+func LoadFile(path string) (uncertain.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,237 @@
+// Package workload generates the datasets of the paper's evaluation
+// (Section VII) and the query workloads run against them.
+//
+// Two dataset families are provided:
+//
+//   - Synthetic: N objects modeled as d-dimensional rectangles with
+//     uniformly distributed centers and uniformly random relative
+//     extents up to a maximum (the paper: 10,000 2-D rectangles, max
+//     extent 0.004, uniform object PDFs).
+//
+//   - IcebergSim: a simulation of the International Ice Patrol (IIP)
+//     Iceberg Sightings dataset the paper uses (6,216 sightings in the
+//     North Atlantic in 2009). The real dataset is not redistributable
+//     here, so the generator reproduces its statistical shape: sighting
+//     positions clustered along the Labrador-current corridor (a
+//     Gaussian-mixture band), Gaussian positional uncertainty whose
+//     magnitude grows with the time since the latest sighting, extents
+//     normalized to the data space with maximum 0.0004. See DESIGN.md
+//     ("Substitutions") for why this preserves the experiments'
+//     behaviour.
+//
+// The paper's query convention is also implemented: for each query, an
+// uncertain reference object R is drawn, and the target B is the
+// object with the j-th smallest MinDist to R (default j = 10).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"probprune/internal/geom"
+	"probprune/internal/uncertain"
+)
+
+// SyntheticConfig parameterizes the synthetic rectangle dataset.
+type SyntheticConfig struct {
+	// N is the number of objects (paper default: 10,000).
+	N int
+	// Dim is the dimensionality (paper: 2).
+	Dim int
+	// MaxExtent is the maximum relative side length of an object's
+	// uncertainty region (paper default: 0.004 of the unit space).
+	MaxExtent float64
+	// Samples is the number of discrete samples per object (paper
+	// default: 1000).
+	Samples int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c SyntheticConfig) withDefaults() SyntheticConfig {
+	if c.N <= 0 {
+		c.N = 10000
+	}
+	if c.Dim <= 0 {
+		c.Dim = 2
+	}
+	if c.MaxExtent <= 0 {
+		c.MaxExtent = 0.004
+	}
+	if c.Samples <= 0 {
+		c.Samples = 1000
+	}
+	return c
+}
+
+// Synthetic generates the synthetic dataset: uniform centers in the
+// unit cube, uniform extents in (0, MaxExtent], uniform object PDFs.
+func Synthetic(c SyntheticConfig) (uncertain.Database, error) {
+	c = c.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	db := make(uncertain.Database, 0, c.N)
+	for i := 0; i < c.N; i++ {
+		center := make(geom.Point, c.Dim)
+		ext := make([]float64, c.Dim)
+		for d := 0; d < c.Dim; d++ {
+			center[d] = rng.Float64()
+			ext[d] = rng.Float64() * c.MaxExtent
+		}
+		region := geom.RectAround(center, ext)
+		obj, err := uncertain.Realize(i, uncertain.UniformBox{Rect: region}, c.Samples, rng)
+		if err != nil {
+			return nil, fmt.Errorf("workload: synthetic object %d: %w", i, err)
+		}
+		db = append(db, obj)
+	}
+	return db, nil
+}
+
+// IcebergConfig parameterizes the iceberg sightings simulation.
+type IcebergConfig struct {
+	// N is the number of sightings (paper: 6,216).
+	N int
+	// Samples is the number of discrete samples per object.
+	Samples int
+	// MaxExtent is the maximum normalized extent (paper: 0.0004).
+	MaxExtent float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c IcebergConfig) withDefaults() IcebergConfig {
+	if c.N <= 0 {
+		c.N = 6216
+	}
+	if c.Samples <= 0 {
+		c.Samples = 1000
+	}
+	if c.MaxExtent <= 0 {
+		c.MaxExtent = 0.0004
+	}
+	return c
+}
+
+// icebergClusters are mixture components tracing the iceberg corridor
+// off Newfoundland and Labrador in normalized [0,1]² coordinates: a
+// south-east drifting band, denser in the north, as in the IIP data.
+var icebergClusters = []struct {
+	cx, cy, sx, sy, w float64
+}{
+	{0.30, 0.85, 0.04, 0.06, 3.0},
+	{0.35, 0.70, 0.05, 0.07, 2.5},
+	{0.42, 0.55, 0.06, 0.07, 2.0},
+	{0.50, 0.42, 0.07, 0.06, 1.5},
+	{0.58, 0.32, 0.07, 0.05, 1.0},
+	{0.68, 0.25, 0.08, 0.05, 0.7},
+	{0.78, 0.20, 0.08, 0.04, 0.4},
+}
+
+// IcebergSim generates the simulated iceberg dataset: clustered
+// sighting positions, per-object truncated-Gaussian uncertainty whose
+// extent scales with a simulated time-since-sighting.
+func IcebergSim(c IcebergConfig) (uncertain.Database, error) {
+	c = c.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	totalW := 0.0
+	for _, cl := range icebergClusters {
+		totalW += cl.w
+	}
+	db := make(uncertain.Database, 0, c.N)
+	for i := 0; i < c.N; i++ {
+		// Draw the sighting position from the mixture band.
+		u := rng.Float64() * totalW
+		var cx, cy, sx, sy float64
+		for _, cl := range icebergClusters {
+			u -= cl.w
+			if u <= 0 {
+				cx, cy, sx, sy = cl.cx, cl.cy, cl.sx, cl.sy
+				break
+			}
+		}
+		mean := geom.Point{
+			clamp01(cx + rng.NormFloat64()*sx),
+			clamp01(cy + rng.NormFloat64()*sy),
+		}
+		// The positional uncertainty grows with the days since the
+		// latest sighting; age^1 scaling, normalized so that the oldest
+		// sighting reaches MaxExtent.
+		age := rng.Float64()
+		extent := c.MaxExtent * (0.1 + 0.9*age)
+		region := geom.RectAround(mean, []float64{extent, extent})
+		sigma := extent / 4 // ±2σ covered by the region
+		pdf := uncertain.TruncatedGaussian{
+			Mean:   mean,
+			Sigma:  []float64{sigma, sigma},
+			Region: region,
+		}
+		obj, err := uncertain.Realize(i, pdf, c.Samples, rng)
+		if err != nil {
+			return nil, fmt.Errorf("workload: iceberg object %d: %w", i, err)
+		}
+		db = append(db, obj)
+	}
+	return db, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Query is one evaluation query: an uncertain reference object R and
+// the target object B drawn from the database.
+type Query struct {
+	// Reference is the uncertain query/reference object R.
+	Reference *uncertain.Object
+	// Target is the database object B whose domination count is
+	// approximated.
+	Target *uncertain.Object
+}
+
+// Queries derives q evaluation queries from db following the paper's
+// convention: the reference is a randomly drawn database object, and
+// the target is the object with the rank-th smallest MinDist to the
+// reference (paper default rank = 10). The reference object itself is
+// excluded from target selection.
+func Queries(db uncertain.Database, q, rank int, n geom.Norm, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Query, 0, q)
+	for len(out) < q {
+		ref := db[rng.Intn(len(db))]
+		target := NthNearest(db, ref, rank, n)
+		if target == nil {
+			continue
+		}
+		out = append(out, Query{Reference: ref, Target: target})
+	}
+	return out
+}
+
+// NthNearest returns the database object with the rank-th smallest
+// MinDist to the reference's MBR (1-based), excluding the reference
+// itself; nil if the database is too small.
+func NthNearest(db uncertain.Database, ref *uncertain.Object, rank int, n geom.Norm) *uncertain.Object {
+	type cand struct {
+		obj *uncertain.Object
+		d   float64
+	}
+	cands := make([]cand, 0, len(db))
+	for _, o := range db {
+		if o == ref {
+			continue
+		}
+		cands = append(cands, cand{obj: o, d: o.MBR.MinDistRect(n, ref.MBR)})
+	}
+	if rank < 1 || rank > len(cands) {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	return cands[rank-1].obj
+}

@@ -1,0 +1,263 @@
+// Package probprune is a Go implementation of the probabilistic pruning
+// framework of Bernecker, Emrich, Kriegel, Mamoulis, Renz and Züfle,
+// "A Novel Probabilistic Pruning Approach to Speed Up Similarity
+// Queries in Uncertain Databases" (ICDE 2011).
+//
+// The library answers probabilistic similarity queries — threshold
+// k-nearest-neighbor, threshold reverse kNN, probabilistic inverse
+// ranking and expected-rank ranking — over databases of uncertain
+// objects, i.e. objects whose position is a bounded random variable.
+// Instead of integrating probability densities, it computes
+// conservative and progressive bounds on the probabilistic domination
+// count of an object (how many database objects are closer to an
+// uncertain reference than it is) and refines those bounds iteratively
+// until the query predicate is decided. The bounds are correct under
+// possible-world semantics at every step.
+//
+// The three ingredients, each usable on its own:
+//
+//   - a tight geometric domination criterion on rectangular uncertainty
+//     regions (Dominates), stronger than min/max distance pruning;
+//   - uncertain generating functions that turn per-candidate
+//     probability intervals into domination count bounds;
+//   - the IDCA refinement loop (Run/RunIndexed) combining both with
+//     kd-tree object decomposition.
+//
+// # Quick start
+//
+//	db, _ := probprune.Synthetic(probprune.SyntheticConfig{N: 1000, Samples: 100, Seed: 1})
+//	engine := probprune.NewEngine(db, probprune.Options{MaxIterations: 6})
+//	q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
+//	for _, m := range engine.KNN(q, 5, 0.5) {
+//	    if m.IsResult {
+//	        fmt.Println(m.Object.ID, m.Prob)
+//	    }
+//	}
+//
+// The examples/ directory contains runnable end-to-end scenarios and
+// cmd/experiments regenerates the paper's evaluation figures.
+package probprune
+
+import (
+	"math/rand"
+
+	"probprune/internal/core"
+	"probprune/internal/geom"
+	"probprune/internal/gf"
+	"probprune/internal/mc"
+	"probprune/internal/query"
+	"probprune/internal/rtree"
+	"probprune/internal/uncertain"
+	"probprune/internal/workload"
+)
+
+// Geometry primitives.
+type (
+	// Point is a location in d-dimensional space.
+	Point = geom.Point
+	// Rect is an axis-aligned uncertainty region.
+	Rect = geom.Rect
+	// Norm is an Lp norm; the zero value is invalid, use L1/L2/LInf.
+	Norm = geom.Norm
+	// Criterion selects the complete-domination decision procedure.
+	Criterion = geom.Criterion
+)
+
+// The standard norms and criteria.
+var (
+	L1   = geom.L1
+	L2   = geom.L2
+	LInf = geom.LInf
+)
+
+// Domination criteria: Optimal is the paper's tight criterion, MinMax
+// the classical baseline.
+const (
+	Optimal = geom.Optimal
+	MinMax  = geom.MinMax
+)
+
+// Uncertain data model.
+type (
+	// Object is an uncertain database object (discrete sample model).
+	Object = uncertain.Object
+	// Database is an ordered collection of uncertain objects.
+	Database = uncertain.Database
+	// PDF is a bounded continuous density usable with Realize.
+	PDF = uncertain.PDF
+	// UniformBox is the uniform density over a rectangle.
+	UniformBox = uncertain.UniformBox
+	// TruncatedGaussian is a Gaussian truncated to a region.
+	TruncatedGaussian = uncertain.TruncatedGaussian
+	// Mixture is a finite mixture of densities.
+	Mixture = uncertain.Mixture
+	// PointMass is the degenerate density of a certain object.
+	PointMass = uncertain.PointMass
+)
+
+// NewObject builds an uncertain object from equally likely alternative
+// positions.
+func NewObject(id int, samples []Point) (*Object, error) {
+	return uncertain.NewObject(id, samples)
+}
+
+// NewWeightedObject builds an uncertain object from weighted
+// alternative positions.
+func NewWeightedObject(id int, samples []Point, weights []float64) (*Object, error) {
+	return uncertain.NewWeightedObject(id, samples, weights)
+}
+
+// PointObject builds a certain (degenerate) object at p.
+func PointObject(id int, p Point) *Object {
+	return uncertain.PointObject(id, p)
+}
+
+// Realize materializes a continuous density into an n-sample object.
+func Realize(id int, pdf PDF, n int, rng *rand.Rand) (*Object, error) {
+	return uncertain.Realize(id, pdf, n, rng)
+}
+
+// Domination and bounds.
+type (
+	// Interval is a [lower, upper] probability bound pair.
+	Interval = gf.Interval
+	// Options configures IDCA runs; see the field documentation in
+	// internal/core for the paper sections each knob maps to.
+	Options = core.Options
+	// Result is the state of an IDCA computation: domination-count
+	// bounds, filter statistics and per-iteration progress.
+	Result = core.Result
+	// Session is an incremental IDCA computation stepped by the caller.
+	Session = core.Session
+	// Index is an R-tree over object MBRs accelerating the filter step.
+	Index = rtree.Tree[*uncertain.Object]
+)
+
+// Dominates reports whether uncertainty region a completely dominates b
+// w.r.t. reference region r under norm n — the tight criterion of the
+// paper (Corollary 1, after Emrich et al. SIGMOD'10).
+func Dominates(n Norm, a, b, r Rect) bool {
+	return geom.Dominates(n, a, b, r)
+}
+
+// DominatesMinMax is the classical min/max-distance criterion, provided
+// as the comparison baseline.
+func DominatesMinMax(n Norm, a, b, r Rect) bool {
+	return geom.DominatesMinMax(n, a, b, r)
+}
+
+// Run executes the iterative domination count approximation for target
+// w.r.t. reference over db. See Options for stop criteria.
+func Run(db Database, target, reference *Object, opts Options) *Result {
+	return core.Run(db, target, reference, opts)
+}
+
+// RunIndexed is Run with the complete-domination filter pushed into an
+// R-tree index.
+func RunIndexed(index *Index, target, reference *Object, opts Options) *Result {
+	return core.RunIndexed(index, target, reference, opts)
+}
+
+// NewIndex builds an R-tree over the database objects' MBRs.
+func NewIndex(db Database) *Index {
+	idx := rtree.New[*uncertain.Object]()
+	for _, o := range db {
+		idx.Insert(o.MBR, o)
+	}
+	return idx
+}
+
+// NewSession prepares an incremental IDCA computation: the filter runs
+// immediately, refinement happens on explicit Step calls.
+func NewSession(db Database, target, reference *Object, opts Options) *Session {
+	return core.NewSession(db, target, reference, opts)
+}
+
+// NewSessionIndexed is NewSession with the filter pushed into an
+// R-tree index.
+func NewSessionIndexed(index *Index, target, reference *Object, opts Options) *Session {
+	return core.NewSessionIndexed(index, target, reference, opts)
+}
+
+// Queries.
+type (
+	// Engine evaluates probabilistic similarity queries.
+	Engine = query.Engine
+	// Match is one candidate's outcome in a threshold query.
+	Match = query.Match
+	// RankDistribution is a probabilistic inverse ranking result.
+	RankDistribution = query.RankDistribution
+	// Ranked is one object in an expected-rank ranking.
+	Ranked = query.Ranked
+)
+
+// NewEngine builds a query engine with an R-tree index over db.
+func NewEngine(db Database, opts Options) *Engine {
+	return query.NewEngine(db, opts)
+}
+
+// ThresholdStop builds the IDCA stop criterion for the tail predicate
+// P(DomCount < k) versus threshold tau.
+func ThresholdStop(k int, tau float64) func(*Result) bool {
+	return query.ThresholdStop(k, tau)
+}
+
+// ExpectedRankBounds derives bounds on the expected rank from an IDCA
+// result (Corollary 6).
+func ExpectedRankBounds(res *Result) (lo, hi float64) {
+	return query.ExpectedRankBounds(res)
+}
+
+// Ground truth (exact computation on the discrete sample model).
+
+// ExactDomCountPDF computes the exact domination count PDF of b w.r.t.
+// r over the candidate objects — the Monte-Carlo comparison partner of
+// the paper, exact on the sample model. It is exponentially cheaper
+// than possible-world enumeration but still far slower than Run; use it
+// for validation, not for queries.
+func ExactDomCountPDF(n Norm, cands []*Object, b, r *Object, kMax int) []float64 {
+	return mc.DomCountPDF(n, cands, b, r, kMax)
+}
+
+// ExactPDom computes the exact probability that a is closer to r than b
+// on the discrete sample model.
+func ExactPDom(n Norm, a, b, r *Object) float64 {
+	return mc.PDom(n, a, b, r)
+}
+
+// Workloads and persistence.
+type (
+	// SyntheticConfig parameterizes the synthetic rectangle dataset of
+	// the paper's evaluation.
+	SyntheticConfig = workload.SyntheticConfig
+	// IcebergConfig parameterizes the iceberg-sightings simulation.
+	IcebergConfig = workload.IcebergConfig
+	// Query is an evaluation query (reference + target).
+	Query = workload.Query
+)
+
+// Synthetic generates the synthetic dataset of Section VII.
+func Synthetic(c SyntheticConfig) (Database, error) {
+	return workload.Synthetic(c)
+}
+
+// IcebergSim generates the simulated iceberg sightings dataset.
+func IcebergSim(c IcebergConfig) (Database, error) {
+	return workload.IcebergSim(c)
+}
+
+// SaveFile persists a database to path (gob, gzip-compressed).
+func SaveFile(path string, db Database) error {
+	return workload.SaveFile(path, db)
+}
+
+// LoadFile reads a database written by SaveFile.
+func LoadFile(path string) (Database, error) {
+	return workload.LoadFile(path)
+}
+
+// Queries derives evaluation queries following the paper's convention
+// (reference drawn from db, target = rank-th nearest by MinDist).
+func Queries(db Database, q, rank int, n Norm, seed int64) []Query {
+	return workload.Queries(db, q, rank, n, seed)
+}
