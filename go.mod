@@ -1,0 +1,3 @@
+module probprune
+
+go 1.24

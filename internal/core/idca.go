@@ -67,8 +67,28 @@ type Options struct {
 	// uncertain package default.
 	MaxHeight int
 	// Parallelism > 1 evaluates (B', R') partition pairs on that many
-	// goroutines. Results are deterministic for a fixed value.
+	// goroutines. Results are deterministic for a fixed value. The query
+	// engine consumes this knob at a higher level — as its candidate
+	// worker count — and runs each candidate's pairs sequentially.
 	Parallelism int
+	// SharedTarget and SharedReference optionally supply pre-built,
+	// concurrency-safe decompositions (NewRefDecomp) of the run's target
+	// and reference objects. A run whose operand is pointer-identical to
+	// the RefDecomp's object reads the shared per-level partitions
+	// instead of decomposing a private copy — the saving that makes
+	// many-candidate queries against one reference cheap. Non-matching
+	// operands ignore the field. The bounds are bit-identical either
+	// way; the shared structure should be built with the same MaxHeight
+	// as the runs that use it.
+	SharedTarget    *RefDecomp
+	SharedReference *RefDecomp
+	// SharedDecomps, when non-nil, shares ALL object decompositions —
+	// operands and influence objects alike — across every run handed
+	// the same cache: each object is decomposed at most once per cache
+	// lifetime instead of once per run it appears in. The query engine
+	// installs a fresh cache per query. Explicit SharedTarget and
+	// SharedReference entries take precedence for their objects.
+	SharedDecomps *DecompCache
 	// Adaptive enables the refinement heuristic: candidates whose
 	// aggregated domination interval is narrower than AdaptiveEps stop
 	// being decomposed further, concentrating work on the candidates
@@ -246,7 +266,7 @@ func (o *Options) adaptiveEps() float64 {
 // IndexTree is the R-tree type the indexed entry points accept.
 type IndexTree = *rtree.Tree[*uncertain.Object]
 
-func filterLinear(db uncertain.Database, target, reference *uncertain.Object, opts Options) (*Result, []*uncertain.DecompTree) {
+func filterLinear(db uncertain.Database, target, reference *uncertain.Object, opts Options) (*Result, []partitionSource) {
 	res := newResult(target, reference, opts)
 	n := opts.norm()
 	for _, a := range db {
@@ -256,10 +276,10 @@ func filterLinear(db uncertain.Database, target, reference *uncertain.Object, op
 		classifyInto(res, n, opts.Criterion, a)
 	}
 	finishFilter(res, opts)
-	return res, influenceTrees(res, opts)
+	return res, influenceSources(res, opts)
 }
 
-func filterIndexed(index *rtree.Tree[*uncertain.Object], target, reference *uncertain.Object, opts Options) (*Result, []*uncertain.DecompTree) {
+func filterIndexed(index *rtree.Tree[*uncertain.Object], target, reference *uncertain.Object, opts Options) (*Result, []partitionSource) {
 	res := newResult(target, reference, opts)
 	n := opts.norm()
 	b, r := target.MBR, reference.MBR
@@ -296,7 +316,7 @@ func filterIndexed(index *rtree.Tree[*uncertain.Object], target, reference *unce
 		},
 	)
 	finishFilter(res, opts)
-	return res, influenceTrees(res, opts)
+	return res, influenceSources(res, opts)
 }
 
 func newResult(target, reference *uncertain.Object, opts Options) *Result {
@@ -360,10 +380,10 @@ func boundsFromUGF(f *gf.UGF, c, kMax int) (bounds, cdf []gf.Interval) {
 	return bounds, cdf
 }
 
-func influenceTrees(res *Result, opts Options) []*uncertain.DecompTree {
-	trees := make([]*uncertain.DecompTree, len(res.Influence))
+func influenceSources(res *Result, opts Options) []partitionSource {
+	srcs := make([]partitionSource, len(res.Influence))
 	for i, a := range res.Influence {
-		trees[i] = uncertain.NewDecompTree(a, opts.MaxHeight)
+		srcs[i] = resolveSource(a, nil, opts)
 	}
-	return trees
+	return srcs
 }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+
+	"probprune/internal/uncertain"
+)
+
+// RefDecomp is a concurrency-safe, lazily extended view of one object's
+// kd-tree decomposition, built once and shared across many IDCA runs.
+//
+// The motivating access pattern is a query evaluating one IDCA run per
+// candidate against a common operand: a kNN query runs Run(b, q) for
+// every candidate b, re-deriving the identical decomposition of the
+// query object q inside every run. A RefDecomp extracts that work: the
+// underlying DecompTree is expanded at most once per level, the
+// per-level partition slices are cached, and every Session that is
+// handed the RefDecomp (via Options.SharedTarget/SharedReference) reads
+// the cached levels instead of splitting its own copy.
+//
+// All methods are safe for concurrent use. The partition slices
+// returned by PartitionsAtLevel are shared and must be treated as
+// read-only — the refinement loop only ever reads them.
+type RefDecomp struct {
+	obj *uncertain.Object
+
+	mu     sync.Mutex
+	tree   *uncertain.DecompTree
+	levels [][]uncertain.Partition
+}
+
+// NewRefDecomp prepares a shared decomposition of obj with the given
+// height limit (<= 0 selects the uncertain package default, matching
+// what a Session builds for itself).
+func NewRefDecomp(obj *uncertain.Object, maxHeight int) *RefDecomp {
+	return &RefDecomp{
+		obj:  obj,
+		tree: uncertain.NewDecompTree(obj, maxHeight),
+	}
+}
+
+// Object returns the decomposed object.
+func (d *RefDecomp) Object() *uncertain.Object { return d.obj }
+
+// PartitionsAtLevel returns the decomposition at the given depth,
+// identical to DecompTree.PartitionsAtLevel on a private tree. The
+// first request for a level expands the tree under a lock; subsequent
+// requests (from any goroutine) return the cached slice.
+func (d *RefDecomp) PartitionsAtLevel(level int) []uncertain.Partition {
+	if level < 0 {
+		level = 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.levels) <= level {
+		d.levels = append(d.levels, d.tree.PartitionsAtLevel(len(d.levels)))
+	}
+	return d.levels[level]
+}
+
+// partitionSource is what the refinement loop needs from an operand or
+// influence-object decomposition; both the session-private
+// uncertain.DecompTree and the shared RefDecomp satisfy it.
+type partitionSource interface {
+	Object() *uncertain.Object
+	PartitionsAtLevel(level int) []uncertain.Partition
+}
+
+// DecompCache shares object decompositions across all the IDCA runs of
+// one query. A multi-candidate query runs IDCA once per candidate, and
+// each run decomposes its target, its reference AND every influence
+// object one level per iteration; with clustered data the same objects
+// appear in the influence sets of many candidates (and every candidate
+// is a potential influence object of every other), so without sharing
+// the same kd-splits are recomputed tens of times per query. A cache
+// installed via Options.SharedDecomps makes every object's
+// decomposition happen at most once per query.
+//
+// All methods are safe for concurrent use. The cache holds every
+// decomposition it ever handed out; scope it to one query (the query
+// engine builds a fresh cache per call) unless unbounded reuse is
+// intended.
+type DecompCache struct {
+	maxHeight int
+	mu        sync.Mutex
+	m         map[*uncertain.Object]*RefDecomp
+}
+
+// NewDecompCache builds an empty cache whose decompositions use the
+// given height limit (<= 0 selects the uncertain package default).
+func NewDecompCache(maxHeight int) *DecompCache {
+	return &DecompCache{maxHeight: maxHeight, m: make(map[*uncertain.Object]*RefDecomp)}
+}
+
+// Get returns the shared decomposition of obj, creating it on first
+// request.
+func (c *DecompCache) Get(obj *uncertain.Object) *RefDecomp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.m[obj]
+	if !ok {
+		d = NewRefDecomp(obj, c.maxHeight)
+		c.m[obj] = d
+	}
+	return d
+}
+
+// Len returns the number of cached decompositions.
+func (c *DecompCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// resolveSource picks the decomposition for one run operand or
+// influence object: an explicitly shared RefDecomp when it matches,
+// else the query-wide cache when installed, else a run-private tree.
+func resolveSource(obj *uncertain.Object, explicit *RefDecomp, opts Options) partitionSource {
+	if explicit != nil && explicit.Object() == obj {
+		return explicit
+	}
+	if opts.SharedDecomps != nil {
+		return opts.SharedDecomps.Get(obj)
+	}
+	return uncertain.NewDecompTree(obj, opts.MaxHeight)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"probprune/internal/uncertain"
+)
+
+// TestSharedReferenceBitIdentical: a run against a shared reference
+// decomposition must return exactly the bounds of a run that decomposes
+// its own private copy — the shared structure caches work, it does not
+// change it.
+func TestSharedReferenceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(900))
+	db, _, reference := smallWorld(rng, 14, 16)
+	ref := NewRefDecomp(reference, 0)
+	for _, target := range db {
+		private := Run(db, target, reference, Options{MaxIterations: 5})
+		shared := Run(db, target, reference, Options{MaxIterations: 5, SharedReference: ref})
+		if !reflect.DeepEqual(private.Bounds, shared.Bounds) || !reflect.DeepEqual(private.CDF, shared.CDF) {
+			t.Fatalf("target %d: shared-reference bounds differ from private-decomposition bounds", target.ID)
+		}
+	}
+}
+
+// TestSharedTargetBitIdentical mirrors the reference test for the
+// target side (the RKNN access pattern: one target, many references).
+func TestSharedTargetBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	db, target, _ := smallWorld(rng, 14, 16)
+	tgt := NewRefDecomp(target, 0)
+	for _, reference := range db[1:] {
+		private := Run(db, target, reference, Options{MaxIterations: 5})
+		shared := Run(db, target, reference, Options{MaxIterations: 5, SharedTarget: tgt})
+		if !reflect.DeepEqual(private.Bounds, shared.Bounds) || !reflect.DeepEqual(private.CDF, shared.CDF) {
+			t.Fatalf("reference %d: shared-target bounds differ from private-decomposition bounds", reference.ID)
+		}
+	}
+}
+
+// TestSharedOperandMismatchIgnored: a RefDecomp of a different object
+// must not be consulted.
+func TestSharedOperandMismatchIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	db, target, reference := smallWorld(rng, 10, 8)
+	other := NewRefDecomp(db[3], 0)
+	private := Run(db, target, reference, Options{MaxIterations: 4})
+	mismatched := Run(db, target, reference, Options{MaxIterations: 4, SharedReference: other, SharedTarget: other})
+	if !reflect.DeepEqual(private.Bounds, mismatched.Bounds) {
+		t.Fatal("non-matching shared decomposition changed the result")
+	}
+}
+
+// TestRefDecompMatchesDecompTree: the cached levels are the levels of a
+// plain DecompTree.
+func TestRefDecompMatchesDecompTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(903))
+	obj := randObj(rng, 1, 64, 5, 5, 2)
+	shared := NewRefDecomp(obj, 0)
+	plain := uncertain.NewDecompTree(obj, 0)
+	// Request out of order to exercise the lazy extension.
+	for _, level := range []int{3, 0, 5, 2, 5, 8} {
+		got := shared.PartitionsAtLevel(level)
+		want := plain.PartitionsAtLevel(level)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("level %d: shared partitions differ from DecompTree", level)
+		}
+	}
+}
+
+// TestDecompCacheBitIdentical: runs sharing a query-wide decomposition
+// cache (operands AND influence objects) must reproduce the private
+// runs exactly.
+func TestDecompCacheBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(905))
+	db, _, reference := smallWorld(rng, 14, 16)
+	cache := NewDecompCache(0)
+	for _, target := range db {
+		private := Run(db, target, reference, Options{MaxIterations: 5})
+		cached := Run(db, target, reference, Options{MaxIterations: 5, SharedDecomps: cache})
+		if !reflect.DeepEqual(private.Bounds, cached.Bounds) || !reflect.DeepEqual(private.CDF, cached.CDF) {
+			t.Fatalf("target %d: cached-decomposition bounds differ from private bounds", target.ID)
+		}
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache never populated")
+	}
+}
+
+// TestDecompCacheConcurrent drives runs sharing one cache from many
+// goroutines (the engine's actual access pattern); meaningful under
+// -race.
+func TestDecompCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(906))
+	db, _, reference := smallWorld(rng, 16, 16)
+	cache := NewDecompCache(0)
+	want := make([]*Result, len(db))
+	for i, target := range db {
+		want[i] = Run(db, target, reference, Options{MaxIterations: 4})
+	}
+	var wg sync.WaitGroup
+	got := make([]*Result, len(db))
+	for i, target := range db {
+		wg.Add(1)
+		go func(i int, target *uncertain.Object) {
+			defer wg.Done()
+			got[i] = Run(db, target, reference, Options{MaxIterations: 4, SharedDecomps: cache})
+		}(i, target)
+	}
+	wg.Wait()
+	for i := range db {
+		if !reflect.DeepEqual(want[i].Bounds, got[i].Bounds) {
+			t.Fatalf("target %d: concurrent cached run differs from sequential private run", db[i].ID)
+		}
+	}
+}
+
+// TestRefDecompConcurrentRuns drives many runs against one shared
+// reference from concurrent goroutines; run with -race this is the
+// safety test for the shared decomposition path.
+func TestRefDecompConcurrentRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(904))
+	db, _, reference := smallWorld(rng, 16, 16)
+	ref := NewRefDecomp(reference, 0)
+	want := make([]*Result, len(db))
+	for i, target := range db {
+		want[i] = Run(db, target, reference, Options{MaxIterations: 4})
+	}
+	var wg sync.WaitGroup
+	got := make([]*Result, len(db))
+	for i, target := range db {
+		wg.Add(1)
+		go func(i int, target *uncertain.Object) {
+			defer wg.Done()
+			got[i] = Run(db, target, reference, Options{MaxIterations: 4, SharedReference: ref})
+		}(i, target)
+	}
+	wg.Wait()
+	for i := range db {
+		if !reflect.DeepEqual(want[i].Bounds, got[i].Bounds) {
+			t.Fatalf("target %d: concurrent shared run differs from sequential private run", db[i].ID)
+		}
+	}
+}

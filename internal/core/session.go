@@ -23,12 +23,18 @@ import (
 // uncertainty. Lemma 3 permits per-candidate decomposition depths, so
 // correctness is unaffected.
 type Session struct {
-	res    *Result
-	opts   Options
-	norm   geom.Norm
-	bTree  *uncertain.DecompTree
-	rTree  *uncertain.DecompTree
-	aTrees []*uncertain.DecompTree
+	res  *Result
+	opts Options
+	norm geom.Norm
+	// bSrc/rSrc/aSrcs supply the target, reference and influence-object
+	// decompositions — session-private DecompTrees by default, shared
+	// RefDecomps when Options.SharedTarget/SharedReference/SharedDecomps
+	// install them. A Session with shared sources is safe to drive
+	// concurrently with other sessions sharing the same structures (they
+	// synchronize internally); everything else here is session-private.
+	bSrc  partitionSource
+	rSrc  partitionSource
+	aSrcs []partitionSource
 	// aLevels is the current decomposition level per candidate; without
 	// the adaptive heuristic all entries equal level.
 	aLevels []int
@@ -58,24 +64,24 @@ func NewSessionIndexed(index IndexTree, target, reference *uncertain.Object, opt
 	return newSession(res, trees, opts)
 }
 
-func newSession(res *Result, aTrees []*uncertain.DecompTree, opts Options) *Session {
+func newSession(res *Result, aSrcs []partitionSource, opts Options) *Session {
 	s := &Session{
 		res:       res,
 		opts:      opts,
 		norm:      opts.norm(),
-		aTrees:    aTrees,
-		aLevels:   make([]int, len(aTrees)),
-		candWidth: make([]float64, len(aTrees)),
+		aSrcs:     aSrcs,
+		aLevels:   make([]int, len(aSrcs)),
+		candWidth: make([]float64, len(aSrcs)),
 	}
-	for i, t := range aTrees {
+	for i, t := range aSrcs {
 		s.candWidth[i] = t.Object().ExistenceProb() // initial interval [0, e]
 	}
 	if len(res.Influence) == 0 {
 		s.done = true
 		return s
 	}
-	s.bTree = uncertain.NewDecompTree(res.Target, opts.MaxHeight)
-	s.rTree = uncertain.NewDecompTree(res.Reference, opts.MaxHeight)
+	s.bSrc = resolveSource(res.Target, opts.SharedTarget, opts)
+	s.rSrc = resolveSource(res.Reference, opts.SharedReference, opts)
 	return s
 }
 
@@ -105,13 +111,13 @@ func (s *Session) Step() bool {
 	}
 	start := time.Now()
 	s.level++
-	bParts := s.bTree.PartitionsAtLevel(s.level)
-	rParts := s.rTree.PartitionsAtLevel(s.level)
-	c := len(s.aTrees)
+	bParts := s.bSrc.PartitionsAtLevel(s.level)
+	rParts := s.rSrc.PartitionsAtLevel(s.level)
+	c := len(s.aSrcs)
 	aParts := make([][]uncertain.Partition, c)
 	exist := make([]float64, c)
 	eps := s.opts.adaptiveEps()
-	for i, t := range s.aTrees {
+	for i, t := range s.aSrcs {
 		if !s.opts.Adaptive || s.candWidth[i] > eps {
 			s.aLevels[i] = s.level
 		}
@@ -140,8 +146,8 @@ func (s *Session) Step() bool {
 
 // refine drives a session for Options.MaxIterations steps (the Run
 // entry points).
-func refine(res *Result, aTrees []*uncertain.DecompTree, opts Options) {
-	s := newSession(res, aTrees, opts)
+func refine(res *Result, aSrcs []partitionSource, opts Options) {
+	s := newSession(res, aSrcs, opts)
 	if s.done {
 		return
 	}

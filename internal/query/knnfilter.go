@@ -22,13 +22,76 @@ import (
 // P(DomCount(B, q) < k) = 0. The m_{k+1} (rather than m_k) guards the
 // case where B's own MaxDist is among the k smallest.
 //
-// The threshold is found with a bounded max-heap over an R-tree walk;
-// subtrees whose MinDist already exceeds the current threshold cannot
-// contribute smaller MaxDist values (MaxDist >= MinDist) and are
-// skipped.
+// Only objects that certainly exist may be counted toward the bound: an
+// existentially uncertain object fails to dominate in the worlds where
+// it is absent from the database.
+//
+// With an index the threshold falls out of the best-first Nearby
+// stream: ordering values by MaxDist (with MinDist as the admissible
+// node-level lower bound, MaxDist >= MinDist) yields the k+1 smallest
+// MaxDist values and stops — no full scan, no heap. Without an index a
+// linear scan over a bounded max-heap computes the same value.
 
-// maxDistHeap is a bounded max-heap of the smallest MaxDist values
-// seen so far.
+// knnPruneThreshold computes m_{k+1}, the (k+1)-th smallest
+// MaxDist(o, q) over the indexed certain objects (excluding q itself
+// when it is a database object). Returns +Inf when the database is too
+// small to prune.
+func knnPruneThreshold(index *rtree.Tree[*uncertain.Object], q *uncertain.Object, k int, n geom.Norm) float64 {
+	thresh := math.Inf(1)
+	need := k + 1
+	index.Nearby(
+		func(mbr geom.Rect, _ *uncertain.Object, leaf bool) float64 {
+			if leaf {
+				return mbr.MaxDistRect(n, q.MBR)
+			}
+			return mbr.MinDistRect(n, q.MBR)
+		},
+		func(_ geom.Rect, o *uncertain.Object, d float64) bool {
+			if o == q || o.ExistenceProb() < 1 {
+				return true
+			}
+			need--
+			if need == 0 {
+				thresh = d
+				return false
+			}
+			return true
+		},
+	)
+	return thresh
+}
+
+// knnPruneThresholdLinear is the index-less fallback: the same m_{k+1}
+// from a single scan through a bounded max-heap of the k+1 smallest
+// MaxDist values.
+func knnPruneThresholdLinear(db uncertain.Database, q *uncertain.Object, k int, n geom.Norm) float64 {
+	h := &maxDistHeap{bound: k + 1}
+	for _, o := range db {
+		if o == q || o.ExistenceProb() < 1 {
+			continue
+		}
+		h.offer(o.MBR.MaxDistRect(n, q.MBR))
+	}
+	return h.threshold()
+}
+
+// knnThreshold dispatches the prune-threshold computation through the
+// index when one is present.
+func (e *Engine) knnThreshold(q *uncertain.Object, k int, n geom.Norm) float64 {
+	if e.Index != nil {
+		return knnPruneThreshold(e.Index, q, k, n)
+	}
+	return knnPruneThresholdLinear(e.DB, q, k, n)
+}
+
+// knnPrunable reports whether object b is impossible as a kNN of q
+// given the threshold.
+func knnPrunable(b *uncertain.Object, q *uncertain.Object, thresh float64, n geom.Norm) bool {
+	return b.MBR.MinDistRect(n, q.MBR) > thresh
+}
+
+// maxDistHeap is a bounded max-heap of the smallest MaxDist values seen
+// so far (the linear fallback's working set).
 type maxDistHeap struct {
 	vals  []float64
 	bound int
@@ -66,33 +129,4 @@ func (h *maxDistHeap) threshold() float64 {
 		return math.Inf(1)
 	}
 	return h.vals[0]
-}
-
-// knnPruneThreshold computes m_{k+1}, the (k+1)-th smallest
-// MaxDist(o, q) over the indexed objects (excluding q itself when it is
-// a database object). Returns +Inf when the database is too small to
-// prune.
-func knnPruneThreshold(index *rtree.Tree[*uncertain.Object], q *uncertain.Object, k int, n geom.Norm) float64 {
-	h := &maxDistHeap{bound: k + 1}
-	index.Walk(
-		func(mbr geom.Rect, _ int) rtree.WalkAction {
-			if mbr.MinDistRect(n, q.MBR) > h.threshold() {
-				return rtree.SkipSubtree
-			}
-			return rtree.Descend
-		},
-		func(rect geom.Rect, o *uncertain.Object) {
-			if o == q {
-				return
-			}
-			h.offer(rect.MaxDistRect(n, q.MBR))
-		},
-	)
-	return h.threshold()
-}
-
-// knnPrunable reports whether object b is impossible as a kNN of q
-// given the threshold.
-func knnPrunable(b *uncertain.Object, q *uncertain.Object, thresh float64, n geom.Norm) bool {
-	return b.MBR.MinDistRect(n, q.MBR) > thresh
 }

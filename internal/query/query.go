@@ -10,9 +10,19 @@
 // point probabilities of DomCount, IDCA refines bounds iteratively, and
 // a threshold predicate stops refinement as soon as the bounds decide
 // it — the filter-refinement strategy the paper's Figure 8 measures.
+//
+// Every multi-candidate query runs its per-candidate IDCA runs on the
+// parallel executor (see executor.go): Options.Parallelism worker
+// goroutines (default GOMAXPROCS), one decomposition cache
+// (core.DecompCache) sharing the kd-splits of the query object and of
+// every influence object across all runs, and context-accepting
+// variants (KNNCtx etc.) for cancellation and deadlines. Results are
+// deterministic and identical to a sequential evaluation regardless of
+// worker count.
 package query
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -87,40 +97,58 @@ func ThresholdStop(k int, tau float64) func(*core.Result) bool {
 // It returns a Match per database object (q itself excluded, if it is a
 // database object).
 func (e *Engine) KNN(q *uncertain.Object, k int, tau float64) []Match {
+	matches, _ := e.KNNCtx(context.Background(), q, k, tau)
+	return matches
+}
+
+// KNNCtx is KNN with cancellation: when ctx is cancelled before the
+// query completes, (nil, ctx.Err()) is returned. Candidates are
+// evaluated concurrently on Options.Parallelism workers; the result is
+// identical to the sequential evaluation, in database order.
+func (e *Engine) KNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]Match, error) {
 	if k < 1 {
-		return nil
+		return nil, nil
 	}
 	// Candidate preselection: objects farther than the (k+1)-th
 	// smallest MaxDist are dominated at least k times in every possible
-	// world and get P = 0 without an IDCA run (see knnfilter.go).
+	// world and get P = 0 without an IDCA run (see knnfilter.go). Only
+	// valid for tau > 0 — at tau = 0 even impossible candidates satisfy
+	// the predicate.
 	norm := e.normOrDefault()
 	thresh := math.Inf(1)
-	if e.Index != nil {
-		thresh = knnPruneThreshold(e.Index, q, k, norm)
+	if tau > 0 {
+		thresh = e.knnThreshold(q, k, norm)
 	}
-	matches := make([]Match, 0, len(e.DB))
-	for _, b := range e.DB {
-		if b == q {
-			continue
-		}
+	cands := e.candidates(q)
+	// One decomposition cache for the whole query: the reference q and
+	// every influence object are decomposed once, not once per
+	// candidate run they appear in.
+	cache := core.NewDecompCache(e.Opts.MaxHeight)
+	matches := make([]Match, len(cands))
+	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
+		b := cands[i]
 		if knnPrunable(b, q, thresh, norm) {
-			matches = append(matches, Match{Object: b, Decided: true})
-			continue
+			matches[i] = Match{Object: b, Decided: true}
+			return
 		}
-		opts := e.Opts
+		opts := e.runOpts()
 		opts.KMax = k
 		opts.Stop = ThresholdStop(k, tau)
+		opts.SharedDecomps = cache
 		res := e.run(b, q, opts)
 		iv := res.CDFBound(k)
-		matches = append(matches, Match{
+		matches[i] = Match{
 			Object:     b,
 			Prob:       iv,
 			IsResult:   iv.LB >= tau,
 			Decided:    iv.LB >= tau || iv.UB < tau,
 			Iterations: len(res.Iterations),
-		})
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return matches
+	return matches, nil
 }
 
 // RKNN answers the probabilistic threshold reverse kNN query of
@@ -128,30 +156,50 @@ func (e *Engine) KNN(q *uncertain.Object, k int, tau float64) []Match {
 // neighbors with probability at least tau, i.e.
 // P(DomCount(q, B) < k) >= tau with B as the reference.
 func (e *Engine) RKNN(q *uncertain.Object, k int, tau float64) []Match {
+	matches, _ := e.RKNNCtx(context.Background(), q, k, tau)
+	return matches
+}
+
+// RKNNCtx is RKNN with cancellation and concurrent candidate
+// evaluation, mirroring KNNCtx. Candidates impossible as results (at
+// least k objects certainly closer to them than q, see rknnfilter.go)
+// are preselected away without an IDCA run.
+func (e *Engine) RKNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]Match, error) {
 	if k < 1 {
-		return nil
+		return nil, nil
 	}
-	matches := make([]Match, 0, len(e.DB))
-	for _, b := range e.DB {
-		if b == q {
-			continue
+	norm := e.normOrDefault()
+	cands := e.candidates(q)
+	// The query object is the target of every run; the cache shares its
+	// decomposition (and the influence objects') across candidates.
+	cache := core.NewDecompCache(e.Opts.MaxHeight)
+	matches := make([]Match, len(cands))
+	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
+		b := cands[i]
+		if tau > 0 && e.rknnPrunable(q, b, k, norm) {
+			matches[i] = Match{Object: b, Decided: true}
+			return
 		}
-		opts := e.Opts
+		opts := e.runOpts()
 		opts.KMax = k
 		opts.Stop = ThresholdStop(k, tau)
+		opts.SharedDecomps = cache
 		// Target is the query, reference is the candidate: the count is
 		// how many objects are closer to B than q is.
 		res := e.run(q, b, opts)
 		iv := res.CDFBound(k)
-		matches = append(matches, Match{
+		matches[i] = Match{
 			Object:     b,
 			Prob:       iv,
 			IsResult:   iv.LB >= tau,
 			Decided:    iv.LB >= tau || iv.UB < tau,
 			Iterations: len(res.Iterations),
-		})
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return matches
+	return matches, nil
 }
 
 // RankDistribution is the probabilistic inverse ranking result for one
@@ -179,9 +227,14 @@ func (rd *RankDistribution) Bound(i int) gf.Interval {
 
 // InverseRank computes the probabilistic inverse ranking of object b
 // with respect to reference r: the distribution of b's position in a
-// similarity ranking of the database w.r.t. r.
+// similarity ranking of the database w.r.t. r. As the one query with a
+// single IDCA run and no candidate fan-out, it applies
+// Options.Parallelism at the pair level inside that run (results are
+// deterministic for a fixed value, like core.Run).
 func (e *Engine) InverseRank(b, r *uncertain.Object) *RankDistribution {
-	res := e.run(b, r, e.Opts)
+	opts := e.runOpts()
+	opts.Parallelism = e.Opts.Parallelism
+	res := e.run(b, r, opts)
 	ranks := make([]gf.Interval, len(res.Bounds))
 	copy(ranks, res.Bounds)
 	return &RankDistribution{
@@ -239,21 +292,34 @@ type Ranked struct {
 // the bounds on) their expected rank with respect to q — the expected
 // rank semantics of Cormode et al. [14] evaluated with IDCA bounds.
 func (e *Engine) RankByExpectedRank(q *uncertain.Object) []Ranked {
-	out := make([]Ranked, 0, len(e.DB))
-	for _, b := range e.DB {
-		if b == q {
-			continue
-		}
-		res := e.run(b, q, e.Opts)
+	out, _ := e.RankByExpectedRankCtx(context.Background(), q)
+	return out
+}
+
+// RankByExpectedRankCtx is RankByExpectedRank with cancellation and
+// concurrent candidate evaluation. The ordering is deterministic: the
+// stable sort runs over per-candidate bounds computed independently of
+// worker count and completion order.
+func (e *Engine) RankByExpectedRankCtx(ctx context.Context, q *uncertain.Object) ([]Ranked, error) {
+	cands := e.candidates(q)
+	cache := core.NewDecompCache(e.Opts.MaxHeight)
+	out := make([]Ranked, len(cands))
+	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
+		opts := e.runOpts()
+		opts.SharedDecomps = cache
+		res := e.run(cands[i], q, opts)
 		lo, hi := ExpectedRankBounds(res)
-		out = append(out, Ranked{Object: b, ExpectedRankLB: lo, ExpectedRankUB: hi})
+		out[i] = Ranked{Object: cands[i], ExpectedRankLB: lo, ExpectedRankUB: hi}
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		mi := out[i].ExpectedRankLB + out[i].ExpectedRankUB
 		mj := out[j].ExpectedRankLB + out[j].ExpectedRankUB
 		return mi < mj
 	})
-	return out
+	return out, nil
 }
 
 func minFloat(a, b float64) float64 {

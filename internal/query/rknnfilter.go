@@ -1,0 +1,75 @@
+package query
+
+import (
+	"probprune/internal/geom"
+	"probprune/internal/uncertain"
+)
+
+// This file implements candidate preselection for reverse kNN queries —
+// the analogue of knnfilter.go with the roles swapped. An RKNN
+// candidate B is evaluated as the reference of the run (q the target):
+// the predicate is P(DomCount(q, B) < k) >= tau. B can be discarded
+// without a run when at least k certainly-existing objects A satisfy
+//
+//	MaxDist(A, B) < MinDist(q, B),
+//
+// because then, for every possible world, dist(a, b) <= MaxDist(A, B) <
+// MinDist(q, B) <= dist(q, b): all k objects are closer to B than q in
+// every world, so P(DomCount(q, B) < k) = 0.
+//
+// With an index the count comes from a best-first Nearby stream ordered
+// by MaxDist(·, B) (node-level lower bound: MinDist, which never
+// exceeds a descendant's MaxDist). The stream is consumed only until
+// either k qualifying objects have appeared or the next distance
+// reaches MinDist(q, B) — whichever happens first, so the per-candidate
+// cost is O(k) stream steps rather than a database scan.
+
+// rknnPrunable reports whether candidate b is impossible as an RKNN
+// result for query object q.
+func (e *Engine) rknnPrunable(q, b *uncertain.Object, k int, n geom.Norm) bool {
+	lim := q.MBR.MinDistRect(n, b.MBR)
+	if lim <= 0 {
+		// q can coincide with b's region; no object can be strictly
+		// closer than distance zero.
+		return false
+	}
+	count := 0
+	if e.Index != nil {
+		prunable := false
+		e.Index.Nearby(
+			func(mbr geom.Rect, _ *uncertain.Object, leaf bool) float64 {
+				if leaf {
+					return mbr.MaxDistRect(n, b.MBR)
+				}
+				return mbr.MinDistRect(n, b.MBR)
+			},
+			func(_ geom.Rect, o *uncertain.Object, d float64) bool {
+				if d >= lim {
+					return false // ascending stream: no further dominators
+				}
+				if o == q || o == b || o.ExistenceProb() < 1 {
+					return true
+				}
+				count++
+				if count >= k {
+					prunable = true
+					return false
+				}
+				return true
+			},
+		)
+		return prunable
+	}
+	for _, o := range e.DB {
+		if o == q || o == b || o.ExistenceProb() < 1 {
+			continue
+		}
+		if o.MBR.MaxDistRect(n, b.MBR) < lim {
+			count++
+			if count >= k {
+				return true
+			}
+		}
+	}
+	return false
+}

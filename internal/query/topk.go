@@ -1,8 +1,9 @@
 package query
 
 import (
-	"math"
+	"context"
 	"sort"
+	"sync/atomic"
 
 	"probprune/internal/core"
 	"probprune/internal/geom"
@@ -29,8 +30,19 @@ import (
 // (ties or exhausted refinement); its bounds still quantify the
 // remaining ambiguity.
 func (e *Engine) TopKNN(q *uncertain.Object, k, m int) []Match {
+	out, _ := e.TopKNNCtx(context.Background(), q, k, m)
+	return out
+}
+
+// TopKNNCtx is TopKNN with cancellation and concurrent evaluation.
+// Sessions are constructed and stepped on the query executor; each
+// refinement round decides which candidates still straddle the top-m
+// boundary from the start-of-round bounds, then steps all of them
+// concurrently, so the outcome is deterministic and independent of
+// worker count.
+func (e *Engine) TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) ([]Match, error) {
 	if k < 1 || m < 1 {
-		return nil
+		return nil, nil
 	}
 	type cand struct {
 		obj     *uncertain.Object
@@ -40,33 +52,34 @@ func (e *Engine) TopKNN(q *uncertain.Object, k, m int) []Match {
 	}
 	// Preselection: impossible candidates have P = 0 and can only
 	// occupy the tail; they never need a session.
-	thresh := math.Inf(1)
-	if e.Index != nil {
-		thresh = knnPruneThreshold(e.Index, q, k, e.normOrDefault())
-	}
-	var cands []*cand
+	norm := e.normOrDefault()
+	thresh := e.knnThreshold(q, k, norm)
+	var objs []*uncertain.Object
 	for _, b := range e.DB {
-		if b == q {
+		if b == q || knnPrunable(b, q, thresh, norm) {
 			continue
 		}
-		if knnPrunable(b, q, thresh, e.normOrDefault()) {
-			continue
-		}
-		opts := e.Opts
+		objs = append(objs, b)
+	}
+	if len(objs) == 0 {
+		return nil, nil
+	}
+	cache := core.NewDecompCache(e.Opts.MaxHeight)
+	cands := make([]*cand, len(objs))
+	err := forEach(ctx, e.parallelism(), len(objs), func(i int) {
+		opts := e.runOpts()
 		opts.KMax = k
+		opts.SharedDecomps = cache
 		var s *core.Session
 		if e.Index != nil {
-			s = core.NewSessionIndexed(e.Index, b, q, opts)
+			s = core.NewSessionIndexed(e.Index, objs[i], q, opts)
 		} else {
-			s = core.NewSession(e.DB, b, q, opts)
+			s = core.NewSession(e.DB, objs[i], q, opts)
 		}
-		c := &cand{obj: b, session: s}
-		c.prob = s.Result().CDFBound(k)
-		c.done = s.Done()
-		cands = append(cands, c)
-	}
-	if len(cands) == 0 {
-		return nil
+		cands[i] = &cand{obj: objs[i], session: s, prob: s.Result().CDFBound(k), done: s.Done()}
+	})
+	if err != nil {
+		return nil, err
 	}
 	if m > len(cands) {
 		m = len(cands)
@@ -101,19 +114,33 @@ func (e *Engine) TopKNN(q *uncertain.Object, k, m int) []Match {
 	outSet := func(i int) bool { return countAbove(i, cands[i].prob.UB, false) >= m }
 
 	for round := 0; round < maxIter; round++ {
-		progressed := false
+		// Phase 1: pick the candidates still straddling the boundary,
+		// judged on the bounds as of the start of the round.
+		var todo []int
 		for i, c := range cands {
-			if c.done || inSet(i) || outSet(i) {
-				continue
+			if !c.done && !inSet(i) && !outSet(i) {
+				todo = append(todo, i)
 			}
+		}
+		if len(todo) == 0 {
+			break
+		}
+		// Phase 2: step them all; sessions are independent, so the
+		// steps parallelize freely.
+		var progressed atomic.Bool
+		err := forEach(ctx, e.parallelism(), len(todo), func(j int) {
+			c := cands[todo[j]]
 			if c.session.Step() {
-				progressed = true
+				progressed.Store(true)
 			} else {
 				c.done = true
 			}
 			c.prob = c.session.Result().CDFBound(k)
+		})
+		if err != nil {
+			return nil, err
 		}
-		if !progressed {
+		if !progressed.Load() {
 			break
 		}
 	}
@@ -148,7 +175,7 @@ func (e *Engine) TopKNN(q *uncertain.Object, k, m int) []Match {
 			Iterations: len(c.session.Result().Iterations),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // normOrDefault returns the engine's configured norm or L2.

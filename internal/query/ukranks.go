@@ -1,6 +1,9 @@
 package query
 
 import (
+	"context"
+
+	"probprune/internal/core"
 	"probprune/internal/gf"
 	"probprune/internal/uncertain"
 )
@@ -33,27 +36,38 @@ type RankWinner struct {
 // probability bounds; Decided indicates whether the bounds alone
 // already separate the winner.
 func (e *Engine) UKRanks(q *uncertain.Object, k int) []RankWinner {
+	winners, _ := e.UKRanksCtx(context.Background(), q, k)
+	return winners
+}
+
+// UKRanksCtx is UKRanks with cancellation and concurrent candidate
+// evaluation on the query executor.
+func (e *Engine) UKRanksCtx(ctx context.Context, q *uncertain.Object, k int) ([]RankWinner, error) {
 	if k < 1 {
-		return nil
+		return nil, nil
 	}
 	type entry struct {
 		obj    *uncertain.Object
 		bounds []gf.Interval // bounds[i] = P(Rank = i+1)
 		offset int           // first rank with non-zero probability − 1
 	}
-	entries := make([]entry, 0, len(e.DB))
-	for _, b := range e.DB {
-		if b == q {
-			continue
-		}
-		opts := e.Opts
+	cands := e.candidates(q)
+	cache := core.NewDecompCache(e.Opts.MaxHeight)
+	entries := make([]entry, len(cands))
+	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
+		b := cands[i]
+		opts := e.runOpts()
 		opts.KMax = k // ranks beyond k are irrelevant
+		opts.SharedDecomps = cache
 		res := e.run(b, q, opts)
-		entries = append(entries, entry{
+		entries[i] = entry{
 			obj:    b,
 			bounds: res.Bounds,
 			offset: res.CountOffset(),
-		})
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	probAt := func(en entry, rank int) gf.Interval {
 		i := rank - 1 - en.offset // count index
@@ -93,7 +107,7 @@ func (e *Engine) UKRanks(q *uncertain.Object, k int) []RankWinner {
 			Decided: decided,
 		})
 	}
-	return winners
+	return winners, nil
 }
 
 // GlobalTopK is a convenience wrapper: the distinct objects appearing

@@ -1,0 +1,101 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"probprune/internal/geom"
+)
+
+// This file adds best-first incremental traversal to the R-tree: values
+// are visited in ascending order of a caller-supplied distance, pulled
+// from a priority queue of subtrees and values keyed by that distance
+// (the classic kNN traversal of Hjaltason & Samet, as popularized by
+// tidwall's rtree implementations). The iterator is incremental — the
+// caller stops as soon as it has seen enough, and only the visited
+// frontier of the tree is ever touched — which is what lets the query
+// layer derive kNN prune thresholds and reverse-kNN preselection
+// verdicts without full scans.
+
+// DistFunc scores an MBR for best-first traversal. For internal nodes
+// (leaf == false, value is the zero value of T) it must return a lower
+// bound of the score of every value stored beneath the node; for stored
+// values (leaf == true) it returns the value's actual score. MinDist to
+// a query rectangle has this property, as does any other monotone
+// bound (e.g. MinDist as a lower bound for MaxDist, since
+// MaxDist >= MinDist and child MBRs nest inside node MBRs).
+type DistFunc[T comparable] func(mbr geom.Rect, value T, leaf bool) float64
+
+// MinDist returns the DistFunc ranking by minimal Lp distance to the
+// query rectangle — the standard nearest-neighbor ordering.
+func MinDist[T comparable](n geom.Norm, query geom.Rect) DistFunc[T] {
+	return func(mbr geom.Rect, _ T, _ bool) float64 {
+		return mbr.MinDistRect(n, query)
+	}
+}
+
+// nearbyItem is one priority-queue entry: either a pending subtree or a
+// stored value.
+type nearbyItem[T comparable] struct {
+	dist  float64
+	seq   int // insertion sequence; breaks ties deterministically
+	node  *node[T]
+	rect  geom.Rect
+	value T
+}
+
+type nearbyQueue[T comparable] []*nearbyItem[T]
+
+func (q nearbyQueue[T]) Len() int { return len(q) }
+func (q nearbyQueue[T]) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].seq < q[j].seq
+}
+func (q nearbyQueue[T]) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *nearbyQueue[T]) Push(x any)   { *q = append(*q, x.(*nearbyItem[T])) }
+func (q *nearbyQueue[T]) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return x
+}
+
+// Nearby visits stored values in ascending dist order, calling iter with
+// each value and its distance until iter returns false or the tree is
+// exhausted. The visit order is deterministic: exact distance ties are
+// broken by discovery order. Traversal work is proportional to the
+// frontier actually consumed, so early-terminating callers leave most
+// of the tree untouched.
+func (t *Tree[T]) Nearby(dist DistFunc[T], iter func(rect geom.Rect, value T, d float64) bool) {
+	if t.size == 0 {
+		return
+	}
+	var zero T
+	seq := 0
+	q := make(nearbyQueue[T], 0, maxEntries)
+	push := func(it *nearbyItem[T]) {
+		it.seq = seq
+		seq++
+		heap.Push(&q, it)
+	}
+	push(&nearbyItem[T]{dist: dist(nodeRect(t.root), zero, false), node: t.root})
+	for len(q) > 0 {
+		it := heap.Pop(&q).(*nearbyItem[T])
+		if it.node == nil {
+			if !iter(it.rect, it.value, it.dist) {
+				return
+			}
+			continue
+		}
+		for _, e := range it.node.entries {
+			if it.node.leaf {
+				push(&nearbyItem[T]{dist: dist(e.rect, e.value, true), rect: e.rect, value: e.value})
+			} else {
+				push(&nearbyItem[T]{dist: dist(e.rect, zero, false), node: e.child})
+			}
+		}
+	}
+}

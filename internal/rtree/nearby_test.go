@@ -1,0 +1,118 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probprune/internal/geom"
+)
+
+// TestNearbyVisitsInAscendingMinDistOrder: the full stream is every
+// stored value, ordered by MinDist to the query rectangle.
+func TestNearbyVisitsInAscendingMinDistOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	tr := New[int]()
+	rects := make([]geom.Rect, 0, 400)
+	for i := 0; i < 400; i++ {
+		r := randRect(rng, 5)
+		rects = append(rects, r)
+		tr.Insert(r, i)
+	}
+	query := geom.RectAround(geom.Point{50, 50}, []float64{2, 2})
+
+	var gotIDs []int
+	var gotDists []float64
+	tr.Nearby(MinDist[int](geom.L2, query), func(rect geom.Rect, v int, d float64) bool {
+		if want := rect.MinDistRect(geom.L2, query); d != want {
+			t.Fatalf("value %d: reported dist %g, want %g", v, d, want)
+		}
+		gotIDs = append(gotIDs, v)
+		gotDists = append(gotDists, d)
+		return true
+	})
+	if len(gotIDs) != len(rects) {
+		t.Fatalf("visited %d values, want %d", len(gotIDs), len(rects))
+	}
+	for i := 1; i < len(gotDists); i++ {
+		if gotDists[i] < gotDists[i-1] {
+			t.Fatalf("distances not ascending at %d: %g after %g", i, gotDists[i], gotDists[i-1])
+		}
+	}
+	want := make([]float64, len(rects))
+	for i, r := range rects {
+		want[i] = r.MinDistRect(geom.L2, query)
+	}
+	sort.Float64s(want)
+	for i := range want {
+		if gotDists[i] != want[i] {
+			t.Fatalf("dist stream diverges from sorted linear scan at %d: %g vs %g", i, gotDists[i], want[i])
+		}
+	}
+}
+
+// TestNearbyEarlyStop: returning false ends the traversal.
+func TestNearbyEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	tr := New[int]()
+	for i := 0; i < 300; i++ {
+		tr.Insert(randRect(rng, 5), i)
+	}
+	query := geom.PointRect(geom.Point{10, 10})
+	visits := 0
+	tr.Nearby(MinDist[int](geom.L2, query), func(geom.Rect, int, float64) bool {
+		visits++
+		return visits < 7
+	})
+	if visits != 7 {
+		t.Fatalf("visited %d values after early stop, want 7", visits)
+	}
+}
+
+// TestNearbyAdmissibleCustomDist: ordering by MaxDist with MinDist as
+// the node-level lower bound — the reverse-kNN preselection pattern —
+// must stream in exact ascending MaxDist order.
+func TestNearbyAdmissibleCustomDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	tr := New[int]()
+	rects := make([]geom.Rect, 0, 250)
+	for i := 0; i < 250; i++ {
+		r := randRect(rng, 8)
+		rects = append(rects, r)
+		tr.Insert(r, i)
+	}
+	query := geom.RectAround(geom.Point{30, 70}, []float64{3, 3})
+	dist := func(mbr geom.Rect, _ int, leaf bool) float64 {
+		if leaf {
+			return mbr.MaxDistRect(geom.L2, query)
+		}
+		return mbr.MinDistRect(geom.L2, query)
+	}
+	var got []float64
+	tr.Nearby(dist, func(_ geom.Rect, _ int, d float64) bool {
+		got = append(got, d)
+		return true
+	})
+	want := make([]float64, len(rects))
+	for i, r := range rects {
+		want[i] = r.MaxDistRect(geom.L2, query)
+	}
+	sort.Float64s(want)
+	if len(got) != len(want) {
+		t.Fatalf("visited %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MaxDist stream diverges at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNearbyEmptyTree: no callbacks on an empty tree.
+func TestNearbyEmptyTree(t *testing.T) {
+	tr := New[int]()
+	tr.Nearby(MinDist[int](geom.L2, geom.PointRect(geom.Point{0, 0})), func(geom.Rect, int, float64) bool {
+		t.Fatal("callback on empty tree")
+		return false
+	})
+}

@@ -34,6 +34,30 @@
 //	    }
 //	}
 //
+// # Parallel execution and cancellation
+//
+// Engine queries evaluate their candidates concurrently on
+// Options.Parallelism worker goroutines (the zero value selects
+// GOMAXPROCS; set 1 to force sequential evaluation). All candidate
+// runs share one decomposition cache (DecompCache), built once per
+// query, so the query object and every influence object are kd-split
+// at most once per query instead of once per candidate run — and
+// results stay identical, bit for bit, to the sequential path
+// regardless of worker count. Every query has a context-accepting
+// variant for cancellation and deadlines:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	matches, err := engine.KNNCtx(ctx, q, 5, 0.5)   // also RKNNCtx,
+//	// RankByExpectedRankCtx, TopKNNCtx, UKRanksCtx
+//
+// The plain methods (KNN, RKNN, ...) are thin wrappers over the context
+// variants with context.Background(). Callers driving core.Run directly
+// can share decomposition work themselves: NewRefDecomp with
+// Options.SharedTarget/SharedReference shares one operand across runs,
+// NewDecompCache with Options.SharedDecomps shares every decomposition
+// (operands and influence objects) across the runs handed the cache.
+//
 // The examples/ directory contains runnable end-to-end scenarios and
 // cmd/experiments regenerates the paper's evaluation figures.
 package probprune
@@ -131,7 +155,26 @@ type (
 	Session = core.Session
 	// Index is an R-tree over object MBRs accelerating the filter step.
 	Index = rtree.Tree[*uncertain.Object]
+	// RefDecomp is a concurrency-safe object decomposition shared across
+	// many IDCA runs (see Options.SharedTarget/SharedReference).
+	RefDecomp = core.RefDecomp
+	// DecompCache shares every object decomposition — operands and
+	// influence objects — across the runs of one query (see
+	// Options.SharedDecomps).
+	DecompCache = core.DecompCache
 )
+
+// NewRefDecomp builds a shared decomposition of obj for reuse across
+// runs; maxHeight <= 0 selects the default decomposition height.
+func NewRefDecomp(obj *Object, maxHeight int) *RefDecomp {
+	return core.NewRefDecomp(obj, maxHeight)
+}
+
+// NewDecompCache builds an empty decomposition cache for
+// Options.SharedDecomps; maxHeight <= 0 selects the default height.
+func NewDecompCache(maxHeight int) *DecompCache {
+	return core.NewDecompCache(maxHeight)
+}
 
 // Dominates reports whether uncertainty region a completely dominates b
 // w.r.t. reference region r under norm n — the tight criterion of the
