@@ -2,10 +2,12 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"probprune/internal/geom"
 	"probprune/internal/mc"
+	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
 )
 
@@ -124,5 +126,54 @@ func TestSetExistenceValidation(t *testing.T) {
 	fresh := uncertain.PointObject(1, geom.Point{0})
 	if fresh.ExistenceProb() != 1 {
 		t.Error("zero-value existence must mean certain existence")
+	}
+}
+
+// TestExistentialIndexedMatchesLinear is the regression test for the
+// indexed filter counting dominating subtrees wholesale: a clustered
+// group of complete dominators containing an existentially uncertain
+// object sits in its own R-tree subtree, and RunIndexed used to count
+// the whole subtree into CompleteDominators — turning the exact
+// Bound(n) = [e, e] into the flatly wrong [1, 1]. The indexed result
+// must be bit-identical to the linear one on every tree shape.
+func TestExistentialIndexedMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	reference := uncertain.PointObject(100, geom.Point{0, 0})
+	target := uncertain.PointObject(0, geom.Point{50, 0})
+	db := uncertain.Database{target}
+	// A tight cluster of dominators near the reference; one exists with
+	// probability 0.5. Enough objects that the cluster fills whole
+	// R-tree nodes and gets the subtree-level domination verdict.
+	for i := 1; i <= 40; i++ {
+		o := uncertain.PointObject(i, geom.Point{1 + rng.Float64(), rng.Float64()})
+		if i == 7 {
+			if err := o.SetExistence(0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db = append(db, o)
+	}
+	index := rtree.New[*uncertain.Object]()
+	for _, o := range db {
+		index.Insert(o.MBR, o)
+	}
+	lin := Run(db, target, reference, Options{MaxIterations: 3})
+	idx := RunIndexed(index, target, reference, Options{MaxIterations: 3})
+	if lin.CompleteDominators != 39 || len(lin.Influence) != 1 {
+		t.Fatalf("linear filter: dominators=%d influence=%d, want 39/1",
+			lin.CompleteDominators, len(lin.Influence))
+	}
+	if idx.CompleteDominators != lin.CompleteDominators || len(idx.Influence) != len(lin.Influence) {
+		t.Fatalf("indexed filter: dominators=%d influence=%d, linear %d/%d",
+			idx.CompleteDominators, len(idx.Influence), lin.CompleteDominators, len(lin.Influence))
+	}
+	if !reflect.DeepEqual(lin.Bounds, idx.Bounds) || !reflect.DeepEqual(lin.CDF, idx.CDF) {
+		t.Fatal("indexed bounds differ from linear bounds")
+	}
+	// Geometry fully decided: count is 39 with prob 0.5, 40 with 0.5.
+	for _, res := range []*Result{lin, idx} {
+		if iv := res.Bound(40); !almostEqual(iv.LB, 0.5, 1e-9) || !almostEqual(iv.UB, 0.5, 1e-9) {
+			t.Fatalf("Bound(40) = %+v, want [0.5, 0.5]", iv)
+		}
 	}
 }

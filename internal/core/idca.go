@@ -27,6 +27,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"probprune/internal/domination"
@@ -283,8 +284,17 @@ func filterIndexed(index *rtree.Tree[*uncertain.Object], target, reference *unce
 	res := newResult(target, reference, opts)
 	n := opts.norm()
 	b, r := target.MBR, reference.MBR
+	// takeDominators marks the subtree currently emitted via
+	// TakeSubtree as completely dominating: its objects inherit the
+	// node-level verdict and skip re-classification, but each one still
+	// passes the existence check — an existentially uncertain dominator
+	// belongs to the influence set, not the count shift, so dominating
+	// subtrees cannot be counted wholesale (Walk is a sequential DFS;
+	// the flag is reset on every node callback).
+	takeDominators := false
 	index.Walk(
 		func(mbr geom.Rect, count int) rtree.WalkAction {
+			takeDominators = false
 			switch domination.Classify(n, opts.Criterion, mbr, b, r) {
 			case domination.DominatesTarget:
 				// The whole subtree dominates — unless the target or the
@@ -296,9 +306,11 @@ func filterIndexed(index *rtree.Tree[*uncertain.Object], target, reference *unce
 				if mbr.ContainsRect(b) || mbr.ContainsRect(r) {
 					return rtree.Descend
 				}
-				res.CompleteDominators += count
-				return rtree.SkipSubtree
+				takeDominators = true
+				return rtree.TakeSubtree
 			case domination.DominatedByTarget:
+				// Dominated objects are pruned regardless of existence:
+				// the whole subtree is discarded by count.
 				if mbr.ContainsRect(b) || mbr.ContainsRect(r) {
 					return rtree.Descend
 				}
@@ -310,6 +322,16 @@ func filterIndexed(index *rtree.Tree[*uncertain.Object], target, reference *unce
 		},
 		func(_ geom.Rect, a *uncertain.Object) {
 			if a == target || a == reference {
+				return
+			}
+			if takeDominators {
+				if a.ExistenceProb() < 1 {
+					// Dominates only in the worlds where it exists; it
+					// cannot shift the count (see classifyInto).
+					res.Influence = append(res.Influence, a)
+				} else {
+					res.CompleteDominators++
+				}
 				return
 			}
 			classifyInto(res, n, opts.Criterion, a)
@@ -344,7 +366,18 @@ func classifyInto(res *Result, n geom.Norm, crit geom.Criterion, a *uncertain.Ob
 // complete-dominator shift and above shift+|influence| are impossible;
 // each influence object contributes an interval no wider than its
 // existence probability allows.
+//
+// The influence set is first brought into canonical (object ID) order.
+// Interval arithmetic in the refinement loop accumulates in influence
+// order, so floating-point results depend on it; canonicalizing makes
+// every filter path — linear scan, any R-tree shape, bulk-loaded or
+// incrementally mutated — produce bit-identical bounds for the same
+// database state. (Objects sharing an ID keep their traversal order;
+// unique IDs, the database convention, guarantee full canonicity.)
 func finishFilter(res *Result, opts Options) {
+	sort.SliceStable(res.Influence, func(i, j int) bool {
+		return res.Influence[i].ID < res.Influence[j].ID
+	})
 	ivs := make([]gf.Interval, len(res.Influence))
 	for i, a := range res.Influence {
 		ivs[i] = gf.Interval{LB: 0, UB: a.ExistenceProb()}

@@ -77,13 +77,21 @@ type partitionSource interface {
 // decomposition happen at most once per query.
 //
 // All methods are safe for concurrent use. The cache holds every
-// decomposition it ever handed out; scope it to one query (the query
-// engine builds a fresh cache per call) unless unbounded reuse is
-// intended.
+// decomposition it ever handed out until Invalidate removes it; scope
+// it to one query (the query engine builds a fresh cache per call
+// unless handed a persistent one) or manage its lifetime explicitly,
+// the way Store does: one long-lived cache holding exactly the
+// database-resident objects, invalidated per object on update, with a
+// per-query Overlay absorbing everything else.
 type DecompCache struct {
 	maxHeight int
-	mu        sync.Mutex
-	m         map[*uncertain.Object]*RefDecomp
+	// parent, when non-nil, makes this cache an Overlay: lookups fall
+	// back to the parent chain, inserts stay local.
+	parent *DecompCache
+
+	mu      sync.Mutex
+	m       map[*uncertain.Object]*RefDecomp
+	version uint64
 }
 
 // NewDecompCache builds an empty cache whose decompositions use the
@@ -92,20 +100,88 @@ func NewDecompCache(maxHeight int) *DecompCache {
 	return &DecompCache{maxHeight: maxHeight, m: make(map[*uncertain.Object]*RefDecomp)}
 }
 
-// Get returns the shared decomposition of obj, creating it on first
-// request.
+// Get returns the shared decomposition of obj: an entry already held by
+// this cache or an ancestor when one exists, otherwise a fresh entry
+// created in this cache.
 func (c *DecompCache) Get(obj *uncertain.Object) *RefDecomp {
+	for p := c.parent; p != nil; p = p.parent {
+		if d, ok := p.lookup(obj); ok {
+			return d
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d, ok := c.m[obj]
-	if !ok {
+	if !ok || d == nil {
 		d = NewRefDecomp(obj, c.maxHeight)
 		c.m[obj] = d
 	}
 	return d
 }
 
-// Len returns the number of cached decompositions.
+// lookup reports whether this cache holds obj, materializing a lazy pin
+// (nil placeholder from Add) in place so every reader shares one
+// decomposition.
+func (c *DecompCache) lookup(obj *uncertain.Object) (*RefDecomp, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.m[obj]
+	if ok && d == nil {
+		d = NewRefDecomp(obj, c.maxHeight)
+		c.m[obj] = d
+	}
+	return d, ok
+}
+
+// Add pins obj in this cache (ignoring the parent chain): overlay
+// lookups will resolve to this cache's entry. The pin is lazy — the
+// decomposition itself (an O(samples) structure) is only built on the
+// first Get, so pinning a whole database on ingest costs one map entry
+// per object.
+func (c *DecompCache) Add(obj *uncertain.Object) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[obj]; !ok {
+		c.m[obj] = nil
+		c.version++
+	}
+}
+
+// Invalidate drops the cached decomposition of obj from this cache and
+// reports whether an entry was removed. Callers invalidate when an
+// object leaves the database (the entry would otherwise pin its memory
+// forever); decompositions are immutable, so readers that obtained the
+// entry earlier remain correct.
+func (c *DecompCache) Invalidate(obj *uncertain.Object) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[obj]; !ok {
+		return false
+	}
+	delete(c.m, obj)
+	c.version++
+	return true
+}
+
+// Version returns a counter incremented by every Add and Invalidate —
+// the cache epoch Store snapshots for observability and tests.
+func (c *DecompCache) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Overlay returns a query-scoped view of the cache: lookups hit c (and
+// its ancestors) for objects they already hold, while decompositions of
+// unknown objects — typically the query object — are created in the
+// overlay and die with it instead of accumulating in the persistent
+// cache.
+func (c *DecompCache) Overlay() *DecompCache {
+	return &DecompCache{maxHeight: c.maxHeight, parent: c, m: make(map[*uncertain.Object]*RefDecomp)}
+}
+
+// Len returns the number of decompositions in this cache (excluding
+// ancestors).
 func (c *DecompCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

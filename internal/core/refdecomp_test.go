@@ -145,3 +145,68 @@ func TestRefDecompConcurrentRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestDecompCacheOverlay checks the overlay semantics Store relies on:
+// pinned parent entries are shared, unknown objects stay in the
+// overlay, and invalidation evicts per object while runs stay
+// bit-identical.
+func TestDecompCacheOverlay(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	db, target, reference := smallWorld(rng, 12, 16)
+
+	base := NewDecompCache(0)
+	for _, o := range db {
+		base.Add(o)
+	}
+	if base.Len() != len(db) {
+		t.Fatalf("base holds %d entries, want %d", base.Len(), len(db))
+	}
+	v0 := base.Version()
+	if base.Add(db[0]); base.Version() != v0 {
+		t.Fatal("re-adding a pinned object bumped the version")
+	}
+
+	over := base.Overlay()
+	if d := over.Get(db[3]); d != base.Get(db[3]) {
+		t.Fatal("overlay did not share the pinned parent entry")
+	}
+	// The reference is not pinned: it must land in the overlay only.
+	_ = over.Get(reference)
+	if over.Len() != 1 {
+		t.Fatalf("overlay holds %d entries, want 1 (the reference)", over.Len())
+	}
+	if base.Len() != len(db) {
+		t.Fatalf("overlay miss leaked into the base cache (%d entries)", base.Len())
+	}
+	// Chained overlays read through to the root.
+	if d := over.Overlay().Get(db[5]); d != base.Get(db[5]) {
+		t.Fatal("second-level overlay did not reach the root entry")
+	}
+
+	// Runs through an overlay are bit-identical to private runs.
+	private := Run(db, target, reference, Options{MaxIterations: 4})
+	overlaid := Run(db, target, reference, Options{MaxIterations: 4, SharedDecomps: base.Overlay()})
+	if !reflect.DeepEqual(private.Bounds, overlaid.Bounds) {
+		t.Fatal("overlay run differs from private run")
+	}
+
+	// Invalidation: per-object, version-bumping, idempotent.
+	if !base.Invalidate(db[3]) {
+		t.Fatal("invalidate of pinned object reported no entry")
+	}
+	if base.Invalidate(db[3]) {
+		t.Fatal("second invalidate reported an entry")
+	}
+	if base.Len() != len(db)-1 {
+		t.Fatalf("base holds %d entries after invalidate, want %d", base.Len(), len(db)-1)
+	}
+	if base.Version() == v0 {
+		t.Fatal("invalidate did not bump the version")
+	}
+	// A fresh entry after invalidation is a new decomposition of the
+	// same (immutable) object: results stay bit-identical.
+	reRun := Run(db, target, reference, Options{MaxIterations: 4, SharedDecomps: base.Overlay()})
+	if !reflect.DeepEqual(private.Bounds, reRun.Bounds) {
+		t.Fatal("run after invalidation differs")
+	}
+}

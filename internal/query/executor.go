@@ -35,6 +35,21 @@ func (e *Engine) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// queryCache resolves the decomposition cache of one query. With an
+// engine-level cache installed (Options.SharedDecomps — Store hands
+// every snapshot engine its persistent cache), the query reads through
+// a fresh overlay: decompositions of objects pinned in the persistent
+// cache are reused across queries, everything else (typically the query
+// object) lives only for this query. Without one, the query builds a
+// private cache. Results are bit-identical either way — decompositions
+// are deterministic — only the work reuse differs.
+func (e *Engine) queryCache() *core.DecompCache {
+	if e.Opts.SharedDecomps != nil {
+		return e.Opts.SharedDecomps.Overlay()
+	}
+	return core.NewDecompCache(e.Opts.MaxHeight)
+}
+
 // runOpts derives the per-candidate IDCA options from the engine
 // options: query-managed knobs (Stop, KMax, shared decompositions) are
 // cleared for the caller to set, and pair-level parallelism is disabled

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"probprune/internal/core"
+	"probprune/internal/geom"
 	"probprune/internal/gf"
 	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
@@ -40,17 +41,26 @@ type Engine struct {
 	// uses linear scans.
 	Index *rtree.Tree[*uncertain.Object]
 	// Opts configures the underlying IDCA runs. Stop and KMax are
-	// managed per query and must be left unset.
+	// managed per query and must be left unset. SharedDecomps, when set,
+	// becomes the decomposition cache of every query on this engine
+	// (cross-query work reuse — how Store engines recycle decompositions
+	// of database-resident objects); when nil each query builds its own.
 	Opts core.Options
 }
 
-// NewEngine builds an engine and its R-tree index over db.
+// NewEngine builds an engine and its R-tree index over db (an STR bulk
+// load — O(n log n) with better-clustered nodes than repeated inserts).
 func NewEngine(db uncertain.Database, opts core.Options) *Engine {
-	idx := rtree.New[*uncertain.Object]()
-	for _, o := range db {
-		idx.Insert(o.MBR, o)
+	return &Engine{DB: db, Index: bulkIndex(db), Opts: opts}
+}
+
+// bulkIndex STR-bulk-loads an R-tree over the objects' MBRs.
+func bulkIndex(db uncertain.Database) *rtree.Tree[*uncertain.Object] {
+	items := make([]rtree.BulkItem[*uncertain.Object], len(db))
+	for i, o := range db {
+		items[i] = rtree.BulkItem[*uncertain.Object]{Rect: o.MBR, Value: o}
 	}
-	return &Engine{DB: db, Index: idx, Opts: opts}
+	return rtree.Bulk(items)
 }
 
 // Match is one candidate's outcome in a threshold query.
@@ -106,49 +116,72 @@ func (e *Engine) KNN(q *uncertain.Object, k int, tau float64) []Match {
 // evaluated concurrently on Options.Parallelism workers; the result is
 // identical to the sequential evaluation, in database order.
 func (e *Engine) KNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]Match, error) {
-	if k < 1 {
-		return nil, nil
-	}
-	// Candidate preselection: objects farther than the (k+1)-th
-	// smallest MaxDist are dominated at least k times in every possible
-	// world and get P = 0 without an IDCA run (see knnfilter.go). Only
-	// valid for tau > 0 — at tau = 0 even impossible candidates satisfy
-	// the predicate.
-	norm := e.normOrDefault()
-	thresh := math.Inf(1)
-	if tau > 0 {
-		thresh = e.knnThreshold(q, k, norm)
-	}
-	cands := e.candidates(q)
-	// One decomposition cache for the whole query: the reference q and
-	// every influence object are decomposed once, not once per
-	// candidate run they appear in.
-	cache := core.NewDecompCache(e.Opts.MaxHeight)
-	matches := make([]Match, len(cands))
-	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
-		b := cands[i]
-		if knnPrunable(b, q, thresh, norm) {
-			matches[i] = Match{Object: b, Decided: true}
-			return
-		}
-		opts := e.runOpts()
-		opts.KMax = k
-		opts.Stop = ThresholdStop(k, tau)
-		opts.SharedDecomps = cache
-		res := e.run(b, q, opts)
-		iv := res.CDFBound(k)
-		matches[i] = Match{
-			Object:     b,
-			Prob:       iv,
-			IsResult:   iv.LB >= tau,
-			Decided:    iv.LB >= tau || iv.UB < tau,
-			Iterations: len(res.Iterations),
-		}
-	})
-	if err != nil {
+	j := e.newKNNJob(q, k, tau, e.queryCache())
+	if err := forEach(ctx, e.parallelism(), len(j.cands), j.eval); err != nil {
 		return nil, err
 	}
-	return matches, nil
+	return j.matches, nil
+}
+
+// knnJob is one prepared kNN query: the candidate set, the preselection
+// threshold and the per-candidate evaluation closure, separated from
+// the worker pool that drives it so that BatchKNN can pour the
+// candidates of many queries into a single pool.
+type knnJob struct {
+	e       *Engine
+	q       *uncertain.Object
+	k       int
+	tau     float64
+	norm    geom.Norm
+	thresh  float64
+	cache   *core.DecompCache
+	cands   []*uncertain.Object
+	matches []Match
+}
+
+// newKNNJob prepares a kNN query against the engine: candidate
+// preselection (objects farther than the (k+1)-th smallest MaxDist are
+// dominated at least k times in every possible world and get P = 0
+// without an IDCA run, see knnfilter.go — only valid for tau > 0, at
+// tau = 0 even impossible candidates satisfy the predicate) and one
+// decomposition cache for the whole query, so the reference q and every
+// influence object are decomposed once, not once per candidate run they
+// appear in. k < 1 yields an empty job.
+func (e *Engine) newKNNJob(q *uncertain.Object, k int, tau float64, cache *core.DecompCache) *knnJob {
+	j := &knnJob{e: e, q: q, k: k, tau: tau, norm: e.normOrDefault(), cache: cache}
+	if k < 1 {
+		return j
+	}
+	j.thresh = math.Inf(1)
+	if tau > 0 {
+		j.thresh = e.knnThreshold(q, k, j.norm)
+	}
+	j.cands = e.candidates(q)
+	j.matches = make([]Match, len(j.cands))
+	return j
+}
+
+// eval evaluates candidate i into its result slot; calls for distinct i
+// are safe to run concurrently.
+func (j *knnJob) eval(i int) {
+	b := j.cands[i]
+	if knnPrunable(b, j.q, j.thresh, j.norm) {
+		j.matches[i] = Match{Object: b, Decided: true}
+		return
+	}
+	opts := j.e.runOpts()
+	opts.KMax = j.k
+	opts.Stop = ThresholdStop(j.k, j.tau)
+	opts.SharedDecomps = j.cache
+	res := j.e.run(b, j.q, opts)
+	iv := res.CDFBound(j.k)
+	j.matches[i] = Match{
+		Object:     b,
+		Prob:       iv,
+		IsResult:   iv.LB >= j.tau,
+		Decided:    iv.LB >= j.tau || iv.UB < j.tau,
+		Iterations: len(res.Iterations),
+	}
 }
 
 // RKNN answers the probabilistic threshold reverse kNN query of
@@ -172,7 +205,7 @@ func (e *Engine) RKNNCtx(ctx context.Context, q *uncertain.Object, k int, tau fl
 	cands := e.candidates(q)
 	// The query object is the target of every run; the cache shares its
 	// decomposition (and the influence objects') across candidates.
-	cache := core.NewDecompCache(e.Opts.MaxHeight)
+	cache := e.queryCache()
 	matches := make([]Match, len(cands))
 	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
 		b := cands[i]
@@ -234,6 +267,7 @@ func (rd *RankDistribution) Bound(i int) gf.Interval {
 func (e *Engine) InverseRank(b, r *uncertain.Object) *RankDistribution {
 	opts := e.runOpts()
 	opts.Parallelism = e.Opts.Parallelism
+	opts.SharedDecomps = e.queryCache()
 	res := e.run(b, r, opts)
 	ranks := make([]gf.Interval, len(res.Bounds))
 	copy(ranks, res.Bounds)
@@ -302,7 +336,7 @@ func (e *Engine) RankByExpectedRank(q *uncertain.Object) []Ranked {
 // worker count and completion order.
 func (e *Engine) RankByExpectedRankCtx(ctx context.Context, q *uncertain.Object) ([]Ranked, error) {
 	cands := e.candidates(q)
-	cache := core.NewDecompCache(e.Opts.MaxHeight)
+	cache := e.queryCache()
 	out := make([]Ranked, len(cands))
 	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
 		opts := e.runOpts()

@@ -1,0 +1,405 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"probprune/internal/core"
+	"probprune/internal/rtree"
+	"probprune/internal/uncertain"
+)
+
+// Store is a concurrent, mutable uncertain-object store layered on the
+// query engine: live ingest (Insert/Delete/Update) interleaves with
+// snapshot-isolated queries. It is the serving-path counterpart of the
+// frozen Engine — the paper's framework operated the way a production
+// system runs it, with the database changing underneath the queries.
+//
+// # Snapshot isolation by copy-on-write
+//
+// Queries never lock out writers and writers never tear queries: a
+// query binds to an immutable Snapshot (database slice + R-tree +
+// decomposition cache) published under a read lock, and the first
+// mutation after a snapshot was published detaches — it clones the
+// R-tree (O(n)) and copies the object slice, then mutates the private
+// copies. Consecutive mutations reuse the detached state, so a write
+// burst pays one clone; consecutive queries reuse the published
+// snapshot, so a read burst pays one publish. Every query therefore
+// observes a database state that existed atomically — never a
+// half-applied update — and returns results bit-identical to a fresh
+// Engine built from that state, at any Parallelism.
+//
+// # Cross-query work reuse
+//
+// The store keeps one persistent, versioned core.DecompCache pinning
+// the kd-tree decomposition of every database-resident object. Updates
+// and deletes invalidate per object; queries read through a per-call
+// overlay (query objects decompose into the overlay and die with it).
+// Repeated queries against a stable database therefore stop
+// re-splitting influence objects — the dominant shared work of the
+// refinement loop.
+type Store struct {
+	opts core.Options
+
+	mu      sync.RWMutex
+	db      uncertain.Database // private storage; detached from snapshots
+	index   *rtree.Tree[*uncertain.Object]
+	byID    map[int]*uncertain.Object
+	cache   *core.DecompCache
+	version uint64
+	snap    *Snapshot // published snapshot; nil after a mutation
+}
+
+// NewStore builds a store over db (objects must have unique IDs; the
+// slice is copied, the objects are shared and must not be mutated). The
+// index is STR bulk-loaded in O(n log n). Opts configures every query
+// the store serves, like Engine.Opts; Opts.SharedDecomps must be left
+// unset — the store manages its own persistent cache.
+func NewStore(db uncertain.Database, opts core.Options) (*Store, error) {
+	if opts.SharedDecomps != nil {
+		return nil, fmt.Errorf("store: Options.SharedDecomps must be unset (the store manages its own cache)")
+	}
+	s := &Store{
+		opts:  opts,
+		db:    make(uncertain.Database, 0, len(db)),
+		byID:  make(map[int]*uncertain.Object, len(db)),
+		cache: core.NewDecompCache(opts.MaxHeight),
+	}
+	for _, o := range db {
+		if o == nil {
+			return nil, fmt.Errorf("store: nil object")
+		}
+		if _, dup := s.byID[o.ID]; dup {
+			return nil, fmt.Errorf("store: duplicate object ID %d", o.ID)
+		}
+		s.byID[o.ID] = o
+		s.db = append(s.db, o)
+		s.cache.Add(o)
+	}
+	s.index = bulkIndex(s.db)
+	return s, nil
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.db)
+}
+
+// Version returns the mutation epoch: it increments on every
+// Insert/Delete/Update, and a Snapshot carries the epoch it was
+// published at.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Get returns the stored object with the given ID.
+func (s *Store) Get(id int) (*uncertain.Object, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.byID[id]
+	return o, ok
+}
+
+// detachLocked makes the mutable state private again after a snapshot
+// was published: the published snapshot keeps the old slice and tree,
+// mutations proceed on copies. Requires s.mu held for writing.
+func (s *Store) detachLocked() {
+	if s.snap == nil {
+		return
+	}
+	db := make(uncertain.Database, len(s.db))
+	copy(db, s.db)
+	s.db = db
+	s.index = s.index.Clone()
+	s.snap = nil
+}
+
+// Insert adds a new object; the ID must not be in use. The object is
+// shared with the store and must not be mutated afterwards.
+func (s *Store) Insert(o *uncertain.Object) error {
+	if o == nil {
+		return fmt.Errorf("store: nil object")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byID[o.ID]; dup {
+		return fmt.Errorf("store: duplicate object ID %d", o.ID)
+	}
+	s.detachLocked()
+	s.byID[o.ID] = o
+	s.db = append(s.db, o)
+	s.index.Insert(o.MBR, o)
+	s.cache.Add(o)
+	s.version++
+	return nil
+}
+
+// Delete removes the object with the given ID and reports whether one
+// was stored.
+func (s *Store) Delete(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	s.detachLocked()
+	s.removeLocked(o)
+	s.version++
+	return true
+}
+
+// Update atomically replaces the object carrying o.ID with o: no query
+// ever observes the database with the old object gone and the new one
+// missing, or with both present. It returns an error when the ID is not
+// stored (use Insert for new objects).
+func (s *Store) Update(o *uncertain.Object) error {
+	if o == nil {
+		return fmt.Errorf("store: nil object")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.byID[o.ID]
+	if !ok {
+		return fmt.Errorf("store: update of unknown object ID %d", o.ID)
+	}
+	s.detachLocked()
+	// Replace the slot in place: the object keeps its database-order
+	// position (query results are in database order) and the update
+	// avoids the O(n) slice shift of a remove-and-append.
+	for i, x := range s.db {
+		if x == old {
+			s.db[i] = o
+			break
+		}
+	}
+	s.byID[o.ID] = o
+	s.index.Delete(old.MBR, old)
+	s.index.Insert(o.MBR, o)
+	s.cache.Invalidate(old)
+	s.cache.Add(o)
+	s.version++
+	return nil
+}
+
+// removeLocked unlinks o from the slice, map, index and cache.
+// Requires s.mu held for writing and the state detached.
+func (s *Store) removeLocked(o *uncertain.Object) {
+	for i, x := range s.db {
+		if x == o {
+			s.db = append(s.db[:i], s.db[i+1:]...)
+			break
+		}
+	}
+	delete(s.byID, o.ID)
+	s.index.Delete(o.MBR, o)
+	s.cache.Invalidate(o)
+}
+
+// Snapshot publishes (or returns the already-published) immutable view
+// of the current database state. Snapshots stay valid — and their
+// queries consistent — regardless of later mutations.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.RLock()
+	snap := s.snap
+	s.mu.RUnlock()
+	if snap != nil {
+		return snap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap == nil {
+		s.snap = &Snapshot{
+			db:      s.db,
+			index:   s.index,
+			cache:   s.cache,
+			version: s.version,
+			opts:    s.opts,
+		}
+	}
+	return s.snap
+}
+
+// Snapshot is one immutable database state published by a Store. All
+// queries on one snapshot see exactly the same objects and share the
+// store's persistent decomposition cache through one overlay.
+type Snapshot struct {
+	db      uncertain.Database
+	index   *rtree.Tree[*uncertain.Object]
+	cache   *core.DecompCache
+	version uint64
+	opts    core.Options
+
+	engineOnce sync.Once
+	engine     *Engine
+}
+
+// Version returns the store mutation epoch the snapshot was published
+// at.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// Len returns the number of objects in the snapshot.
+func (sn *Snapshot) Len() int { return len(sn.db) }
+
+// DB returns a copy of the snapshot's object slice (the objects are
+// shared and must be treated as read-only).
+func (sn *Snapshot) DB() uncertain.Database {
+	db := make(uncertain.Database, len(sn.db))
+	copy(db, sn.db)
+	return db
+}
+
+// Engine returns the snapshot-bound query engine. All queries issued on
+// it evaluate against this snapshot's state and reuse the store's
+// persistent decomposition cache (through per-query overlays); results
+// are bit-identical to a fresh Engine built from the same state, at any
+// Parallelism.
+func (sn *Snapshot) Engine() *Engine {
+	sn.engineOnce.Do(func() {
+		opts := sn.opts
+		opts.SharedDecomps = sn.cache
+		sn.engine = &Engine{DB: sn.db, Index: sn.index, Opts: opts}
+	})
+	return sn.engine
+}
+
+// Store query methods: each binds to the current snapshot and delegates
+// to the snapshot engine, so concurrent mutations never affect a query
+// in flight.
+
+// KNN answers the probabilistic threshold kNN query on the current
+// snapshot (see Engine.KNN).
+func (s *Store) KNN(q *uncertain.Object, k int, tau float64) []Match {
+	return s.Snapshot().Engine().KNN(q, k, tau)
+}
+
+// KNNCtx is KNN with cancellation.
+func (s *Store) KNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]Match, error) {
+	return s.Snapshot().Engine().KNNCtx(ctx, q, k, tau)
+}
+
+// RKNN answers the probabilistic threshold reverse kNN query on the
+// current snapshot (see Engine.RKNN).
+func (s *Store) RKNN(q *uncertain.Object, k int, tau float64) []Match {
+	return s.Snapshot().Engine().RKNN(q, k, tau)
+}
+
+// RKNNCtx is RKNN with cancellation.
+func (s *Store) RKNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]Match, error) {
+	return s.Snapshot().Engine().RKNNCtx(ctx, q, k, tau)
+}
+
+// TopKNN answers the top-m probable kNN query on the current snapshot
+// (see Engine.TopKNN).
+func (s *Store) TopKNN(q *uncertain.Object, k, m int) []Match {
+	return s.Snapshot().Engine().TopKNN(q, k, m)
+}
+
+// TopKNNCtx is TopKNN with cancellation.
+func (s *Store) TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) ([]Match, error) {
+	return s.Snapshot().Engine().TopKNNCtx(ctx, q, k, m)
+}
+
+// InverseRank computes the probabilistic inverse ranking on the current
+// snapshot (see Engine.InverseRank).
+func (s *Store) InverseRank(b, r *uncertain.Object) *RankDistribution {
+	return s.Snapshot().Engine().InverseRank(b, r)
+}
+
+// RankByExpectedRank ranks the current snapshot by expected rank (see
+// Engine.RankByExpectedRank).
+func (s *Store) RankByExpectedRank(q *uncertain.Object) []Ranked {
+	return s.Snapshot().Engine().RankByExpectedRank(q)
+}
+
+// RankByExpectedRankCtx is RankByExpectedRank with cancellation.
+func (s *Store) RankByExpectedRankCtx(ctx context.Context, q *uncertain.Object) ([]Ranked, error) {
+	return s.Snapshot().Engine().RankByExpectedRankCtx(ctx, q)
+}
+
+// UKRanks computes the U-kRanks winners on the current snapshot (see
+// Engine.UKRanks).
+func (s *Store) UKRanks(q *uncertain.Object, k int) []RankWinner {
+	return s.Snapshot().Engine().UKRanks(q, k)
+}
+
+// UKRanksCtx is UKRanks with cancellation.
+func (s *Store) UKRanksCtx(ctx context.Context, q *uncertain.Object, k int) ([]RankWinner, error) {
+	return s.Snapshot().Engine().UKRanksCtx(ctx, q, k)
+}
+
+// Batch runs fn against an engine bound to one snapshot: every query fn
+// issues sees the same database state and reuses the store's persistent
+// decomposition cache (each query reads it through its own overlay, so
+// database-resident objects are shared, query objects are not). Use it
+// to evaluate a mixed query batch atomically; for many kNN queries,
+// BatchKNN additionally pools the candidate runs.
+func (s *Store) Batch(fn func(*Engine)) {
+	fn(s.Snapshot().Engine())
+}
+
+// KNNRequest is one query of a BatchKNN call.
+type KNNRequest struct {
+	// Q is the query reference object.
+	Q *uncertain.Object
+	// K is the kNN parameter.
+	K int
+	// Tau is the probability threshold.
+	Tau float64
+}
+
+// BatchKNN evaluates many kNN queries on ONE snapshot: the candidate
+// IDCA runs of all requests are poured into a single worker pool
+// (Options.Parallelism workers total, not per query) and share one
+// decomposition cache overlay, so common influence objects and repeated
+// query objects are decomposed once for the whole batch. Results[i]
+// corresponds to reqs[i] and is bit-identical to Store.KNNCtx(reqs[i])
+// issued against the same snapshot.
+func (s *Store) BatchKNN(ctx context.Context, reqs []KNNRequest) ([][]Match, error) {
+	return s.Snapshot().BatchKNN(ctx, reqs)
+}
+
+// BatchKNN is Store.BatchKNN pinned to this snapshot.
+func (sn *Snapshot) BatchKNN(ctx context.Context, reqs []KNNRequest) ([][]Match, error) {
+	e := sn.Engine()
+	// One cache overlay for the whole batch: influence objects come from
+	// the persistent store cache, repeated query objects are decomposed
+	// once per batch. Preparation (candidate scan + preselection
+	// traversal per request) runs on the pool too — it only reads the
+	// snapshot — so a large batch has no serial prefix.
+	cache := e.queryCache()
+	jobs := make([]*knnJob, len(reqs))
+	if err := forEach(ctx, e.parallelism(), len(reqs), func(i int) {
+		jobs[i] = e.newKNNJob(reqs[i].Q, reqs[i].K, reqs[i].Tau, cache)
+	}); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, j := range jobs {
+		total += len(j.cands)
+	}
+	// Flatten every request's candidates into one index space and run
+	// them on a single pool: small queries do not serialize behind big
+	// ones, and the pool never idles while work remains.
+	flat := make([]func(), 0, total)
+	for _, j := range jobs {
+		j := j
+		for i := range j.cands {
+			i := i
+			flat = append(flat, func() { j.eval(i) })
+		}
+	}
+	if err := forEach(ctx, e.parallelism(), len(flat), func(i int) { flat[i]() }); err != nil {
+		return nil, err
+	}
+	out := make([][]Match, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.matches
+	}
+	return out, nil
+}

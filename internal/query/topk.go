@@ -64,7 +64,7 @@ func (e *Engine) TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) (
 	if len(objs) == 0 {
 		return nil, nil
 	}
-	cache := core.NewDecompCache(e.Opts.MaxHeight)
+	cache := e.queryCache()
 	cands := make([]*cand, len(objs))
 	err := forEach(ctx, e.parallelism(), len(objs), func(i int) {
 		opts := e.runOpts()

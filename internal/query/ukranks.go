@@ -3,7 +3,6 @@ package query
 import (
 	"context"
 
-	"probprune/internal/core"
 	"probprune/internal/gf"
 	"probprune/internal/uncertain"
 )
@@ -52,7 +51,7 @@ func (e *Engine) UKRanksCtx(ctx context.Context, q *uncertain.Object, k int) ([]
 		offset int           // first rank with non-zero probability − 1
 	}
 	cands := e.candidates(q)
-	cache := core.NewDecompCache(e.Opts.MaxHeight)
+	cache := e.queryCache()
 	entries := make([]entry, len(cands))
 	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
 		b := cands[i]

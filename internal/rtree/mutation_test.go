@@ -1,0 +1,263 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probprune/internal/geom"
+)
+
+// This file property-tests the tree under mutation: random interleaved
+// Insert / Delete / Bulk sequences must keep CheckInvariants passing and
+// SearchIntersect equal to a linear-scan reference at every step.
+
+// refEntry mirrors one stored (rect, value) pair in the linear
+// reference model.
+type refEntry struct {
+	rect geom.Rect
+	val  int
+}
+
+func randDimRect(rng *rand.Rand, dim int) geom.Rect {
+	min := make(geom.Point, dim)
+	max := make(geom.Point, dim)
+	for i := 0; i < dim; i++ {
+		a := rng.Float64() * 100
+		b := a + rng.Float64()*10
+		min[i], max[i] = a, b
+	}
+	return geom.Rect{Min: min, Max: max}
+}
+
+// checkAgainstReference compares the tree to the linear model: size,
+// invariants, full enumeration and a few random intersection queries.
+func checkAgainstReference(t *testing.T, rng *rand.Rand, tr *Tree[int], ref []refEntry, step int) {
+	t.Helper()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("step %d: invariants violated: %v", step, err)
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("step %d: Len() = %d, reference has %d", step, tr.Len(), len(ref))
+	}
+	// Full enumeration must match as a multiset of values.
+	var got []int
+	tr.All(func(_ geom.Rect, v int) { got = append(got, v) })
+	want := make([]int, 0, len(ref))
+	for _, e := range ref {
+		want = append(want, e.val)
+	}
+	sort.Ints(got)
+	sort.Ints(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("step %d: All() values = %v, want %v", step, got, want)
+	}
+	// Random window queries.
+	for q := 0; q < 3; q++ {
+		window := randRect(rng, 2)
+		var hits []int
+		tr.SearchIntersect(window, func(_ geom.Rect, v int) bool {
+			hits = append(hits, v)
+			return true
+		})
+		var wantHits []int
+		for _, e := range ref {
+			if e.rect.Intersects(window) {
+				wantHits = append(wantHits, e.val)
+			}
+		}
+		sort.Ints(hits)
+		sort.Ints(wantHits)
+		if fmt.Sprint(hits) != fmt.Sprint(wantHits) {
+			t.Fatalf("step %d: SearchIntersect = %v, want %v", step, hits, wantHits)
+		}
+	}
+}
+
+// TestMutationFuzz drives random interleaved Insert/Delete/Bulk
+// sequences against the linear reference.
+func TestMutationFuzz(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			var ref []refEntry
+			nextVal := 0
+			tr := New[int]()
+
+			// Occasionally restart from a bulk load of a fresh entry set.
+			reload := func(n int) {
+				ref = ref[:0]
+				items := make([]BulkItem[int], n)
+				for i := range items {
+					r := randRect(rng, 2)
+					items[i] = BulkItem[int]{Rect: r, Value: nextVal}
+					ref = append(ref, refEntry{rect: r, val: nextVal})
+					nextVal++
+				}
+				tr = Bulk(items)
+			}
+
+			steps := 400
+			for step := 0; step < steps; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5 || len(ref) == 0: // insert
+					r := randRect(rng, 2)
+					tr.Insert(r, nextVal)
+					ref = append(ref, refEntry{rect: r, val: nextVal})
+					nextVal++
+				case op < 9: // delete a random existing entry
+					i := rng.Intn(len(ref))
+					e := ref[i]
+					if !tr.Delete(e.rect, e.val) {
+						t.Fatalf("step %d: Delete(%v, %d) not found", step, e.rect, e.val)
+					}
+					ref = append(ref[:i], ref[i+1:]...)
+					// Deleting a missing entry must be a no-op.
+					if tr.Delete(e.rect, e.val) {
+						t.Fatalf("step %d: second Delete of %d succeeded", step, e.val)
+					}
+				default: // bulk reload
+					reload(rng.Intn(200))
+				}
+				if step%20 == 0 || step == steps-1 {
+					checkAgainstReference(t, rng, tr, ref, step)
+				}
+			}
+		})
+	}
+}
+
+// TestDeleteCondenseCascade is the regression test for the Delete
+// orphan-reinsertion size accounting: deletions that underflow nodes at
+// several levels orphan whole subtrees, and every orphaned value must be
+// reinserted exactly once (tree size and reachable values stay
+// consistent). A clustered workload with targeted deletions reliably
+// produces multi-level condense cascades.
+func TestDeleteCondenseCascade(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int]()
+	type ent struct {
+		rect geom.Rect
+		val  int
+	}
+	var all []ent
+	// Tight clusters force deep shared subtrees; deleting a cluster
+	// wholesale underflows its ancestors.
+	for c := 0; c < 12; c++ {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		for i := 0; i < 40; i++ {
+			min := geom.Point{cx + rng.Float64(), cy + rng.Float64()}
+			max := geom.Point{min[0] + 0.1, min[1] + 0.1}
+			r := geom.Rect{Min: min, Max: max}
+			v := c*1000 + i
+			tr.Insert(r, v)
+			all = append(all, ent{rect: r, val: v})
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("after build: %v", err)
+	}
+	// Delete cluster by cluster, checking size accounting after every
+	// deletion.
+	for i, e := range all {
+		if !tr.Delete(e.rect, e.val) {
+			t.Fatalf("delete %d: entry %d not found", i, e.val)
+		}
+		if got, want := tr.Len(), len(all)-i-1; got != want {
+			t.Fatalf("delete %d: Len() = %d, want %d", i, got, want)
+		}
+		if i%25 == 0 || i == len(all)-1 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty after deleting everything: %d", tr.Len())
+	}
+}
+
+// TestBulkInvariants checks STR bulk loads across sizes, including the
+// boundary cases around node capacity.
+func TestBulkInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sizes := []int{0, 1, 2, maxEntries - 1, maxEntries, maxEntries + 1,
+		2*maxEntries + 3, 100, 257, 1000, 5000}
+	for _, n := range sizes {
+		items := make([]BulkItem[int], n)
+		for i := range items {
+			items[i] = BulkItem[int]{Rect: randDimRect(rng, 3), Value: i}
+		}
+		tr := Bulk(items)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len() = %d", n, tr.Len())
+		}
+		seen := map[int]bool{}
+		tr.All(func(_ geom.Rect, v int) { seen[v] = true })
+		if len(seen) != n {
+			t.Fatalf("n=%d: %d distinct values reachable", n, len(seen))
+		}
+		// A bulk-loaded tree must behave identically under subsequent
+		// mutation.
+		if n > 0 {
+			tr.Insert(randDimRect(rng, 3), n)
+			if !tr.Delete(items[0].Rect, items[0].Value) {
+				t.Fatalf("n=%d: delete of bulk-loaded entry failed", n)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("n=%d after mutation: %v", n, err)
+			}
+		}
+	}
+}
+
+// TestClone verifies that a clone is independent: mutations on either
+// side do not affect the other.
+func TestClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := make([]BulkItem[int], 300)
+	for i := range items {
+		items[i] = BulkItem[int]{Rect: randRect(rng, 2), Value: i}
+	}
+	orig := Bulk(items)
+	clone := orig.Clone()
+
+	collect := func(tr *Tree[int]) []int {
+		var vs []int
+		tr.All(func(_ geom.Rect, v int) { vs = append(vs, v) })
+		sort.Ints(vs)
+		return vs
+	}
+	before := collect(orig)
+
+	// Mutate the clone heavily; the original must not change.
+	for i := 0; i < 150; i++ {
+		clone.Delete(items[i].Rect, items[i].Value)
+	}
+	for i := 0; i < 100; i++ {
+		clone.Insert(randRect(rng, 2), 1000+i)
+	}
+	if err := clone.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants: %v", err)
+	}
+	if err := orig.CheckInvariants(); err != nil {
+		t.Fatalf("original invariants after clone mutation: %v", err)
+	}
+	if fmt.Sprint(collect(orig)) != fmt.Sprint(before) {
+		t.Fatal("mutating the clone changed the original")
+	}
+
+	// And the other direction.
+	snap := collect(clone)
+	for i := 150; i < 300; i++ {
+		orig.Delete(items[i].Rect, items[i].Value)
+	}
+	if fmt.Sprint(collect(clone)) != fmt.Sprint(snap) {
+		t.Fatal("mutating the original changed the clone")
+	}
+}

@@ -56,7 +56,14 @@ func (t *Tree[T]) Len() int { return t.size }
 // Insert adds value under the given bounding rectangle. Duplicate
 // rectangles and values are allowed.
 func (t *Tree[T]) Insert(rect geom.Rect, value T) {
-	e := entry[T]{rect: rect.Clone(), value: value}
+	t.insertEntry(entry[T]{rect: rect.Clone(), value: value})
+	t.size++
+}
+
+// insertEntry places a leaf entry without touching t.size — the shared
+// path of Insert and orphan reinsertion, which moves values that are
+// still accounted for.
+func (t *Tree[T]) insertEntry(e entry[T]) {
 	split := t.insert(t.root, e)
 	if split != nil {
 		// Root split: grow the tree by one level.
@@ -70,7 +77,6 @@ func (t *Tree[T]) Insert(rect geom.Rect, value T) {
 			count: old.count + split.count,
 		}
 	}
-	t.size++
 }
 
 // insert places e into the subtree under n, returning a new sibling if
@@ -255,8 +261,11 @@ const (
 //
 // This is the primitive the bulk complete-domination filter builds on:
 // a node whose MBR is dominated by the target w.r.t. the reference is
-// SkipSubtree'd; a node whose MBR dominates the target is counted via
-// the count argument and SkipSubtree'd; everything else descends.
+// SkipSubtree'd (the count argument discards the subtree wholesale); a
+// node whose MBR dominates the target is TakeSubtree'd so each object
+// inherits the verdict but still gets its per-object existence check —
+// counting dominators wholesale is unsound for existentially uncertain
+// objects; everything else descends.
 func (t *Tree[T]) Walk(node func(mbr geom.Rect, count int) WalkAction, leaf func(rect geom.Rect, value T)) {
 	if t.size == 0 {
 		return
@@ -321,8 +330,9 @@ func (t *Tree[T]) Delete(rect geom.Rect, value T) bool {
 		if e.child != nil {
 			t.reinsertSubtree(e.child)
 		} else {
-			t.size-- // Insert will re-increment
-			t.Insert(e.rect, e.value)
+			// Orphaned values never left t.size — move the entry without
+			// re-counting it (and without re-cloning its rectangle).
+			t.insertEntry(e)
 		}
 	}
 	return true
@@ -331,8 +341,7 @@ func (t *Tree[T]) Delete(rect geom.Rect, value T) bool {
 func (t *Tree[T]) reinsertSubtree(n *node[T]) {
 	if n.leaf {
 		for _, e := range n.entries {
-			t.size--
-			t.Insert(e.rect, e.value)
+			t.insertEntry(e)
 		}
 		return
 	}

@@ -58,6 +58,23 @@
 // NewDecompCache with Options.SharedDecomps shares every decomposition
 // (operands and influence objects) across the runs handed the cache.
 //
+// # Live stores and batch queries
+//
+// Engine evaluates a frozen Database. Store is the serving-path
+// counterpart: a concurrent, mutable store with Insert/Delete/Update
+// live ingest, copy-on-write snapshot isolation (a query never observes
+// a half-applied update) and a persistent decomposition cache that
+// survives across queries and is invalidated per object on update.
+// BatchKNN pours many queries into one worker pool over one snapshot:
+//
+//	store, _ := probprune.NewStore(db, probprune.Options{})
+//	store.Insert(obj)                        // live ingest
+//	matches := store.KNN(q, 5, 0.5)          // snapshot-isolated
+//	results, _ := store.BatchKNN(ctx, reqs)  // amortized batch
+//
+// Store results are bit-identical to a fresh Engine built from the same
+// state, at any Parallelism.
+//
 // The examples/ directory contains runnable end-to-end scenarios and
 // cmd/experiments regenerates the paper's evaluation figures.
 package probprune
@@ -201,13 +218,15 @@ func RunIndexed(index *Index, target, reference *Object, opts Options) *Result {
 	return core.RunIndexed(index, target, reference, opts)
 }
 
-// NewIndex builds an R-tree over the database objects' MBRs.
+// NewIndex builds an R-tree over the database objects' MBRs with an
+// STR bulk load (O(n log n), better-clustered nodes than repeated
+// inserts).
 func NewIndex(db Database) *Index {
-	idx := rtree.New[*uncertain.Object]()
-	for _, o := range db {
-		idx.Insert(o.MBR, o)
+	items := make([]rtree.BulkItem[*uncertain.Object], len(db))
+	for i, o := range db {
+		items[i] = rtree.BulkItem[*uncertain.Object]{Rect: o.MBR, Value: o}
 	}
-	return idx
+	return rtree.Bulk(items)
 }
 
 // NewSession prepares an incremental IDCA computation: the filter runs
@@ -237,6 +256,28 @@ type (
 // NewEngine builds a query engine with an R-tree index over db.
 func NewEngine(db Database, opts Options) *Engine {
 	return query.NewEngine(db, opts)
+}
+
+// Live store: a concurrent, mutable database serving snapshot-isolated
+// queries (see internal/query.Store).
+type (
+	// Store is a concurrent uncertain-object store with live ingest
+	// (Insert/Delete/Update), snapshot-isolated queries and cross-query
+	// decomposition reuse. Its snapshot queries are bit-identical to a
+	// fresh Engine over the same state, at any Parallelism.
+	Store = query.Store
+	// StoreSnapshot is one immutable database state published by a
+	// Store; all queries on it observe exactly the same objects.
+	StoreSnapshot = query.Snapshot
+	// KNNRequest is one query of a Store.BatchKNN batch.
+	KNNRequest = query.KNNRequest
+)
+
+// NewStore builds a live store over db (unique object IDs required; the
+// index is STR bulk-loaded). Opts configures every query the store
+// serves; Opts.SharedDecomps must be left unset.
+func NewStore(db Database, opts Options) (*Store, error) {
+	return query.NewStore(db, opts)
 }
 
 // ThresholdStop builds the IDCA stop criterion for the tail predicate
