@@ -1,0 +1,113 @@
+// Command bench runs the repository's key performance scenarios and
+// writes the numbers to a machine-readable JSON file (BENCH_PR3.json by
+// default), so the performance trajectory of the project is tracked in
+// data rather than prose. It measures the hot serving paths — one-shot
+// engine queries, warm store queries, batched queries, index build —
+// and the continuous-query maintenance pair (incremental maintenance
+// vs. re-running every standing query per mutation), including the
+// IDCA-runs-per-mutation metric behind the incrementality claim.
+//
+// The scenario bodies live in internal/benchscen and are shared with
+// the `go test -bench` wrappers, so this report and the in-tree
+// benchmarks measure the same code.
+//
+//	go run ./cmd/bench                 # full size, ~1s per benchmark
+//	go run ./cmd/bench -quick          # smoke mode on a small database
+//	go run ./cmd/bench -o bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"probprune"
+	"probprune/internal/benchscen"
+)
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	PR         int                `json:"pr"`
+	Go         string             `json:"go"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	DBSize     int                `json:"db_size"`
+	Quick      bool               `json:"quick"`
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR3.json", "output file")
+	quick := flag.Bool("quick", false, "smoke mode: small database, cheap CI run (numbers not comparable with full runs)")
+	flag.Parse()
+	dbSize := 1000
+	if *quick {
+		dbSize = 150
+	}
+
+	db := benchscen.MustDB(dbSize)
+	rep := report{
+		PR:         3,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		DBSize:     dbSize,
+		Quick:      *quick,
+		Derived:    map[string]float64{},
+	}
+
+	add := func(name string, fn func(b *testing.B, db probprune.Database)) benchResult {
+		res := testing.Benchmark(func(b *testing.B) { fn(b, db) })
+		br := benchResult{
+			Name:        name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			br.Metrics = map[string]float64{}
+			for k, v := range res.Extra {
+				br.Metrics[k] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, br)
+		fmt.Printf("%-24s %12.0f ns/op  %v\n", name, br.NsPerOp, br.Metrics)
+		return br
+	}
+
+	add("EngineKNN", benchscen.EngineKNN)
+	add("StoreWarmKNN", benchscen.StoreWarmKNN)
+	add("StoreBatchKNN16", benchscen.StoreBatchKNN16)
+	add("IndexBulkLoad", benchscen.IndexBulkLoad)
+	maintain := add("CQMaintain", benchscen.CQMaintain)
+	requery := add("CQRequery", benchscen.CQRequery)
+
+	if m, r := maintain.Metrics["idca-runs/op"], requery.Metrics["idca-runs/op"]; m > 0 {
+		rep.Derived["cq_idca_run_ratio"] = r / m
+	}
+	if maintain.NsPerOp > 0 {
+		rep.Derived["cq_wall_speedup"] = requery.NsPerOp / maintain.NsPerOp
+	}
+	fmt.Printf("derived: %v\n", rep.Derived)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,188 @@
+// Package benchscen holds the repository's key benchmark scenario
+// bodies in ONE place, consumed both by the `go test -bench` wrappers
+// (internal/cq) and by cmd/bench, which writes the committed
+// machine-readable report (BENCH_PR3.json). Keeping a single copy
+// guarantees the published numbers and the in-tree benchmarks measure
+// literally the same code — a parameter tweak cannot silently diverge.
+//
+// Scenarios use the public root API only, on a synthetic database of
+// configurable size (1000 objects for the committed report).
+package benchscen
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"probprune"
+)
+
+// Shared scenario parameters: the standing-query fleet size and the
+// kNN predicate of the continuous-query pair.
+const (
+	Subs = 8
+	K    = 5
+	Tau  = 0.3
+)
+
+// MustDB builds the benchmark database: n clustered uncertain objects,
+// 8 samples each, fixed seed.
+func MustDB(n int) probprune.Database {
+	db, err := probprune.Synthetic(probprune.SyntheticConfig{N: n, Samples: 8, MaxExtent: 0.02, Seed: 99})
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func mustStore(b *testing.B, db probprune.Database) *probprune.Store {
+	b.Helper()
+	s, err := probprune.NewStore(db, probprune.Options{MaxIterations: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func queryPoints(rng *rand.Rand) []*probprune.Object {
+	qs := make([]*probprune.Object, Subs)
+	for i := range qs {
+		qs[i] = probprune.PointObject(-(i + 1), probprune.Point{rng.Float64(), rng.Float64()})
+	}
+	return qs
+}
+
+func randObject(b *testing.B, rng *rand.Rand, id int) *probprune.Object {
+	b.Helper()
+	cx, cy := rng.Float64(), rng.Float64()
+	pts := make([]probprune.Point, 4)
+	for i := range pts {
+		pts[i] = probprune.Point{cx + rng.Float64()*0.02, cy + rng.Float64()*0.02}
+	}
+	o, err := probprune.NewObject(id, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// EngineKNN: one-shot threshold kNN on a frozen engine.
+func EngineKNN(b *testing.B, db probprune.Database) {
+	e := probprune.NewEngine(db, probprune.Options{MaxIterations: 3})
+	q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.KNN(q, K, Tau)
+	}
+}
+
+// StoreWarmKNN: repeated kNN on a live store with a warm persistent
+// decomposition cache.
+func StoreWarmKNN(b *testing.B, db probprune.Database) {
+	s := mustStore(b, db)
+	q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
+	s.KNN(q, K, Tau) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.KNN(q, K, Tau)
+	}
+}
+
+// StoreBatchKNN16: a 16-request batch pooled on one snapshot.
+func StoreBatchKNN16(b *testing.B, db probprune.Database) {
+	s := mustStore(b, db)
+	rng := rand.New(rand.NewSource(3))
+	reqs := make([]probprune.KNNRequest, 16)
+	for i := range reqs {
+		reqs[i] = probprune.KNNRequest{
+			Q:   probprune.PointObject(-(i + 1), probprune.Point{rng.Float64(), rng.Float64()}),
+			K:   K,
+			Tau: Tau,
+		}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.BatchKNN(ctx, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// IndexBulkLoad: STR bulk construction of the R-tree.
+func IndexBulkLoad(b *testing.B, db probprune.Database) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probprune.NewIndex(db)
+	}
+}
+
+// CQMaintain: one mutation against a store with Subs standing KNN
+// subscriptions, maintained incrementally by a Monitor. Reports the
+// IDCA evaluations maintenance spent per mutation as idca-runs/op.
+func CQMaintain(b *testing.B, db probprune.Database) {
+	s := mustStore(b, db)
+	m := probprune.NewMonitor(s, probprune.MonitorOptions{Buffer: 1 << 12, Policy: probprune.DropOldest})
+	defer m.Close()
+	rng := rand.New(rand.NewSource(7))
+	for _, q := range queryPoints(rng) {
+		if _, err := m.SubscribeKNN(q, K, Tau); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	runs0 := m.Stats().Runs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := db[rng.Intn(len(db))].ID
+		if err := s.Update(randObject(b, rng, victim)); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(m.Stats().Runs-runs0)/float64(b.N), "idca-runs/op")
+}
+
+// CQRequery: the naive way to keep the same standing queries current —
+// re-run every query after every mutation. The idca-runs/op metric
+// counts the candidates that survived preselection (one IDCA run each);
+// the counting pass itself runs off the clock.
+func CQRequery(b *testing.B, db probprune.Database) {
+	s := mustStore(b, db)
+	rng := rand.New(rand.NewSource(7))
+	qs := queryPoints(rng)
+	var runs uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := db[rng.Intn(len(db))].ID
+		if err := s.Update(randObject(b, rng, victim)); err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range qs {
+			s.KNN(q, K, Tau)
+		}
+		// Accounting only — keep it out of the timed section.
+		b.StopTimer()
+		e := s.Snapshot().Engine()
+		for _, q := range qs {
+			thresh := e.KNNThreshold(q, K)
+			for _, o := range e.DB {
+				if o != q && !e.KNNPrunable(q, o, thresh) {
+					runs++
+				}
+			}
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(runs)/float64(b.N), "idca-runs/op")
+}

@@ -346,16 +346,10 @@ func newResult(target, reference *uncertain.Object, opts Options) *Result {
 }
 
 func classifyInto(res *Result, n geom.Norm, crit geom.Criterion, a *uncertain.Object) {
-	switch domination.Classify(n, crit, a.MBR, res.Target.MBR, res.Reference.MBR) {
-	case domination.DominatesTarget:
-		if a.ExistenceProb() < 1 {
-			// An existentially uncertain object dominates only in the
-			// worlds where it exists; it cannot shift the count.
-			res.Influence = append(res.Influence, a)
-			return
-		}
+	switch ClassifyRole(n, crit, a.MBR, a.ExistenceProb(), res.Target.MBR, res.Reference.MBR) {
+	case RoleDominator:
 		res.CompleteDominators++
-	case domination.DominatedByTarget:
+	case RolePruned:
 		res.Pruned++
 	default:
 		res.Influence = append(res.Influence, a)

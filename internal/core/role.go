@@ -1,0 +1,66 @@
+package core
+
+import (
+	"probprune/internal/domination"
+	"probprune/internal/geom"
+)
+
+// Role classifies the contribution one database object makes to an IDCA
+// run with a given target and reference: it either shifts the
+// domination count in every possible world, can never contribute, or
+// belongs to the influence set whose decompositions drive refinement.
+// This is the per-object outcome of the complete-domination filter
+// (Section III-A plus the existential-uncertainty rule of Section I-A),
+// exposed so that incremental maintainers (package cq) can decide —
+// from MBRs alone — whether a mutated object could be part of a
+// candidate's canonical influence set and therefore whether the
+// candidate's persisted verdict is still valid.
+type Role uint8
+
+const (
+	// RolePruned: the target dominates the object in every possible
+	// world; it can never contribute to the count.
+	RolePruned Role = iota
+	// RoleDominator: the object dominates the target in every possible
+	// world and certainly exists; it shifts the count PDF by one.
+	RoleDominator
+	// RoleInfluence: the domination relation is uncertain (or the
+	// object's existence is); the object is an influence object.
+	RoleInfluence
+)
+
+// String returns a short human-readable role name.
+func (r Role) String() string {
+	switch r {
+	case RolePruned:
+		return "pruned"
+	case RoleDominator:
+		return "dominator"
+	default:
+		return "influence"
+	}
+}
+
+// ClassifyRole returns the role an object with uncertainty region a and
+// existence probability exist plays in a run with the given target and
+// reference regions. It is exactly the classification the filter step
+// of Run/RunIndexed applies to each database object, so two states of a
+// database differ in a run's outcome only where ClassifyRole differs
+// (or where an influence object's interior distribution changed): a
+// mutation whose old and new states are both RolePruned, or both
+// RoleDominator, leaves the run's bounds bit-identical.
+func ClassifyRole(n geom.Norm, crit geom.Criterion, a geom.Rect, exist float64, target, reference geom.Rect) Role {
+	switch domination.Classify(n, crit, a, target, reference) {
+	case domination.DominatesTarget:
+		if exist < 1 {
+			// Dominates only in the worlds where it exists; it cannot
+			// shift the count.
+			return RoleInfluence
+		}
+		return RoleDominator
+	case domination.DominatedByTarget:
+		return RolePruned
+	default:
+		return RoleInfluence
+	}
+}

@@ -1,0 +1,24 @@
+package cq_test
+
+import (
+	"testing"
+
+	"probprune/internal/benchscen"
+)
+
+// The benchmark pair quantifying the incrementality claim: on a stable
+// 1k-object database with standing KNN queries, BenchmarkCQMaintain
+// applies one mutation and lets the monitor maintain every subscription
+// incrementally, while BenchmarkCQRequery applies the same mutation and
+// re-runs every query from scratch. Compare wall time and the
+// idca-runs/op metric. The shared scenario bodies live in
+// internal/benchscen — cmd/bench writes the same measurements to the
+// committed BENCH_PR3.json.
+
+func BenchmarkCQMaintain(b *testing.B) {
+	benchscen.CQMaintain(b, benchscen.MustDB(1000))
+}
+
+func BenchmarkCQRequery(b *testing.B) {
+	benchscen.CQRequery(b, benchscen.MustDB(1000))
+}

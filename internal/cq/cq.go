@@ -1,0 +1,451 @@
+// Package cq turns the one-shot probabilistic queries of the engine
+// into continuous ones: standing KNN/RkNN subscriptions over a live
+// query.Store, kept current incrementally as Insert/Update/Delete
+// commit, with clients consuming an ordered stream of result-set events
+// — the serving model of production geofence systems (tile38-style),
+// built on the paper's domination-count bounds.
+//
+// # Incremental, pruning-aware maintenance
+//
+// The paper's economy — decide predicates with cheap bounds instead of
+// full integration — is applied twice over:
+//
+//   - Across subscriptions: each subscription registers its influence
+//     region (the area where a mutation could change its result) in an
+//     R-tree; a committed change wakes only the subscriptions whose
+//     region the mutated object intersects. Everything else stays
+//     asleep, provably unaffected.
+//   - Within a subscription: per-candidate IDCA verdicts and bounds are
+//     persisted. On a change, a candidate re-runs only when its
+//     preselection status flipped or the mutated object's filter role
+//     (core.ClassifyRole) in that candidate's run changed or is an
+//     influence-set membership. All other candidates keep their decided
+//     verdicts — and because re-evaluation goes through the same
+//     EvalKNNCandidate/EvalRKNNCandidate paths a from-scratch query
+//     uses, the maintained state stays bit-identical to recomputing the
+//     query at every version (the mutation-trace oracle test enforces
+//     this).
+//
+// # Event delivery
+//
+// Events are delivered per subscription, in store version order, with
+// ascending object IDs within a version, on a bounded buffer. A
+// consumer that stops draining either loses the subscription
+// (DisconnectSlow, the default — no silent gaps) or sheds the oldest
+// events (DropOldest, counted in Lost). See Options.
+package cq
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"probprune/internal/geom"
+	"probprune/internal/query"
+	"probprune/internal/rtree"
+	"probprune/internal/uncertain"
+)
+
+// Monitor maintains standing subscriptions over one Store. It consumes
+// the store's committed change stream (Store.Watch) on a single worker
+// goroutine: changes are applied strictly in version order, so every
+// subscription observes every version exactly once. Construct with
+// NewMonitor, release with Close.
+//
+// The change queue between the store and the worker is unbounded:
+// accepting a change must never block (the Watch callback runs under
+// the store's write lock) and per-version exactness rules out shedding
+// or coalescing, so a writer that sustains more commits per second than
+// maintenance drains grows the backlog — and each queued change pins
+// the snapshot of its version. Writers that can outpace maintenance for
+// long stretches should watch QueueLen (or compare Version against
+// Store.Version) and throttle; bounding the queue with an explicit
+// backpressure or degrade-to-requery mode is future work.
+type Monitor struct {
+	store *query.Store
+	opts  Options
+
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	queue  []item
+	closed bool
+
+	done chan struct{} // closed when the worker exits
+
+	// Worker-owned state: only the run goroutine touches these.
+	snap      *query.Snapshot
+	subs      map[int64]*Subscription
+	regions   *rtree.Tree[*Subscription] // bounded influence regions
+	unbounded map[int64]*Subscription    // subscriptions that wake on every change
+
+	wmu       sync.Mutex
+	processed uint64
+	advanced  chan struct{}
+
+	stopWatch func()
+	nextID    atomic.Int64
+	subCount  atomic.Int64
+
+	changes, woken, runs, setupRuns, events, lost, dropped atomic.Uint64
+}
+
+// item is one unit of worker input: a store change or a control request.
+type item struct {
+	change   *query.Change
+	sub      *Subscription
+	unsub    *Subscription
+	shutdown bool
+	done     chan struct{}
+}
+
+// NewMonitor attaches a monitor to the store. The registration is
+// atomic with a snapshot of the current state: subscriptions made
+// before any further mutation see exactly that state as their initial
+// result. The monitor owns a background worker until Close.
+//
+// While a monitor is attached every store mutation publishes a snapshot
+// (see Store.Watch), so write bursts pay one copy-on-write detach per
+// mutation — the cost of a gapless per-version subscription feed.
+func NewMonitor(store *query.Store, opts Options) *Monitor {
+	m := &Monitor{
+		store:     store,
+		opts:      opts,
+		done:      make(chan struct{}),
+		subs:      make(map[int64]*Subscription),
+		regions:   rtree.New[*Subscription](),
+		unbounded: make(map[int64]*Subscription),
+		advanced:  make(chan struct{}),
+	}
+	m.qcond = sync.NewCond(&m.qmu)
+	snap, stop := store.Watch(func(ch query.Change) {
+		c := ch
+		m.enqueue(item{change: &c})
+	})
+	m.snap = snap
+	m.processed = snap.Version()
+	m.stopWatch = stop
+	go m.run()
+	return m
+}
+
+// SubscribeKNN registers a standing probabilistic threshold kNN query:
+// the event stream tracks every object B with P(B ∈ kNN(q)) >= tau.
+// The current result set arrives first, as ObjectEntered events.
+func (m *Monitor) SubscribeKNN(q *uncertain.Object, k int, tau float64) (*Subscription, error) {
+	return m.subscribe(KNN, q, k, tau)
+}
+
+// SubscribeRKNN registers a standing probabilistic threshold reverse
+// kNN query: the stream tracks every object that has q among its k
+// nearest neighbors with probability >= tau.
+func (m *Monitor) SubscribeRKNN(q *uncertain.Object, k int, tau float64) (*Subscription, error) {
+	return m.subscribe(RKNN, q, k, tau)
+}
+
+func (m *Monitor) subscribe(kind Kind, q *uncertain.Object, k int, tau float64) (*Subscription, error) {
+	if q == nil {
+		return nil, fmt.Errorf("cq: nil query object")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("cq: k = %d, need k >= 1", k)
+	}
+	if tau < 0 || tau > 1 || math.IsNaN(tau) {
+		return nil, fmt.Errorf("cq: tau = %g outside [0, 1]", tau)
+	}
+	s := &Subscription{
+		id:     m.nextID.Add(1),
+		m:      m,
+		kind:   kind,
+		q:      q,
+		k:      k,
+		tau:    tau,
+		events: make(chan Event, m.opts.buffer()),
+		cands:  make(map[int]*candState),
+		thresh: math.Inf(1),
+	}
+	done := make(chan struct{})
+	if !m.enqueue(item{sub: s, done: done}) {
+		return nil, ErrMonitorClosed
+	}
+	<-done
+	// The consumer cannot drain before subscribe returns, so an initial
+	// result set larger than the buffer would — under DisconnectSlow —
+	// kill the subscription deterministically before it ever worked.
+	// Surface that as a subscribe error instead of a dead channel.
+	if err := s.Err(); err != nil {
+		return nil, fmt.Errorf("cq: initial result set overflowed the %d-event buffer (raise Options.Buffer or use DropOldest): %w", m.opts.buffer(), err)
+	}
+	return s, nil
+}
+
+// Unsubscribe cancels a subscription (see Subscription.Cancel).
+func (m *Monitor) Unsubscribe(s *Subscription) { s.Cancel() }
+
+// Close detaches from the store, ends every subscription with
+// ErrMonitorClosed and stops the worker. Changes committed before Close
+// are still processed; the call blocks until the worker drained them.
+func (m *Monitor) Close() error {
+	m.stopWatch()
+	m.qmu.Lock()
+	if m.closed {
+		m.qmu.Unlock()
+		<-m.done
+		return nil
+	}
+	m.closed = true
+	m.queue = append(m.queue, item{shutdown: true})
+	m.qcond.Signal()
+	m.qmu.Unlock()
+	<-m.done
+	return nil
+}
+
+// Version returns the latest store version the monitor has fully
+// processed — every subscription's stream is current through it.
+func (m *Monitor) Version() uint64 {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	return m.processed
+}
+
+// WaitVersion blocks until the monitor has processed store version v
+// (every event up to v delivered to the subscription buffers), the
+// context is cancelled, or the monitor closes.
+func (m *Monitor) WaitVersion(ctx context.Context, v uint64) error {
+	for {
+		m.wmu.Lock()
+		if m.processed >= v {
+			m.wmu.Unlock()
+			return nil
+		}
+		ch := m.advanced
+		m.wmu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-m.done:
+			m.wmu.Lock()
+			p := m.processed
+			m.wmu.Unlock()
+			if p >= v {
+				return nil
+			}
+			return ErrMonitorClosed
+		}
+	}
+}
+
+// Sync blocks until the monitor has caught up with the store's current
+// version.
+func (m *Monitor) Sync(ctx context.Context) error {
+	return m.WaitVersion(ctx, m.store.Version())
+}
+
+// NumSubscriptions returns the number of live subscriptions.
+func (m *Monitor) NumSubscriptions() int { return int(m.subCount.Load()) }
+
+// QueueLen returns the current maintenance backlog: changes (and
+// control requests) accepted but not yet applied. A persistently
+// growing value means mutations outpace maintenance — see the queue
+// discussion on Monitor.
+func (m *Monitor) QueueLen() int {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	return len(m.queue)
+}
+
+// Stats returns the monitor-wide cumulative counters.
+func (m *Monitor) Stats() Stats {
+	return Stats{
+		Changes:   m.changes.Load(),
+		Woken:     m.woken.Load(),
+		Runs:      m.runs.Load(),
+		SetupRuns: m.setupRuns.Load(),
+		Events:    m.events.Load(),
+		Lost:      m.lost.Load(),
+		Dropped:   m.dropped.Load(),
+	}
+}
+
+// enqueue hands an item to the worker; it reports false when the
+// monitor no longer accepts input. Never blocks — it is called from
+// inside store mutations, under the store lock.
+func (m *Monitor) enqueue(it item) bool {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, it)
+	m.qcond.Signal()
+	return true
+}
+
+// dequeue blocks until an item is available.
+func (m *Monitor) dequeue() item {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	for len(m.queue) == 0 {
+		m.qcond.Wait()
+	}
+	it := m.queue[0]
+	m.queue = m.queue[1:]
+	return it
+}
+
+// run is the worker loop: it serializes subscription management and
+// change application, which is what makes the per-subscription state
+// single-writer and the event streams strictly ordered.
+func (m *Monitor) run() {
+	defer close(m.done)
+	for {
+		it := m.dequeue()
+		switch {
+		case it.change != nil:
+			m.applyChange(*it.change)
+		case it.sub != nil:
+			m.addSub(it.sub)
+			close(it.done)
+		case it.unsub != nil:
+			m.dropSub(it.unsub, ErrUnsubscribed)
+			close(it.done)
+		case it.shutdown:
+			for _, s := range m.subs {
+				s.finish(ErrMonitorClosed)
+			}
+			m.subs = make(map[int64]*Subscription)
+			m.subCount.Store(0)
+			return
+		}
+	}
+}
+
+// addSub evaluates the initial result on the latest processed snapshot,
+// registers the influence region and delivers the initial events.
+func (m *Monitor) addSub(s *Subscription) {
+	evs := s.init(m.snap)
+	m.subs[s.id] = s
+	m.subCount.Add(1)
+	m.place(s, false)
+	m.deliver(s, evs)
+}
+
+// dropSub removes a subscription and closes its stream.
+func (m *Monitor) dropSub(s *Subscription, err error) {
+	if _, ok := m.subs[s.id]; !ok {
+		return
+	}
+	delete(m.subs, s.id)
+	m.subCount.Add(-1)
+	if s.bounded {
+		m.regions.Delete(s.region, s)
+	} else {
+		delete(m.unbounded, s.id)
+	}
+	s.finish(err)
+}
+
+// place (re)registers the subscription's influence region after its
+// state changed. existing distinguishes repositioning from the first
+// registration.
+func (m *Monitor) place(s *Subscription, existing bool) {
+	region, bounded := s.computeRegion(m.snap.Engine())
+	if existing {
+		if bounded == s.bounded && (!bounded || region.Equal(s.region)) {
+			return
+		}
+		if s.bounded {
+			m.regions.Delete(s.region, s)
+		} else {
+			delete(m.unbounded, s.id)
+		}
+	}
+	s.region, s.bounded = region, bounded
+	if bounded {
+		m.regions.Insert(region, s)
+	} else {
+		m.unbounded[s.id] = s
+	}
+}
+
+// applyChange routes one committed change to the affected
+// subscriptions: the ones whose influence region the mutated object's
+// (old or new) extent intersects, plus the unbounded ones. Untouched
+// subscriptions do no work at all.
+func (m *Monitor) applyChange(ch query.Change) {
+	m.snap = ch.Snap
+	var woken []*Subscription
+	wake := wakeRect(ch)
+	m.regions.SearchIntersect(wake, func(_ geom.Rect, s *Subscription) bool {
+		woken = append(woken, s)
+		return true
+	})
+	for _, s := range m.unbounded {
+		woken = append(woken, s)
+	}
+	sort.Slice(woken, func(i, j int) bool { return woken[i].id < woken[j].id })
+	for _, s := range woken {
+		s.woken.Add(1)
+		m.woken.Add(1)
+		evs := s.apply(ch)
+		m.place(s, true)
+		m.deliver(s, evs)
+	}
+	m.changes.Add(1)
+	m.advance(ch.Version)
+}
+
+// wakeRect is the spatial extent a change can influence directly: the
+// union of the mutated object's old and new uncertainty regions.
+func wakeRect(ch query.Change) geom.Rect {
+	switch {
+	case ch.Old == nil:
+		return ch.New.MBR
+	case ch.New == nil:
+		return ch.Old.MBR
+	default:
+		return ch.Old.MBR.Union(ch.New.MBR)
+	}
+}
+
+// deliver pushes events into the subscription's bounded buffer,
+// applying the slow-consumer policy on overflow.
+func (m *Monitor) deliver(s *Subscription, evs []Event) {
+	for _, ev := range evs {
+		for {
+			select {
+			case s.events <- ev:
+				s.emitted.Add(1)
+				m.events.Add(1)
+			default:
+				if m.opts.Policy == DropOldest {
+					select {
+					case <-s.events:
+						s.lost.Add(1)
+						m.lost.Add(1)
+					default:
+					}
+					continue
+				}
+				m.dropped.Add(1)
+				m.dropSub(s, ErrSlowConsumer)
+				return
+			}
+			break
+		}
+	}
+}
+
+// advance publishes the new watermark to WaitVersion blockers.
+func (m *Monitor) advance(v uint64) {
+	m.wmu.Lock()
+	m.processed = v
+	ch := m.advanced
+	m.advanced = make(chan struct{})
+	m.wmu.Unlock()
+	close(ch)
+}

@@ -1,0 +1,154 @@
+package cq
+
+import (
+	"errors"
+
+	"probprune/internal/query"
+	"probprune/internal/uncertain"
+)
+
+// EventKind identifies what happened to one object of a subscription's
+// result set.
+type EventKind uint8
+
+const (
+	// ObjectEntered: the object satisfies the subscription predicate at
+	// Event.Version and did not at the previous version (or the
+	// subscription just started and this is part of its initial result
+	// set).
+	ObjectEntered EventKind = iota + 1
+	// ObjectLeft: the object no longer satisfies the predicate (or left
+	// the database).
+	ObjectLeft
+	// BoundsChanged: the object remains in the result set but its
+	// probability bounds changed.
+	BoundsChanged
+)
+
+// String returns a short human-readable kind name.
+func (k EventKind) String() string {
+	switch k {
+	case ObjectEntered:
+		return "entered"
+	case ObjectLeft:
+		return "left"
+	case BoundsChanged:
+		return "bounds"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one result-set transition of a standing subscription.
+// Events are delivered in version order; within one version, in
+// ascending object ID order. The cumulative event stream reconstructs
+// the subscription's exact result set — objects and probability bounds
+// bit-identical to re-running the query on the store state of
+// Event.Version (the mutation-trace oracle test enforces this).
+type Event struct {
+	// Kind is the transition.
+	Kind EventKind
+	// Version is the store mutation epoch the event is valid at.
+	Version uint64
+	// Object is the affected object (for updates, the post-update
+	// object; for ObjectLeft after a delete, the removed object).
+	Object *uncertain.Object
+	// Match is the candidate's state after the change: probability
+	// bounds and verdict as a from-scratch query at Version would
+	// report them. It is the zero Match when the object left by
+	// deletion — there is no post-change state.
+	Match query.Match
+}
+
+// Policy selects what happens to a subscription whose consumer does not
+// drain events fast enough to keep its bounded buffer from filling.
+type Policy uint8
+
+const (
+	// DisconnectSlow (the default): the subscription is cancelled and
+	// its event channel closed; Subscription.Err reports
+	// ErrSlowConsumer. A consumer that needs an exact cumulative view
+	// must resubscribe — a gap in the stream would silently corrupt the
+	// view, so the stream is ended instead (the NATS-style slow-consumer
+	// contract).
+	DisconnectSlow Policy = iota
+	// DropOldest: the oldest buffered event is discarded to make room,
+	// the subscription stays alive, and Subscription.Lost counts the
+	// discarded events. For consumers that only care about the latest
+	// state transitions and can tolerate gaps.
+	DropOldest
+)
+
+// String returns a short human-readable policy name.
+func (p Policy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return "disconnect-slow"
+	}
+}
+
+// Options configures a Monitor.
+type Options struct {
+	// Buffer is the per-subscription event channel capacity; <= 0
+	// selects DefaultBuffer.
+	Buffer int
+	// Policy is the slow-consumer policy; the zero value is
+	// DisconnectSlow.
+	Policy Policy
+}
+
+// DefaultBuffer is the per-subscription event buffer capacity used when
+// Options does not choose one.
+const DefaultBuffer = 64
+
+func (o Options) buffer() int {
+	if o.Buffer <= 0 {
+		return DefaultBuffer
+	}
+	return o.Buffer
+}
+
+// Terminal subscription errors, reported by Subscription.Err after the
+// event channel closed.
+var (
+	// ErrSlowConsumer: the DisconnectSlow policy cancelled the
+	// subscription because its event buffer overflowed.
+	ErrSlowConsumer = errors.New("cq: slow consumer, subscription dropped")
+	// ErrUnsubscribed: the subscription was cancelled by the client.
+	ErrUnsubscribed = errors.New("cq: unsubscribed")
+	// ErrMonitorClosed: the monitor shut down.
+	ErrMonitorClosed = errors.New("cq: monitor closed")
+)
+
+// Stats aggregates monitor-wide maintenance counters; all values are
+// cumulative since the monitor started.
+type Stats struct {
+	// Changes is the number of store change records processed.
+	Changes uint64
+	// Woken is the number of (change, subscription) pairs that required
+	// maintenance — subscriptions whose influence region the mutated
+	// object intersected. Changes outside every region wake nobody.
+	Woken uint64
+	// Runs is the number of per-candidate IDCA evaluations executed by
+	// incremental maintenance. Re-running every subscription from
+	// scratch on each change would execute one run per non-preselected
+	// candidate instead — the incrementality the benchmark measures.
+	Runs uint64
+	// SetupRuns is the number of per-candidate evaluations spent on
+	// initial subscription evaluation (not maintenance).
+	SetupRuns uint64
+	// Events is the number of events delivered to subscribers.
+	Events uint64
+	// Lost is the number of events discarded by the DropOldest policy.
+	Lost uint64
+	// Dropped is the number of subscriptions cancelled by the
+	// DisconnectSlow policy.
+	Dropped uint64
+}
+
+// SubStats are the per-subscription counters of Stats.
+type SubStats struct {
+	Woken, Runs, SetupRuns, Events, Lost uint64
+}

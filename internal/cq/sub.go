@@ -1,0 +1,430 @@
+package cq
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"probprune/internal/core"
+	"probprune/internal/geom"
+	"probprune/internal/gf"
+	"probprune/internal/query"
+	"probprune/internal/uncertain"
+)
+
+// Kind selects the standing query predicate of a subscription.
+type Kind uint8
+
+const (
+	// KNN: the probabilistic threshold kNN predicate — the result set
+	// holds every object B with P(B ∈ kNN(q)) >= tau.
+	KNN Kind = iota + 1
+	// RKNN: the probabilistic threshold reverse kNN predicate — every
+	// object B for which q is among B's k nearest neighbors with
+	// probability >= tau.
+	RKNN
+)
+
+// String returns a short human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KNN:
+		return "knn"
+	case RKNN:
+		return "rknn"
+	default:
+		return "unknown"
+	}
+}
+
+// candState is the persisted verdict of one non-preselected candidate.
+// Candidates discarded by preselection (impossible results, P = 0) are
+// NOT tracked: a missing map entry is the zero verdict. That keeps the
+// per-subscription state proportional to the query's working set, and
+// it is what lets a sleeping subscription stay consistent — objects
+// mutating outside the influence region are exactly the ones whose
+// verdict is and stays zero.
+type candState struct {
+	obj   *uncertain.Object
+	match query.Match
+}
+
+// Subscription is one standing KNN/RKNN query registered on a Monitor.
+// Events stream on Events() until the subscription ends (Cancel, the
+// slow-consumer policy, or Monitor.Close); after the channel closes,
+// Err reports why.
+type Subscription struct {
+	id   int64
+	m    *Monitor
+	kind Kind
+	q    *uncertain.Object
+	k    int
+	tau  float64
+
+	events chan Event
+
+	// Maintenance state below is owned by the monitor worker; nothing
+	// else reads or writes it.
+	cache   *core.DecompCache // persistent decomposition overlay (q + one-offs)
+	thresh  float64           // kNN preselection bound m_{k+1} (+Inf: none)
+	cands   map[int]*candState
+	region  geom.Rect // registered influence region (valid when bounded)
+	bounded bool
+
+	mu  sync.Mutex
+	end bool
+	err error
+
+	woken, runs, setupRuns, emitted, lost atomic.Uint64
+}
+
+// Events returns the subscription's ordered event stream. The channel
+// is closed when the subscription ends; consult Err then.
+func (s *Subscription) Events() <-chan Event { return s.events }
+
+// Kind returns the subscription's predicate kind.
+func (s *Subscription) Kind() Kind { return s.kind }
+
+// Query returns the subscription's query reference object.
+func (s *Subscription) Query() *uncertain.Object { return s.q }
+
+// K returns the kNN parameter.
+func (s *Subscription) K() int { return s.k }
+
+// Tau returns the probability threshold.
+func (s *Subscription) Tau() float64 { return s.tau }
+
+// Err returns the terminal error after the event channel closed
+// (ErrUnsubscribed, ErrSlowConsumer or ErrMonitorClosed), nil while the
+// subscription is live.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats returns the subscription's cumulative maintenance counters.
+func (s *Subscription) Stats() SubStats {
+	return SubStats{
+		Woken:     s.woken.Load(),
+		Runs:      s.runs.Load(),
+		SetupRuns: s.setupRuns.Load(),
+		Events:    s.emitted.Load(),
+		Lost:      s.lost.Load(),
+	}
+}
+
+// Cancel unsubscribes: maintenance stops, the event channel is closed
+// (after any already-buffered events) and Err reports ErrUnsubscribed.
+// Safe to call from any goroutine, including the event consumer, and
+// idempotent.
+func (s *Subscription) Cancel() {
+	done := make(chan struct{})
+	if !s.m.enqueue(item{unsub: s, done: done}) {
+		return // monitor closed or closing: the worker ends every subscription
+	}
+	<-done
+}
+
+// finish marks the subscription ended and closes the stream. Called by
+// the monitor worker only.
+func (s *Subscription) finish(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end {
+		return
+	}
+	s.end = true
+	s.err = err
+	close(s.events)
+}
+
+// init evaluates the subscription from scratch on snapshot sn: one full
+// engine query seeds the per-candidate verdicts, and the initial result
+// set is emitted as ObjectEntered events at sn's version — a consumer
+// reconstructs the complete standing result from the stream alone.
+func (s *Subscription) init(sn *query.Snapshot) []Event {
+	e := sn.Engine()
+	s.cache = e.NewQueryCache()
+	var matches []query.Match
+	switch s.kind {
+	case KNN:
+		s.thresh = math.Inf(1)
+		if s.tau > 0 {
+			s.thresh = e.KNNThreshold(s.q, s.k)
+		}
+		matches = e.KNN(s.q, s.k, s.tau)
+	case RKNN:
+		matches = e.RKNN(s.q, s.k, s.tau)
+	}
+	var evs []Event
+	for _, nm := range matches {
+		b := nm.Object
+		if s.preselected(e, b, s.thresh) {
+			continue
+		}
+		s.setupRuns.Add(1)
+		s.m.setupRuns.Add(1)
+		s.cands[b.ID] = &candState{obj: b, match: nm}
+		if nm.IsResult {
+			evs = append(evs, Event{Kind: ObjectEntered, Version: sn.Version(), Object: b, Match: nm})
+		}
+	}
+	sortEvents(evs)
+	return evs
+}
+
+// preselected reports whether candidate b is discarded by the engine's
+// preselection for this subscription — the exact test the from-scratch
+// query applies, so tracked candidates are exactly the evaluated ones.
+func (s *Subscription) preselected(e *query.Engine, b *uncertain.Object, thresh float64) bool {
+	if s.tau <= 0 {
+		return false
+	}
+	switch s.kind {
+	case KNN:
+		return e.KNNPrunable(s.q, b, thresh)
+	case RKNN:
+		return e.RKNNPrunable(s.q, b, s.k)
+	}
+	return false
+}
+
+// apply incrementally maintains the subscription across one committed
+// store change and returns the resulting events (ascending object ID).
+//
+// The pruning-aware core: a candidate's persisted verdict stays valid
+// unless (a) its preselection status flipped, or (b) the mutated
+// object's role in the candidate's run — complete dominator, pruned, or
+// member of the canonical influence set (core.ClassifyRole) — differs
+// between the old and new state, or the object was and stays an
+// influence object (its interior distribution matters). Only candidates
+// failing those checks re-run IDCA; everything else keeps its decided
+// verdict, bit-identical to what a from-scratch query would recompute.
+func (s *Subscription) apply(ch query.Change) []Event {
+	e := ch.Snap.Engine()
+	var evs []Event
+	switch s.kind {
+	case KNN:
+		evs = s.applyKNN(e, ch)
+	case RKNN:
+		evs = s.applyRKNN(e, ch)
+	}
+	sortEvents(evs)
+	return evs
+}
+
+func (s *Subscription) applyKNN(e *query.Engine, ch query.Change) []Event {
+	threshNew := math.Inf(1)
+	if s.tau > 0 {
+		threshNew = e.KNNThreshold(s.q, s.k)
+	}
+	mutID := mutatedID(ch)
+	var evs []Event
+	for _, b := range e.DB {
+		if b == s.q || b.ID == mutID {
+			continue
+		}
+		prunedOld := s.cands[b.ID] == nil
+		prunedNew := s.tau > 0 && e.KNNPrunable(s.q, b, threshNew)
+		rerun := prunedOld != prunedNew
+		if !rerun && !prunedNew {
+			// Target is the candidate, reference the query object.
+			rerun = s.roleChanged(e, ch, b.MBR, s.q.MBR)
+		}
+		if !rerun {
+			continue
+		}
+		nm := query.Match{Object: b, Decided: true}
+		if !prunedNew {
+			nm = e.EvalKNNCandidate(s.q, b, s.k, s.tau, threshNew, s.cache)
+			s.countRun()
+		}
+		evs = s.transition(evs, ch.Version, b, nm, prunedNew)
+	}
+	evs = s.applyMutated(e, ch, evs, func(b *uncertain.Object) (query.Match, bool) {
+		if s.tau > 0 && e.KNNPrunable(s.q, b, threshNew) {
+			return query.Match{Object: b, Decided: true}, true
+		}
+		s.countRun()
+		return e.EvalKNNCandidate(s.q, b, s.k, s.tau, threshNew, s.cache), false
+	})
+	s.thresh = threshNew
+	return evs
+}
+
+func (s *Subscription) applyRKNN(e *query.Engine, ch query.Change) []Event {
+	norm := e.Norm()
+	mutID := mutatedID(ch)
+	var evs []Event
+	for _, b := range e.DB {
+		if b == s.q || b.ID == mutID {
+			continue
+		}
+		prunedOld := s.cands[b.ID] == nil
+		prunedNew := prunedOld
+		if s.tau > 0 {
+			// The impossibility count for candidate b (objects closer to
+			// b than q in every world) involves the mutated object only
+			// when one of its states is MinMax-closer than q's minimum
+			// distance; otherwise the persisted preselection status
+			// stands and the recount is skipped.
+			lim := s.q.MBR.MinDistRect(norm, b.MBR)
+			involved := (ch.Old != nil && ch.Old.MBR.MaxDistRect(norm, b.MBR) < lim) ||
+				(ch.New != nil && ch.New.MBR.MaxDistRect(norm, b.MBR) < lim)
+			if involved {
+				prunedNew = e.RKNNPrunable(s.q, b, s.k)
+			}
+		}
+		rerun := prunedOld != prunedNew
+		if !rerun && !prunedNew {
+			// Target is the query object, reference the candidate.
+			rerun = s.roleChanged(e, ch, s.q.MBR, b.MBR)
+		}
+		if !rerun {
+			continue
+		}
+		nm := query.Match{Object: b, Decided: true}
+		if !prunedNew {
+			nm = e.EvalRKNNCandidate(s.q, b, s.k, s.tau, s.cache)
+			s.countRun()
+		}
+		evs = s.transition(evs, ch.Version, b, nm, prunedNew)
+	}
+	evs = s.applyMutated(e, ch, evs, func(b *uncertain.Object) (query.Match, bool) {
+		if s.tau > 0 && e.RKNNPrunable(s.q, b, s.k) {
+			return query.Match{Object: b, Decided: true}, true
+		}
+		s.countRun()
+		return e.EvalRKNNCandidate(s.q, b, s.k, s.tau, s.cache), false
+	})
+	return evs
+}
+
+// applyMutated settles the mutated object's own candidacy: deletions
+// (and replacements by the query object itself, which is never a
+// candidate) drop the tracked verdict, inserts and updates evaluate the
+// new object via evalNew (which reports the match and whether the
+// candidate was preselected away).
+func (s *Subscription) applyMutated(e *query.Engine, ch query.Change, evs []Event, evalNew func(*uncertain.Object) (query.Match, bool)) []Event {
+	mutID := mutatedID(ch)
+	if ch.New == nil || ch.New == s.q {
+		if cs := s.cands[mutID]; cs != nil {
+			delete(s.cands, mutID)
+			if cs.match.IsResult {
+				evs = append(evs, Event{Kind: ObjectLeft, Version: ch.Version, Object: ch.Old})
+			}
+		}
+		return evs
+	}
+	nm, pruned := evalNew(ch.New)
+	return s.transition(evs, ch.Version, ch.New, nm, pruned)
+}
+
+// transition installs candidate b's new verdict and appends the
+// resulting result-set event, if any.
+func (s *Subscription) transition(evs []Event, version uint64, b *uncertain.Object, nm query.Match, pruned bool) []Event {
+	cs := s.cands[b.ID]
+	oldIn := cs != nil && cs.match.IsResult
+	var oldProb gf.Interval
+	if cs != nil {
+		oldProb = cs.match.Prob
+	}
+	if pruned {
+		delete(s.cands, b.ID)
+	} else if cs != nil {
+		cs.obj, cs.match = b, nm
+	} else {
+		s.cands[b.ID] = &candState{obj: b, match: nm}
+	}
+	switch {
+	case !oldIn && nm.IsResult:
+		evs = append(evs, Event{Kind: ObjectEntered, Version: version, Object: b, Match: nm})
+	case oldIn && !nm.IsResult:
+		evs = append(evs, Event{Kind: ObjectLeft, Version: version, Object: b, Match: nm})
+	case oldIn && nm.IsResult && nm.Prob != oldProb:
+		evs = append(evs, Event{Kind: BoundsChanged, Version: version, Object: b, Match: nm})
+	}
+	return evs
+}
+
+// roleChanged reports whether the mutated object's filter role in a run
+// with the given target/reference regions differs between its old and
+// new state, or is (either side) an influence-set membership — the
+// cases where the candidate's persisted bounds may no longer match a
+// from-scratch evaluation. Absent states (insert/delete sides) hold the
+// pruned role: an object not in the database contributes nothing.
+func (s *Subscription) roleChanged(e *query.Engine, ch query.Change, target, reference geom.Rect) bool {
+	n, crit := e.Norm(), e.Opts.Criterion
+	ro, rn := core.RolePruned, core.RolePruned
+	if ch.Old != nil {
+		ro = core.ClassifyRole(n, crit, ch.Old.MBR, ch.Old.ExistenceProb(), target, reference)
+	}
+	if ch.New != nil {
+		rn = core.ClassifyRole(n, crit, ch.New.MBR, ch.New.ExistenceProb(), target, reference)
+	}
+	return ro != rn || ro == core.RoleInfluence
+}
+
+// computeRegion derives the subscription's influence region: the set of
+// locations where a mutation could change the result set or any
+// persisted bound. For KNN at tau > 0 it is q's MBR expanded by
+// max(m_{k+1}, max MaxDist over evaluated candidates): outside it, an
+// object is preselection-pruned as a candidate, cannot move the
+// threshold order statistic, and is completely dominated by every
+// evaluated candidate (so every persisted verdict stays bit-identical).
+// RKNN influence is not spatially bounded — a remote object whose
+// neighborhood is empty has q as a nearest neighbor at any distance —
+// and tau = 0 disables preselection entirely, so those subscriptions
+// report no region and wake on every change (their maintenance still
+// re-runs only affected candidates).
+func (s *Subscription) computeRegion(e *query.Engine) (geom.Rect, bool) {
+	if s.kind != KNN || s.tau <= 0 {
+		return geom.Rect{}, false
+	}
+	r := s.thresh
+	if math.IsInf(r, 1) {
+		return geom.Rect{}, false
+	}
+	n := e.Norm()
+	for _, cs := range s.cands {
+		if d := cs.obj.MBR.MaxDistRect(n, s.q.MBR); d > r {
+			r = d
+		}
+	}
+	return expand(s.q.MBR, r), true
+}
+
+// countRun counts one maintenance IDCA evaluation.
+func (s *Subscription) countRun() {
+	s.runs.Add(1)
+	s.m.runs.Add(1)
+}
+
+// mutatedID returns the database ID a change concerns.
+func mutatedID(ch query.Change) int {
+	if ch.New != nil {
+		return ch.New.ID
+	}
+	return ch.Old.ID
+}
+
+// expand grows a rectangle by d in every direction — a conservative
+// cover of {x : MinDist(x, r) <= d} under any Lp norm (each per-axis
+// gap is a lower bound on the norm distance).
+func expand(r geom.Rect, d float64) geom.Rect {
+	min := make(geom.Point, len(r.Min))
+	max := make(geom.Point, len(r.Max))
+	for i := range r.Min {
+		min[i] = r.Min[i] - d
+		max[i] = r.Max[i] + d
+	}
+	return geom.Rect{Min: min, Max: max}
+}
+
+// sortEvents orders one change's events by object ID — the
+// deterministic within-version order of the stream.
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Object.ID < evs[j].Object.ID })
+}

@@ -164,24 +164,46 @@ func (e *Engine) newKNNJob(q *uncertain.Object, k int, tau float64, cache *core.
 // eval evaluates candidate i into its result slot; calls for distinct i
 // are safe to run concurrently.
 func (j *knnJob) eval(i int) {
-	b := j.cands[i]
-	if knnPrunable(b, j.q, j.thresh, j.norm) {
-		j.matches[i] = Match{Object: b, Decided: true}
-		return
+	j.matches[i] = j.e.evalKNNCandidate(j.q, j.cands[i], j.k, j.tau, j.thresh, j.norm, j.cache)
+}
+
+// evalKNNCandidate runs the threshold-kNN predicate for one candidate:
+// preselection against the m_{k+1} threshold, then an IDCA run with the
+// threshold stop criterion. It is the single evaluation path shared by
+// KNNCtx, BatchKNN and the incremental maintainers of package cq, so a
+// candidate re-evaluated in isolation yields a Match bit-identical to
+// the one a full query over the same database state would report.
+func (e *Engine) evalKNNCandidate(q, b *uncertain.Object, k int, tau, thresh float64, norm geom.Norm, cache *core.DecompCache) Match {
+	if knnPrunable(b, q, thresh, norm) {
+		return Match{Object: b, Decided: true}
 	}
-	opts := j.e.runOpts()
-	opts.KMax = j.k
-	opts.Stop = ThresholdStop(j.k, j.tau)
-	opts.SharedDecomps = j.cache
-	res := j.e.run(b, j.q, opts)
-	iv := res.CDFBound(j.k)
-	j.matches[i] = Match{
+	opts := e.runOpts()
+	opts.KMax = k
+	opts.Stop = ThresholdStop(k, tau)
+	opts.SharedDecomps = cache
+	res := e.run(b, q, opts)
+	iv := res.CDFBound(k)
+	return Match{
 		Object:     b,
 		Prob:       iv,
-		IsResult:   iv.LB >= j.tau,
-		Decided:    iv.LB >= j.tau || iv.UB < j.tau,
+		IsResult:   iv.LB >= tau,
+		Decided:    iv.LB >= tau || iv.UB < tau,
 		Iterations: len(res.Iterations),
 	}
+}
+
+// EvalKNNCandidate evaluates the threshold-kNN predicate for candidate
+// b only, using thresh as the preselection bound (KNNThreshold; pass
+// +Inf to disable preselection, as the engine does at tau = 0) and
+// cache for decomposition sharing (nil builds a private cache per
+// call). The Match is bit-identical to the entry for b in
+// KNN(q, k, tau) over the same database state — the contract the
+// continuous-query subsystem's incremental maintenance relies on.
+func (e *Engine) EvalKNNCandidate(q, b *uncertain.Object, k int, tau, thresh float64, cache *core.DecompCache) Match {
+	if cache == nil {
+		cache = e.queryCache()
+	}
+	return e.evalKNNCandidate(q, b, k, tau, thresh, e.normOrDefault(), cache)
 }
 
 // RKNN answers the probabilistic threshold reverse kNN query of
@@ -208,31 +230,49 @@ func (e *Engine) RKNNCtx(ctx context.Context, q *uncertain.Object, k int, tau fl
 	cache := e.queryCache()
 	matches := make([]Match, len(cands))
 	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
-		b := cands[i]
-		if tau > 0 && e.rknnPrunable(q, b, k, norm) {
-			matches[i] = Match{Object: b, Decided: true}
-			return
-		}
-		opts := e.runOpts()
-		opts.KMax = k
-		opts.Stop = ThresholdStop(k, tau)
-		opts.SharedDecomps = cache
-		// Target is the query, reference is the candidate: the count is
-		// how many objects are closer to B than q is.
-		res := e.run(q, b, opts)
-		iv := res.CDFBound(k)
-		matches[i] = Match{
-			Object:     b,
-			Prob:       iv,
-			IsResult:   iv.LB >= tau,
-			Decided:    iv.LB >= tau || iv.UB < tau,
-			Iterations: len(res.Iterations),
-		}
+		matches[i] = e.evalRKNNCandidate(q, cands[i], k, tau, norm, cache)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return matches, nil
+}
+
+// evalRKNNCandidate runs the threshold-RkNN predicate for one
+// candidate: the cheap impossibility preselection, then an IDCA run
+// with q as the target and the candidate as the reference. Like
+// evalKNNCandidate it is the single evaluation path shared by RKNNCtx
+// and the incremental maintainers.
+func (e *Engine) evalRKNNCandidate(q, b *uncertain.Object, k int, tau float64, norm geom.Norm, cache *core.DecompCache) Match {
+	if tau > 0 && e.rknnPrunable(q, b, k, norm) {
+		return Match{Object: b, Decided: true}
+	}
+	opts := e.runOpts()
+	opts.KMax = k
+	opts.Stop = ThresholdStop(k, tau)
+	opts.SharedDecomps = cache
+	// Target is the query, reference is the candidate: the count is
+	// how many objects are closer to B than q is.
+	res := e.run(q, b, opts)
+	iv := res.CDFBound(k)
+	return Match{
+		Object:     b,
+		Prob:       iv,
+		IsResult:   iv.LB >= tau,
+		Decided:    iv.LB >= tau || iv.UB < tau,
+		Iterations: len(res.Iterations),
+	}
+}
+
+// EvalRKNNCandidate evaluates the threshold-RkNN predicate for
+// candidate b only, bit-identical to the entry for b in RKNN(q, k, tau)
+// over the same database state. cache may be nil (a private cache is
+// built per call).
+func (e *Engine) EvalRKNNCandidate(q, b *uncertain.Object, k int, tau float64, cache *core.DecompCache) Match {
+	if cache == nil {
+		cache = e.queryCache()
+	}
+	return e.evalRKNNCandidate(q, b, k, tau, e.normOrDefault(), cache)
 }
 
 // RankDistribution is the probabilistic inverse ranking result for one
@@ -354,6 +394,48 @@ func (e *Engine) RankByExpectedRankCtx(ctx context.Context, q *uncertain.Object)
 		return mi < mj
 	})
 	return out, nil
+}
+
+// The accessors below expose the engine's candidate-preselection
+// primitives to incremental maintainers (package cq): a standing query
+// that persists per-candidate verdicts needs to recompute exactly the
+// preselection decisions a from-scratch query would make, on exactly
+// the engine's resolved configuration.
+
+// Norm returns the engine's resolved distance norm (L2 when unset).
+func (e *Engine) Norm() geom.Norm { return e.normOrDefault() }
+
+// NewQueryCache returns a decomposition cache scoped the way one query
+// run would scope it: an overlay over the engine's persistent cache
+// when Options.SharedDecomps is installed (Store engines), a private
+// cache otherwise. Long-lived callers (standing subscriptions) hold one
+// to reuse the decompositions of the query object and of
+// database-resident influence objects across re-evaluations.
+func (e *Engine) NewQueryCache() *core.DecompCache { return e.queryCache() }
+
+// KNNThreshold returns m_{k+1}, the (k+1)-th smallest MaxDist(o, q)
+// over the certainly-existing database objects — the kNN preselection
+// bound (see knnfilter.go). Candidates with MinDist(b, q) above it have
+// P(B ∈ kNN(q)) = 0. Returns +Inf when the database is too small to
+// prune. The value is an order statistic of the database state, so it
+// is independent of index shape.
+func (e *Engine) KNNThreshold(q *uncertain.Object, k int) float64 {
+	return e.knnThreshold(q, k, e.normOrDefault())
+}
+
+// KNNPrunable reports whether candidate b is impossible as a kNN
+// result of q given the KNNThreshold bound thresh — the exact
+// preselection test the engine applies at tau > 0.
+func (e *Engine) KNNPrunable(q, b *uncertain.Object, thresh float64) bool {
+	return knnPrunable(b, q, thresh, e.normOrDefault())
+}
+
+// RKNNPrunable reports whether candidate b is impossible as a reverse
+// kNN result for q: at least k certainly-existing objects are closer to
+// b than q in every possible world — the exact preselection test the
+// engine applies at tau > 0.
+func (e *Engine) RKNNPrunable(q, b *uncertain.Object, k int) bool {
+	return e.rknnPrunable(q, b, k, e.normOrDefault())
 }
 
 func minFloat(a, b float64) float64 {

@@ -49,6 +49,9 @@ type Store struct {
 	cache   *core.DecompCache
 	version uint64
 	snap    *Snapshot // published snapshot; nil after a mutation
+
+	watchers    []watcher
+	nextWatcher int
 }
 
 // NewStore builds a store over db (objects must have unique IDs; the
@@ -105,6 +108,102 @@ func (s *Store) Get(id int) (*uncertain.Object, bool) {
 	return o, ok
 }
 
+// ChangeKind identifies the mutation a Change record describes.
+type ChangeKind uint8
+
+const (
+	// ChangeInsert: a new object entered the database.
+	ChangeInsert ChangeKind = iota + 1
+	// ChangeUpdate: the object carrying an ID was replaced.
+	ChangeUpdate
+	// ChangeDelete: an object left the database.
+	ChangeDelete
+)
+
+// String returns a short human-readable kind name.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeInsert:
+		return "insert"
+	case ChangeUpdate:
+		return "update"
+	case ChangeDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// Change is one committed store mutation, delivered to Watch callbacks.
+// Old is nil for inserts, New is nil for deletes; updates carry both
+// (same ID, distinct objects). Snap is the immutable database state
+// WITH the change applied — Snap.Version() == Version — so a consumer
+// replaying the change stream can evaluate every version exactly, even
+// when it lags behind the store head.
+type Change struct {
+	Version  uint64
+	Kind     ChangeKind
+	Old, New *uncertain.Object
+	Snap     *Snapshot
+}
+
+// watcher is one registered commit hook.
+type watcher struct {
+	id int
+	fn func(Change)
+}
+
+// Watch registers a commit hook and returns, atomically with the
+// registration, the snapshot of the current state: the callback will
+// observe exactly the changes with Version > Snap.Version(), gaplessly
+// and in version order. The returned stop function unregisters the
+// hook.
+//
+// The callback runs synchronously inside the mutation, while the store
+// lock is held: it must return quickly (hand the Change to a queue) and
+// must not call back into the Store — package cq's Monitor is the
+// intended consumer. While at least one watcher is registered every
+// mutation publishes a snapshot, so a write burst pays one copy-on-write
+// detach (an O(n) R-tree clone) per mutation instead of one per burst;
+// that is the price of a gapless per-version change stream.
+func (s *Store) Watch(fn func(Change)) (*Snapshot, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextWatcher
+	s.nextWatcher++
+	s.watchers = append(s.watchers, watcher{id: id, fn: fn})
+	stop := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, w := range s.watchers {
+			if w.id == id {
+				s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+				return
+			}
+		}
+	}
+	return s.snapshotLocked(), stop
+}
+
+// notifyLocked delivers a committed change to every watcher, in
+// registration order. Requires s.mu held for writing, after the
+// mutation was applied and the version incremented.
+func (s *Store) notifyLocked(kind ChangeKind, old, new *uncertain.Object) {
+	if len(s.watchers) == 0 {
+		return
+	}
+	ch := Change{
+		Version: s.version,
+		Kind:    kind,
+		Old:     old,
+		New:     new,
+		Snap:    s.snapshotLocked(),
+	}
+	for _, w := range s.watchers {
+		w.fn(ch)
+	}
+}
+
 // detachLocked makes the mutable state private again after a snapshot
 // was published: the published snapshot keeps the old slice and tree,
 // mutations proceed on copies. Requires s.mu held for writing.
@@ -136,6 +235,7 @@ func (s *Store) Insert(o *uncertain.Object) error {
 	s.index.Insert(o.MBR, o)
 	s.cache.Add(o)
 	s.version++
+	s.notifyLocked(ChangeInsert, nil, o)
 	return nil
 }
 
@@ -151,6 +251,7 @@ func (s *Store) Delete(id int) bool {
 	s.detachLocked()
 	s.removeLocked(o)
 	s.version++
+	s.notifyLocked(ChangeDelete, o, nil)
 	return true
 }
 
@@ -184,6 +285,7 @@ func (s *Store) Update(o *uncertain.Object) error {
 	s.cache.Invalidate(old)
 	s.cache.Add(o)
 	s.version++
+	s.notifyLocked(ChangeUpdate, old, o)
 	return nil
 }
 
@@ -213,6 +315,12 @@ func (s *Store) Snapshot() *Snapshot {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked publishes (or returns) the snapshot of the current
+// state. Requires s.mu held for writing.
+func (s *Store) snapshotLocked() *Snapshot {
 	if s.snap == nil {
 		s.snap = &Snapshot{
 			db:      s.db,
@@ -341,6 +449,19 @@ func (s *Store) UKRanksCtx(ctx context.Context, q *uncertain.Object, k int) ([]R
 // BatchKNN additionally pools the candidate runs.
 func (s *Store) Batch(fn func(*Engine)) {
 	fn(s.Snapshot().Engine())
+}
+
+// BatchCtx is Batch with cancellation: fn receives the context along
+// with the snapshot-bound engine and is expected to thread it through
+// the ...Ctx query variants it issues. BatchCtx returns ctx.Err()
+// without invoking fn when the context is already done, and otherwise
+// returns whatever fn returns — typically the first query error, which
+// is ctx.Err() when a query inside the batch was cancelled.
+func (s *Store) BatchCtx(ctx context.Context, fn func(context.Context, *Engine) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fn(ctx, s.Snapshot().Engine())
 }
 
 // KNNRequest is one query of a BatchKNN call.

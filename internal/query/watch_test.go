@@ -1,0 +1,139 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"probprune/internal/core"
+	"probprune/internal/uncertain"
+)
+
+func testOpts() core.Options { return core.Options{MaxIterations: 3} }
+
+// TestWatchDeliversGaplessChangeStream checks the Watch contract: the
+// callback sees exactly the changes after the returned snapshot's
+// version, in order, each carrying the snapshot of its own version.
+func TestWatchDeliversGaplessChangeStream(t *testing.T) {
+	db := storeTestDB(t, 20, 1)
+	s, err := NewStore(db, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	nextID := len(db)
+	// Mutate before watching: these changes must not be delivered.
+	mutateStore(t, s, rng, &nextID, 5)
+
+	var got []Change
+	snap, stop := s.Watch(func(ch Change) { got = append(got, ch) })
+	if snap.Version() != s.Version() {
+		t.Fatalf("watch snapshot at version %d, store at %d", snap.Version(), s.Version())
+	}
+	base := snap.Version()
+
+	mutateStore(t, s, rng, &nextID, 12)
+	if len(got) != 12 {
+		t.Fatalf("got %d changes, want 12", len(got))
+	}
+	for i, ch := range got {
+		if ch.Version != base+uint64(i)+1 {
+			t.Fatalf("change %d has version %d, want %d", i, ch.Version, base+uint64(i)+1)
+		}
+		if ch.Snap == nil || ch.Snap.Version() != ch.Version {
+			t.Fatalf("change %d snapshot version mismatch", i)
+		}
+		switch ch.Kind {
+		case ChangeInsert:
+			if ch.Old != nil || ch.New == nil {
+				t.Fatalf("insert change %d carries old=%v new=%v", i, ch.Old, ch.New)
+			}
+		case ChangeDelete:
+			if ch.Old == nil || ch.New != nil {
+				t.Fatalf("delete change %d carries old=%v new=%v", i, ch.Old, ch.New)
+			}
+		case ChangeUpdate:
+			if ch.Old == nil || ch.New == nil || ch.Old.ID != ch.New.ID {
+				t.Fatalf("update change %d malformed", i)
+			}
+		default:
+			t.Fatalf("change %d has unknown kind %v", i, ch.Kind)
+		}
+		// The change snapshot must reflect the mutation.
+		if ch.New != nil {
+			if o, ok := findByID(ch.Snap.DB(), ch.New.ID); !ok || o != ch.New {
+				t.Fatalf("change %d: new object not in its snapshot", i)
+			}
+		}
+		if ch.Kind == ChangeDelete {
+			if _, ok := findByID(ch.Snap.DB(), ch.Old.ID); ok {
+				t.Fatalf("change %d: deleted object still in its snapshot", i)
+			}
+		}
+	}
+
+	// After stop, no further deliveries.
+	stop()
+	n := len(got)
+	mutateStore(t, s, rng, &nextID, 4)
+	if len(got) != n {
+		t.Fatalf("callback invoked after stop: %d changes, want %d", len(got), n)
+	}
+}
+
+func findByID(db uncertain.Database, id int) (*uncertain.Object, bool) {
+	for _, o := range db {
+		if o.ID == id {
+			return o, true
+		}
+	}
+	return nil, false
+}
+
+func TestBatchCtx(t *testing.T) {
+	db := storeTestDB(t, 30, 2)
+	s, err := NewStore(db, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := db[0]
+
+	// A live context runs the batch on one snapshot.
+	var matches []Match
+	if err := s.BatchCtx(context.Background(), func(ctx context.Context, e *Engine) error {
+		var err error
+		matches, err = e.KNNCtx(ctx, q, 3, 0.4)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != len(db)-1 {
+		t.Fatalf("got %d matches, want %d", len(matches), len(db)-1)
+	}
+
+	// A cancelled context aborts before fn runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	if err := s.BatchCtx(ctx, func(context.Context, *Engine) error {
+		called = true
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled BatchCtx returned %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("fn invoked despite cancelled context")
+	}
+
+	// Cancellation inside the batch propagates out.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	err = s.BatchCtx(ctx2, func(ctx context.Context, e *Engine) error {
+		cancel2()
+		_, err := e.KNNCtx(ctx, q, 3, 0.4)
+		return err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("in-batch cancellation returned %v, want context.Canceled", err)
+	}
+}

@@ -75,6 +75,26 @@
 // Store results are bit-identical to a fresh Engine built from the same
 // state, at any Parallelism.
 //
+// # Continuous queries
+//
+// A Monitor turns one-shot queries into standing subscriptions: clients
+// register KNN/RkNN predicates and receive an ordered event stream
+// (ObjectEntered, ObjectLeft, BoundsChanged, each tagged with the store
+// version it is valid at) as mutations commit. Maintenance is
+// incremental and pruning-aware — subscriptions wake only for mutations
+// inside their influence region, and only candidates whose influence
+// set could contain the mutated object re-run IDCA — yet the cumulative
+// stream stays bit-identical to re-running the query at every version:
+//
+//	monitor := probprune.NewMonitor(store, probprune.MonitorOptions{})
+//	sub, _ := monitor.SubscribeKNN(q, 5, 0.5)
+//	go func() {
+//	    for ev := range sub.Events() {
+//	        fmt.Println(ev.Kind, ev.Object.ID, ev.Match.Prob)
+//	    }
+//	}()
+//	store.Update(obj) // affected subscriptions stream events
+//
 // The examples/ directory contains runnable end-to-end scenarios and
 // cmd/experiments regenerates the paper's evaluation figures.
 package probprune
@@ -83,6 +103,7 @@ import (
 	"math/rand"
 
 	"probprune/internal/core"
+	"probprune/internal/cq"
 	"probprune/internal/geom"
 	"probprune/internal/gf"
 	"probprune/internal/mc"
@@ -278,6 +299,69 @@ type (
 // serves; Opts.SharedDecomps must be left unset.
 func NewStore(db Database, opts Options) (*Store, error) {
 	return query.NewStore(db, opts)
+}
+
+// Continuous queries: standing KNN/RkNN subscriptions over a Store,
+// maintained incrementally as mutations commit (see internal/cq).
+type (
+	// Monitor maintains standing subscriptions over one Store: it
+	// consumes the store's committed change stream and keeps every
+	// subscription's result set current with incremental, pruning-aware
+	// maintenance — only subscriptions whose influence region a mutation
+	// intersects wake, and within one only affected candidates re-run.
+	Monitor = cq.Monitor
+	// MonitorOptions configures event buffering and the slow-consumer
+	// policy of a Monitor.
+	MonitorOptions = cq.Options
+	// Subscription is one standing KNN/RkNN query; consume its ordered
+	// event stream via Events().
+	Subscription = cq.Subscription
+	// Event is one result-set transition of a subscription, valid at a
+	// specific store version.
+	Event = cq.Event
+	// EventKind distinguishes ObjectEntered, ObjectLeft, BoundsChanged.
+	EventKind = cq.EventKind
+	// SubscriptionKind distinguishes standing KNN from RkNN queries.
+	SubscriptionKind = cq.Kind
+	// SlowConsumerPolicy selects what happens when a subscriber stops
+	// draining its bounded event buffer.
+	SlowConsumerPolicy = cq.Policy
+	// Change is one committed Store mutation, delivered to Store.Watch
+	// callbacks together with the snapshot of its version.
+	Change = query.Change
+	// ChangeKind distinguishes insert, update and delete changes.
+	ChangeKind = query.ChangeKind
+)
+
+// Event kinds, subscription kinds, change kinds and slow-consumer
+// policies.
+const (
+	ObjectEntered = cq.ObjectEntered
+	ObjectLeft    = cq.ObjectLeft
+	BoundsChanged = cq.BoundsChanged
+
+	KNNSubscription  = cq.KNN
+	RKNNSubscription = cq.RKNN
+
+	DisconnectSlow = cq.DisconnectSlow
+	DropOldest     = cq.DropOldest
+
+	ChangeInsert = query.ChangeInsert
+	ChangeUpdate = query.ChangeUpdate
+	ChangeDelete = query.ChangeDelete
+)
+
+// Terminal subscription errors (see Subscription.Err).
+var (
+	ErrSlowConsumer  = cq.ErrSlowConsumer
+	ErrUnsubscribed  = cq.ErrUnsubscribed
+	ErrMonitorClosed = cq.ErrMonitorClosed
+)
+
+// NewMonitor attaches a continuous-query monitor to a store. Register
+// standing queries with SubscribeKNN/SubscribeRKNN, release with Close.
+func NewMonitor(store *Store, opts MonitorOptions) *Monitor {
+	return cq.NewMonitor(store, opts)
 }
 
 // ThresholdStop builds the IDCA stop criterion for the tail predicate
