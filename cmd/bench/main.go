@@ -1,11 +1,13 @@
 // Command bench runs the repository's key performance scenarios and
-// writes the numbers to a machine-readable JSON file (BENCH_PR3.json by
+// writes the numbers to a machine-readable JSON file (BENCH_PR4.json by
 // default), so the performance trajectory of the project is tracked in
 // data rather than prose. It measures the hot serving paths — one-shot
 // engine queries, warm store queries, batched queries, index build —
-// and the continuous-query maintenance pair (incremental maintenance
-// vs. re-running every standing query per mutation), including the
-// IDCA-runs-per-mutation metric behind the incrementality claim.
+// the continuous-query maintenance pair (incremental maintenance vs.
+// re-running every standing query per mutation), and the sharded
+// serving pair: the write-interleaved BatchKNN mix and the store build
+// at 1 vs 8 shards, whose ratio (sharded_batchknn_speedup_8x) is the
+// headline number of the sharding PR.
 //
 // The scenario bodies live in internal/benchscen and are shared with
 // the `go test -bench` wrappers, so this report and the in-tree
@@ -49,7 +51,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output file")
+	out := flag.String("o", "BENCH_PR4.json", "output file")
 	quick := flag.Bool("quick", false, "smoke mode: small database, cheap CI run (numbers not comparable with full runs)")
 	flag.Parse()
 	dbSize := 1000
@@ -59,7 +61,7 @@ func main() {
 
 	db := benchscen.MustDB(dbSize)
 	rep := report{
-		PR:         3,
+		PR:         4,
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		DBSize:     dbSize,
@@ -93,12 +95,22 @@ func main() {
 	add("IndexBulkLoad", benchscen.IndexBulkLoad)
 	maintain := add("CQMaintain", benchscen.CQMaintain)
 	requery := add("CQRequery", benchscen.CQRequery)
+	sharded1 := add("ShardedBatchKNN1", benchscen.ShardedBatchKNN(1))
+	sharded8 := add("ShardedBatchKNN8", benchscen.ShardedBatchKNN(8))
+	build1 := add("ShardedBuild1", benchscen.ShardedBuild(1))
+	build8 := add("ShardedBuild8", benchscen.ShardedBuild(8))
 
 	if m, r := maintain.Metrics["idca-runs/op"], requery.Metrics["idca-runs/op"]; m > 0 {
 		rep.Derived["cq_idca_run_ratio"] = r / m
 	}
 	if maintain.NsPerOp > 0 {
 		rep.Derived["cq_wall_speedup"] = requery.NsPerOp / maintain.NsPerOp
+	}
+	if sharded8.NsPerOp > 0 {
+		rep.Derived["sharded_batchknn_speedup_8x"] = sharded1.NsPerOp / sharded8.NsPerOp
+	}
+	if build8.NsPerOp > 0 {
+		rep.Derived["sharded_build_speedup_8x"] = build1.NsPerOp / build8.NsPerOp
 	}
 	fmt.Printf("derived: %v\n", rep.Derived)
 

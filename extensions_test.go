@@ -37,7 +37,7 @@ func TestSessionFacade(t *testing.T) {
 }
 
 // TestTopKNNFacade checks the top-m probable kNN query through the
-// public surface.
+// public surface, on every backend (frozen Engine, Store, ShardedStore).
 func TestTopKNNFacade(t *testing.T) {
 	db, err := probprune.Synthetic(probprune.SyntheticConfig{
 		N: 150, Samples: 16, MaxExtent: 0.05, Seed: 33,
@@ -45,36 +45,43 @@ func TestTopKNNFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine := probprune.NewEngine(db, probprune.Options{MaxIterations: 6})
-	q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
-	top := engine.TopKNN(q, 3, 5)
-	if len(top) != 5 {
-		t.Fatalf("TopKNN returned %d matches", len(top))
-	}
-	for i := 1; i < len(top); i++ {
-		mi := top[i-1].Prob.LB + top[i-1].Prob.UB
-		mj := top[i].Prob.LB + top[i].Prob.UB
-		if mj > mi+1e-9 {
-			t.Fatal("TopKNN not ordered by probability")
-		}
+	for _, be := range queryBackends(t, db, probprune.Options{MaxIterations: 6}) {
+		t.Run(be.name, func(t *testing.T) {
+			q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
+			top := be.eng.TopKNN(q, 3, 5)
+			if len(top) != 5 {
+				t.Fatalf("TopKNN returned %d matches", len(top))
+			}
+			for i := 1; i < len(top); i++ {
+				mi := top[i-1].Prob.LB + top[i-1].Prob.UB
+				mj := top[i].Prob.LB + top[i].Prob.UB
+				if mj > mi+1e-9 {
+					t.Fatal("TopKNN not ordered by probability")
+				}
+			}
+		})
 	}
 }
 
 // TestUKRanksFacade checks the U-kRanks query through the public
-// surface against the deterministic certain-data case.
+// surface against the deterministic certain-data case, on every
+// backend.
 func TestUKRanksFacade(t *testing.T) {
 	db := probprune.Database{
 		probprune.PointObject(0, probprune.Point{2, 0}),
 		probprune.PointObject(1, probprune.Point{1, 0}),
 	}
-	engine := probprune.NewEngine(db, probprune.Options{MaxIterations: 3})
-	q := probprune.PointObject(-1, probprune.Point{0, 0})
-	winners := engine.UKRanks(q, 2)
-	if len(winners) != 2 || winners[0].Object.ID != 1 || winners[1].Object.ID != 0 {
-		t.Fatalf("UKRanks winners wrong: %+v", winners)
-	}
-	if ids := engine.GlobalTopK(q, 2); len(ids) != 2 {
-		t.Fatalf("GlobalTopK returned %d objects", len(ids))
+	for _, be := range queryBackends(t, db, probprune.Options{MaxIterations: 3}) {
+		t.Run(be.name, func(t *testing.T) {
+			q := probprune.PointObject(-1, probprune.Point{0, 0})
+			winners := be.eng.UKRanks(q, 2)
+			if len(winners) != 2 || winners[0].Object.ID != 1 || winners[1].Object.ID != 0 {
+				t.Fatalf("UKRanks winners wrong: %+v", winners)
+			}
+			if ids := be.eng.GlobalTopK(q, 2); len(ids) != 2 {
+				t.Fatalf("GlobalTopK returned %d objects", len(ids))
+			}
+		})
 	}
 }
 

@@ -112,6 +112,111 @@ func StoreBatchKNN16(b *testing.B, db probprune.Database) {
 	}
 }
 
+// ShardedBatchKNN returns the sharded serving scenario at a given
+// shard count: a ShardedStore in serving mode (a watcher is attached,
+// so every commit publishes a snapshot for the change stream) sustains
+// an interleave of WritesPerBatch object updates and one 16-request
+// BatchKNN per op. The refinement work is identical at every shard
+// count — scatter-gather merging is exact — but each commit's
+// copy-on-write detach clones only the mutated shard's R-tree: O(n/N)
+// instead of O(n). Comparing shard counts 1 and 8 therefore measures
+// the sharding win on the live serving path.
+//
+// The scenario shards spatially (unit-square stripes) and models a
+// fleet-style workload: updates drift objects locally (small jitter
+// around their current position) and every op ends with an online
+// Rebalance re-homing stripe-crossers — both on the clock. Spatial
+// sharding keeps each shard's R-tree nodes tight, so per-shard filter
+// walks decide subtrees (often the whole shard) wholesale, exactly like
+// the monolithic tree; hash sharding would spread every shard over the
+// full extent and tax the scatter phase.
+func ShardedBatchKNN(shards int) func(b *testing.B, db probprune.Database) {
+	return func(b *testing.B, db probprune.Database) {
+		s, err := probprune.NewShardedStore(db,
+			probprune.ShardedOptions{Shards: shards, Partition: probprune.StripeShards(0, 0, 1)},
+			probprune.Options{MaxIterations: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, stop := s.Watch(func(probprune.Change) {}) // serving mode
+		defer stop()
+		rng := rand.New(rand.NewSource(3))
+		reqs := make([]probprune.KNNRequest, 16)
+		for i := range reqs {
+			reqs[i] = probprune.KNNRequest{
+				Q:   probprune.PointObject(-(i + 1), probprune.Point{rng.Float64(), rng.Float64()}),
+				K:   K,
+				Tau: Tau,
+			}
+		}
+		ctx := context.Background()
+		if _, err := s.BatchKNN(ctx, reqs); err != nil { // warm the caches
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for w := 0; w < WritesPerBatch; w++ {
+				victim, _ := s.Get(db[rng.Intn(len(db))].ID)
+				if err := s.Update(driftObject(b, rng, victim)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s.Rebalance()
+			if _, err := s.BatchKNN(ctx, reqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// driftObject moves an object a small step from its current position,
+// reflecting at the unit-square borders — the fleet-tracking mutation
+// pattern (objects travel inside the city, they do not teleport or
+// leave), which keeps the spatial distribution stationary over
+// arbitrarily long benchmark runs.
+func driftObject(b *testing.B, rng *rand.Rand, o *probprune.Object) *probprune.Object {
+	b.Helper()
+	reflect := func(c float64) float64 {
+		if c < 0 {
+			return -c
+		}
+		if c > 1 {
+			return 2 - c
+		}
+		return c
+	}
+	cx := reflect((o.MBR.Min[0]+o.MBR.Max[0])/2 + (rng.Float64()-0.5)*0.06)
+	cy := reflect((o.MBR.Min[1]+o.MBR.Max[1])/2 + (rng.Float64()-0.5)*0.06)
+	pts := make([]probprune.Point, 4)
+	for i := range pts {
+		pts[i] = probprune.Point{cx + rng.Float64()*0.02, cy + rng.Float64()*0.02}
+	}
+	n, err := probprune.NewObject(o.ID, pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// WritesPerBatch is the write half of the sharded serving interleave.
+const WritesPerBatch = 32
+
+// ShardedBuild returns the ingest scenario: full ShardedStore
+// construction (router bookkeeping plus one concurrent STR bulk load
+// per shard) at a given shard count.
+func ShardedBuild(shards int) func(b *testing.B, db probprune.Database) {
+	return func(b *testing.B, db probprune.Database) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := probprune.NewShardedStore(db, probprune.ShardedOptions{Shards: shards}, probprune.Options{MaxIterations: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // IndexBulkLoad: STR bulk construction of the R-tree.
 func IndexBulkLoad(b *testing.B, db probprune.Database) {
 	b.ReportAllocs()

@@ -267,21 +267,23 @@ func (o *Options) adaptiveEps() float64 {
 // IndexTree is the R-tree type the indexed entry points accept.
 type IndexTree = *rtree.Tree[*uncertain.Object]
 
+// The monolithic filters are the single-partition case of the
+// mergeable partial filters (merge.go): classify, then finalize via
+// installFilter — the same path a merged cross-shard filter takes.
+
 func filterLinear(db uncertain.Database, target, reference *uncertain.Object, opts Options) (*Result, []partitionSource) {
-	res := newResult(target, reference, opts)
-	n := opts.norm()
-	for _, a := range db {
-		if a == target || a == reference {
-			continue
-		}
-		classifyInto(res, n, opts.Criterion, a)
-	}
-	finishFilter(res, opts)
-	return res, influenceSources(res, opts)
+	return installFilter(target, reference, PartialFilterLinear(db, target, reference, opts), opts)
 }
 
 func filterIndexed(index *rtree.Tree[*uncertain.Object], target, reference *uncertain.Object, opts Options) (*Result, []partitionSource) {
-	res := newResult(target, reference, opts)
+	return installFilter(target, reference, walkFilter(index, target, reference, opts), opts)
+}
+
+// walkFilter classifies every indexed object through the R-tree,
+// deciding whole subtrees wholesale where the node MBR already settles
+// the domination relation (the index integration of Section VIII).
+func walkFilter(index *rtree.Tree[*uncertain.Object], target, reference *uncertain.Object, opts Options) PartialFilter {
+	var pf PartialFilter
 	n := opts.norm()
 	b, r := target.MBR, reference.MBR
 	// takeDominators marks the subtree currently emitted via
@@ -314,7 +316,7 @@ func filterIndexed(index *rtree.Tree[*uncertain.Object], target, reference *unce
 				if mbr.ContainsRect(b) || mbr.ContainsRect(r) {
 					return rtree.Descend
 				}
-				res.Pruned += count
+				pf.Pruned += count
 				return rtree.SkipSubtree
 			default:
 				return rtree.Descend
@@ -328,31 +330,30 @@ func filterIndexed(index *rtree.Tree[*uncertain.Object], target, reference *unce
 				if a.ExistenceProb() < 1 {
 					// Dominates only in the worlds where it exists; it
 					// cannot shift the count (see classifyInto).
-					res.Influence = append(res.Influence, a)
+					pf.Influence = append(pf.Influence, a)
 				} else {
-					res.CompleteDominators++
+					pf.Dominators++
 				}
 				return
 			}
-			classifyInto(res, n, opts.Criterion, a)
+			classifyInto(&pf, n, opts.Criterion, a, target, reference)
 		},
 	)
-	finishFilter(res, opts)
-	return res, influenceSources(res, opts)
+	return pf
 }
 
 func newResult(target, reference *uncertain.Object, opts Options) *Result {
 	return &Result{Target: target, Reference: reference, kMax: opts.KMax}
 }
 
-func classifyInto(res *Result, n geom.Norm, crit geom.Criterion, a *uncertain.Object) {
-	switch ClassifyRole(n, crit, a.MBR, a.ExistenceProb(), res.Target.MBR, res.Reference.MBR) {
+func classifyInto(pf *PartialFilter, n geom.Norm, crit geom.Criterion, a, target, reference *uncertain.Object) {
+	switch ClassifyRole(n, crit, a.MBR, a.ExistenceProb(), target.MBR, reference.MBR) {
 	case RoleDominator:
-		res.CompleteDominators++
+		pf.Dominators++
 	case RolePruned:
-		res.Pruned++
+		pf.Pruned++
 	default:
-		res.Influence = append(res.Influence, a)
+		pf.Influence = append(pf.Influence, a)
 	}
 }
 
@@ -369,9 +370,21 @@ func classifyInto(res *Result, n geom.Norm, crit geom.Criterion, a *uncertain.Ob
 // database state. (Objects sharing an ID keep their traversal order;
 // unique IDs, the database convention, guarantee full canonicity.)
 func finishFilter(res *Result, opts Options) {
-	sort.SliceStable(res.Influence, func(i, j int) bool {
-		return res.Influence[i].ID < res.Influence[j].ID
-	})
+	// Skip the sort when the set is already canonical — merged filter
+	// outcomes (MergePartials) arrive sorted, so the sharded hot path
+	// pays one O(I) scan here instead of a second O(I log I) sort.
+	sorted := true
+	for i := 1; i < len(res.Influence); i++ {
+		if res.Influence[i].ID < res.Influence[i-1].ID {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.SliceStable(res.Influence, func(i, j int) bool {
+			return res.Influence[i].ID < res.Influence[j].ID
+		})
+	}
 	ivs := make([]gf.Interval, len(res.Influence))
 	for i, a := range res.Influence {
 		ivs[i] = gf.Interval{LB: 0, UB: a.ExistenceProb()}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"probprune/internal/rtree"
+	"probprune/internal/uncertain"
+	"probprune/internal/workload"
+)
+
+// mergeTestCase builds a seeded database, a target/reference pair and
+// an arbitrary partition of the database into parts slices.
+func mergeTestCase(t *testing.T, seed int64, parts int) (uncertain.Database, []uncertain.Database, *uncertain.Object, *uncertain.Object) {
+	t.Helper()
+	db, err := workload.Synthetic(workload.SyntheticConfig{N: 30, Samples: 4, MaxExtent: 0.15, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed * 7919))
+	if seed%2 == 0 {
+		for i, o := range db {
+			if i%3 == 0 {
+				if err := o.SetExistence(0.2 + 0.7*rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	split := make([]uncertain.Database, parts)
+	for _, o := range db {
+		i := rng.Intn(parts)
+		split[i] = append(split[i], o)
+	}
+	return db, split, db[rng.Intn(len(db))], db[rng.Intn(len(db))]
+}
+
+func bulkTree(db uncertain.Database) *rtree.Tree[*uncertain.Object] {
+	items := make([]rtree.BulkItem[*uncertain.Object], len(db))
+	for i, o := range db {
+		items[i] = rtree.BulkItem[*uncertain.Object]{Rect: o.MBR, Value: o}
+	}
+	return rtree.Bulk(items)
+}
+
+// TestMergePartialsMatchesMonolithicFilter: the merged per-partition
+// filter outcome equals the monolithic filter over the union — counts,
+// influence membership AND canonical order — for both the linear and
+// the indexed partial filters, on arbitrary random partitions.
+func TestMergePartialsMatchesMonolithicFilter(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		for _, parts := range []int{1, 2, 3, 5, 8} {
+			db, split, target, reference := mergeTestCase(t, seed, parts)
+			opts := Options{}
+			want := Filter(db, target, reference, opts)
+
+			linear := make([]PartialFilter, parts)
+			indexed := make([]PartialFilter, parts)
+			for i, part := range split {
+				linear[i] = PartialFilterLinear(part, target, reference, opts)
+				indexed[i] = PartialFilterIndexed(bulkTree(part), target, reference, opts)
+			}
+			for _, tc := range []struct {
+				name string
+				pf   PartialFilter
+			}{
+				{"linear", MergePartials(linear...)},
+				{"indexed", MergePartials(indexed...)},
+			} {
+				if tc.pf.Dominators != want.CompleteDominators || tc.pf.Pruned != want.Pruned {
+					t.Fatalf("seed %d parts %d %s: merged counts (%d dom, %d pruned) != monolithic (%d, %d)",
+						seed, parts, tc.name, tc.pf.Dominators, tc.pf.Pruned, want.CompleteDominators, want.Pruned)
+				}
+				if !reflect.DeepEqual(tc.pf.Influence, want.Influence) {
+					t.Fatalf("seed %d parts %d %s: merged influence set differs from monolithic", seed, parts, tc.name)
+				}
+			}
+		}
+	}
+}
+
+// TestRunMergedBitIdentical: refinement over the merged filter outcome
+// produces bounds bit-identical to Run and RunIndexed over the combined
+// database — at full depth and truncated, with and without a shared
+// decomposition cache.
+func TestRunMergedBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			db, split, target, reference := mergeTestCase(t, seed, 4)
+			opts := Options{MaxIterations: 2 + int(seed%3)}
+			if seed%3 == 0 {
+				opts.KMax = 3
+			}
+			if seed%4 == 0 {
+				opts.SharedDecomps = NewDecompCache(opts.MaxHeight)
+			}
+			want := Run(db, target, reference, opts)
+			wantIdx := RunIndexed(bulkTree(db), target, reference, opts)
+
+			parts := make([]PartialFilter, len(split))
+			for i, part := range split {
+				parts[i] = PartialFilterIndexed(bulkTree(part), target, reference, opts)
+			}
+			got := RunMerged(target, reference, MergePartials(parts...), opts)
+
+			for name, res := range map[string]*Result{"RunIndexed": wantIdx, "RunMerged": got} {
+				if res.CompleteDominators != want.CompleteDominators || res.Pruned != want.Pruned {
+					t.Fatalf("seed %d: %s filter stats diverge", seed, name)
+				}
+				if !reflect.DeepEqual(res.Bounds, want.Bounds) || !reflect.DeepEqual(res.CDF, want.CDF) {
+					t.Fatalf("seed %d: %s bounds diverge from Run:\nwant %v\ngot  %v", seed, name, want.Bounds, res.Bounds)
+				}
+			}
+
+			// The session path (NewSessionMerged + Step) must land on the
+			// same bounds as RunMerged's internal driver.
+			s := NewSessionMerged(target, reference, MergePartials(parts...), opts)
+			for i := 0; i < opts.maxIterations() && s.Step(); i++ {
+			}
+			if !reflect.DeepEqual(s.Result().Bounds, want.Bounds) {
+				t.Fatalf("seed %d: merged session bounds diverge from Run", seed)
+			}
+		})
+	}
+}

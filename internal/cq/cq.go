@@ -65,7 +65,7 @@ import (
 // Store.Version) and throttle; bounding the queue with an explicit
 // backpressure or degrade-to-requery mode is future work.
 type Monitor struct {
-	store *query.Store
+	store Source
 	opts  Options
 
 	qmu    sync.Mutex
@@ -76,13 +76,14 @@ type Monitor struct {
 	done chan struct{} // closed when the worker exits
 
 	// Worker-owned state: only the run goroutine touches these.
-	snap      *query.Snapshot
+	snap      query.SnapshotView
 	subs      map[int64]*Subscription
 	regions   *rtree.Tree[*Subscription] // bounded influence regions
 	unbounded map[int64]*Subscription    // subscriptions that wake on every change
 
 	wmu       sync.Mutex
 	processed uint64
+	vv        []uint64 // per-shard version-vector cursor (sharded sources)
 	advanced  chan struct{}
 
 	stopWatch func()
@@ -101,7 +102,23 @@ type item struct {
 	done     chan struct{}
 }
 
-// NewMonitor attaches a monitor to the store. The registration is
+// Source is the store side a Monitor consumes: a mutable
+// uncertain-object store publishing a gapless, version-ordered change
+// stream where every change carries the snapshot of its version. Both
+// *query.Store and *query.ShardedStore satisfy it — a monitor over a
+// sharded store consumes the merged multi-shard stream, and its
+// maintenance stays bit-identical because the sharded snapshots'
+// engines are (see ShardedSnapshot.Engine).
+type Source interface {
+	// Watch registers a commit hook, atomically with a snapshot of the
+	// current state (see Store.Watch for the full contract).
+	Watch(fn func(query.Change)) (query.SnapshotView, func())
+	// Version returns the store's current mutation epoch.
+	Version() uint64
+}
+
+// NewMonitor attaches a monitor to the store — a single Store or a
+// ShardedStore (merged multi-shard change stream). The registration is
 // atomic with a snapshot of the current state: subscriptions made
 // before any further mutation see exactly that state as their initial
 // result. The monitor owns a background worker until Close.
@@ -109,7 +126,7 @@ type item struct {
 // While a monitor is attached every store mutation publishes a snapshot
 // (see Store.Watch), so write bursts pay one copy-on-write detach per
 // mutation — the cost of a gapless per-version subscription feed.
-func NewMonitor(store *query.Store, opts Options) *Monitor {
+func NewMonitor(store Source, opts Options) *Monitor {
 	m := &Monitor{
 		store:     store,
 		opts:      opts,
@@ -126,6 +143,7 @@ func NewMonitor(store *query.Store, opts Options) *Monitor {
 	})
 	m.snap = snap
 	m.processed = snap.Version()
+	m.vv = versionVector(snap)
 	m.stopWatch = stop
 	go m.run()
 	return m
@@ -209,6 +227,30 @@ func (m *Monitor) Version() uint64 {
 	m.wmu.Lock()
 	defer m.wmu.Unlock()
 	return m.processed
+}
+
+// VersionVector returns the monitor's per-shard cursor: the shard
+// versions of the latest fully-processed sharded snapshot. It localizes
+// the monitor's progress to individual shards of a ShardedStore source;
+// monitors over a single Store return nil.
+func (m *Monitor) VersionVector() []uint64 {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	if m.vv == nil {
+		return nil
+	}
+	vv := make([]uint64, len(m.vv))
+	copy(vv, m.vv)
+	return vv
+}
+
+// versionVector extracts a snapshot's per-shard cursor, nil for
+// single-store snapshots.
+func versionVector(snap query.SnapshotView) []uint64 {
+	if v, ok := snap.(interface{ VersionVector() []uint64 }); ok {
+		return v.VersionVector()
+	}
+	return nil
 }
 
 // WaitVersion blocks until the monitor has processed store version v
@@ -396,7 +438,7 @@ func (m *Monitor) applyChange(ch query.Change) {
 		m.deliver(s, evs)
 	}
 	m.changes.Add(1)
-	m.advance(ch.Version)
+	m.advance(ch.Version, versionVector(ch.Snap))
 }
 
 // wakeRect is the spatial extent a change can influence directly: the
@@ -440,10 +482,12 @@ func (m *Monitor) deliver(s *Subscription, evs []Event) {
 	}
 }
 
-// advance publishes the new watermark to WaitVersion blockers.
-func (m *Monitor) advance(v uint64) {
+// advance publishes the new watermark (and version-vector cursor) to
+// WaitVersion blockers.
+func (m *Monitor) advance(v uint64, vv []uint64) {
 	m.wmu.Lock()
 	m.processed = v
+	m.vv = vv
 	ch := m.advanced
 	m.advanced = make(chan struct{})
 	m.wmu.Unlock()

@@ -144,7 +144,7 @@ func (s *Subscription) finish(err error) {
 // engine query seeds the per-candidate verdicts, and the initial result
 // set is emitted as ObjectEntered events at sn's version — a consumer
 // reconstructs the complete standing result from the stream alone.
-func (s *Subscription) init(sn *query.Snapshot) []Event {
+func (s *Subscription) init(sn query.SnapshotView) []Event {
 	e := sn.Engine()
 	s.cache = e.NewQueryCache()
 	var matches []query.Match

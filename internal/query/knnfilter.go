@@ -76,8 +76,11 @@ func knnPruneThresholdLinear(db uncertain.Database, q *uncertain.Object, k int, 
 }
 
 // knnThreshold dispatches the prune-threshold computation through the
-// index when one is present.
+// sharded plane or the index when one is present.
 func (e *Engine) knnThreshold(q *uncertain.Object, k int, n geom.Norm) float64 {
+	if e.plane != nil {
+		return e.plane.knnThreshold(q, k, n)
+	}
 	if e.Index != nil {
 		return knnPruneThreshold(e.Index, q, k, n)
 	}

@@ -46,6 +46,15 @@ type Engine struct {
 	// (cross-query work reuse — how Store engines recycle decompositions
 	// of database-resident objects); when nil each query builds its own.
 	Opts core.Options
+
+	// plane, when non-nil, replaces the single-index data plane with a
+	// scatter-gather over per-shard R-trees: IDCA filters, preselection
+	// thresholds and impossibility counts are computed per shard and
+	// merged canonically before any refinement runs. Installed by
+	// ShardedSnapshot.Engine; every query algorithm above this level is
+	// oblivious to it, which is what keeps sharded results bit-identical
+	// to the monolithic path.
+	plane *shardPlane
 }
 
 // NewEngine builds an engine and its R-tree index over db (an STR bulk
@@ -82,12 +91,30 @@ type Match struct {
 	Iterations int
 }
 
-// run dispatches an IDCA run through the index if present.
+// run dispatches an IDCA run through the sharded plane or the index if
+// present. All three paths are bit-identical for the same database
+// state (canonical influence ordering); they differ only in how the
+// filter step traverses the data.
 func (e *Engine) run(target, reference *uncertain.Object, opts core.Options) *core.Result {
+	if e.plane != nil {
+		return e.plane.run(target, reference, opts)
+	}
 	if e.Index != nil {
 		return core.RunIndexed(e.Index, target, reference, opts)
 	}
 	return core.Run(e.DB, target, reference, opts)
+}
+
+// newSession prepares an incremental IDCA run through the same dispatch
+// as run — the session-based queries (TopKNN) go through here.
+func (e *Engine) newSession(target, reference *uncertain.Object, opts core.Options) *core.Session {
+	if e.plane != nil {
+		return e.plane.newSession(target, reference, opts)
+	}
+	if e.Index != nil {
+		return core.NewSessionIndexed(e.Index, target, reference, opts)
+	}
+	return core.NewSession(e.DB, target, reference, opts)
 }
 
 // ThresholdStop builds the IDCA stop criterion for a tail predicate

@@ -2,6 +2,7 @@ package query
 
 import (
 	"probprune/internal/geom"
+	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
 )
 
@@ -27,39 +28,19 @@ import (
 // rknnPrunable reports whether candidate b is impossible as an RKNN
 // result for query object q.
 func (e *Engine) rknnPrunable(q, b *uncertain.Object, k int, n geom.Norm) bool {
+	if e.plane != nil {
+		return e.plane.rknnPrunable(q, b, k, n)
+	}
 	lim := q.MBR.MinDistRect(n, b.MBR)
 	if lim <= 0 {
 		// q can coincide with b's region; no object can be strictly
 		// closer than distance zero.
 		return false
 	}
-	count := 0
 	if e.Index != nil {
-		prunable := false
-		e.Index.Nearby(
-			func(mbr geom.Rect, _ *uncertain.Object, leaf bool) float64 {
-				if leaf {
-					return mbr.MaxDistRect(n, b.MBR)
-				}
-				return mbr.MinDistRect(n, b.MBR)
-			},
-			func(_ geom.Rect, o *uncertain.Object, d float64) bool {
-				if d >= lim {
-					return false // ascending stream: no further dominators
-				}
-				if o == q || o == b || o.ExistenceProb() < 1 {
-					return true
-				}
-				count++
-				if count >= k {
-					prunable = true
-					return false
-				}
-				return true
-			},
-		)
-		return prunable
+		return rknnCertainDominators(e.Index, q, b, k, lim, n) >= k
 	}
+	count := 0
 	for _, o := range e.DB {
 		if o == q || o == b || o.ExistenceProb() < 1 {
 			continue
@@ -72,4 +53,32 @@ func (e *Engine) rknnPrunable(q, b *uncertain.Object, k int, n geom.Norm) bool {
 		}
 	}
 	return false
+}
+
+// rknnCertainDominators counts the certainly-existing indexed objects
+// (excluding q and b) whose MaxDist to b is below lim, capped at need.
+// A capped count over one partition composes across shards: the global
+// impossibility test is whether the per-shard counts sum to k, with
+// each shard asked only for the residual it could still contribute.
+func rknnCertainDominators(index *rtree.Tree[*uncertain.Object], q, b *uncertain.Object, need int, lim float64, n geom.Norm) int {
+	count := 0
+	index.Nearby(
+		func(mbr geom.Rect, _ *uncertain.Object, leaf bool) float64 {
+			if leaf {
+				return mbr.MaxDistRect(n, b.MBR)
+			}
+			return mbr.MinDistRect(n, b.MBR)
+		},
+		func(_ geom.Rect, o *uncertain.Object, d float64) bool {
+			if d >= lim {
+				return false // ascending stream: no further dominators
+			}
+			if o == q || o == b || o.ExistenceProb() < 1 {
+				return true
+			}
+			count++
+			return count < need
+		},
+	)
+	return count
 }

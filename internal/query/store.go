@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"probprune/internal/core"
+	"probprune/internal/geom"
 	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
 )
@@ -139,12 +140,34 @@ func (k ChangeKind) String() string {
 // (same ID, distinct objects). Snap is the immutable database state
 // WITH the change applied — Snap.Version() == Version — so a consumer
 // replaying the change stream can evaluate every version exactly, even
-// when it lags behind the store head.
+// when it lags behind the store head. Snap is a *Snapshot for Store
+// changes and a *ShardedSnapshot for ShardedStore changes.
 type Change struct {
 	Version  uint64
 	Kind     ChangeKind
 	Old, New *uncertain.Object
-	Snap     *Snapshot
+	Snap     SnapshotView
+}
+
+// SnapshotView is the read side every snapshot publisher exposes: an
+// immutable database state with a version stamp and a snapshot-bound
+// query engine. *Snapshot (one Store) and *ShardedSnapshot (a
+// ShardedStore's consistent cut across all shards) both implement it,
+// which is what lets change-stream consumers — package cq's Monitor in
+// particular — run unmodified over either backend.
+type SnapshotView interface {
+	// Version returns the mutation epoch the snapshot was published at.
+	Version() uint64
+	// Len returns the number of objects in the snapshot.
+	Len() int
+	// DB returns a copy of the snapshot's object slice (objects shared,
+	// read-only).
+	DB() uncertain.Database
+	// Engine returns the snapshot-bound query engine; all queries on it
+	// evaluate against exactly this state.
+	Engine() *Engine
+	// BatchKNN evaluates many kNN queries pooled on this snapshot.
+	BatchKNN(ctx context.Context, reqs []KNNRequest) ([][]Match, error)
 }
 
 // watcher is one registered commit hook.
@@ -166,7 +189,7 @@ type watcher struct {
 // mutation publishes a snapshot, so a write burst pays one copy-on-write
 // detach (an O(n) R-tree clone) per mutation instead of one per burst;
 // that is the price of a gapless per-version change stream.
-func (s *Store) Watch(fn func(Change)) (*Snapshot, func()) {
+func (s *Store) Watch(fn func(Change)) (SnapshotView, func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := s.nextWatcher
@@ -345,6 +368,31 @@ type Snapshot struct {
 
 	engineOnce sync.Once
 	engine     *Engine
+
+	// Shard-stats cache (statsOnce): the index root MBR and whether
+	// every resident object certainly exists. A scatter-gather router
+	// probes these once per snapshot to decide whole shards wholesale —
+	// the snapshot is immutable, so the answers never go stale.
+	statsOnce  sync.Once
+	rootMBR    geom.Rect
+	nonEmpty   bool
+	allCertain bool
+}
+
+// shardStats returns the cached root MBR, the all-certain flag and
+// whether the snapshot is non-empty.
+func (sn *Snapshot) shardStats() (geom.Rect, bool, bool) {
+	sn.statsOnce.Do(func() {
+		sn.rootMBR, sn.nonEmpty = sn.index.Bounds()
+		sn.allCertain = true
+		for _, o := range sn.db {
+			if o.ExistenceProb() < 1 {
+				sn.allCertain = false
+				break
+			}
+		}
+	})
+	return sn.rootMBR, sn.allCertain, sn.nonEmpty
 }
 
 // Version returns the store mutation epoch the snapshot was published
@@ -487,7 +535,13 @@ func (s *Store) BatchKNN(ctx context.Context, reqs []KNNRequest) ([][]Match, err
 
 // BatchKNN is Store.BatchKNN pinned to this snapshot.
 func (sn *Snapshot) BatchKNN(ctx context.Context, reqs []KNNRequest) ([][]Match, error) {
-	e := sn.Engine()
+	return batchKNN(sn.Engine(), ctx, reqs)
+}
+
+// batchKNN is the snapshot-agnostic batch body, shared by Snapshot and
+// ShardedSnapshot: the engine already carries the snapshot binding (and
+// the scatter-gather plane, for sharded snapshots).
+func batchKNN(e *Engine, ctx context.Context, reqs []KNNRequest) ([][]Match, error) {
 	// One cache overlay for the whole batch: influence objects come from
 	// the persistent store cache, repeated query objects are decomposed
 	// once per batch. Preparation (candidate scan + preselection

@@ -70,12 +70,7 @@ func (e *Engine) TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) (
 		opts := e.runOpts()
 		opts.KMax = k
 		opts.SharedDecomps = cache
-		var s *core.Session
-		if e.Index != nil {
-			s = core.NewSessionIndexed(e.Index, objs[i], q, opts)
-		} else {
-			s = core.NewSession(e.DB, objs[i], q, opts)
-		}
+		s := e.newSession(objs[i], q, opts)
 		cands[i] = &cand{obj: objs[i], session: s, prob: s.Result().CDFBound(k), done: s.Done()}
 	})
 	if err != nil {

@@ -53,6 +53,17 @@ func New[T comparable]() *Tree[T] {
 // Len returns the number of stored values.
 func (t *Tree[T]) Len() int { return t.size }
 
+// Bounds returns the minimum bounding rectangle of every stored value
+// and whether the tree is non-empty. A scatter-gather router uses it to
+// rule whole shards out of a probe with one distance test instead of a
+// traversal.
+func (t *Tree[T]) Bounds() (geom.Rect, bool) {
+	if t.size == 0 {
+		return geom.Rect{}, false
+	}
+	return nodeRect(t.root), true
+}
+
 // Insert adds value under the given bounding rectangle. Duplicate
 // rectangles and values are allowed.
 func (t *Tree[T]) Insert(rect geom.Rect, value T) {

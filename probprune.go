@@ -75,6 +75,22 @@
 // Store results are bit-identical to a fresh Engine built from the same
 // state, at any Parallelism.
 //
+// # Sharding
+//
+// ShardedStore partitions a live store across N independent shards
+// behind a scatter-gather router. The paper's filter bounds merge
+// exactly across partitions (dominator counts sum, influence sets
+// concatenate in canonical order), so sharded results are bit-identical
+// to an unsharded Store at any shard count, while each mutation pays
+// only its home shard's copy-on-write detach and Move/Rebalance migrate
+// objects online without disturbing queries or change streams:
+//
+//	sharded, _ := probprune.NewShardedStore(db,
+//	    probprune.ShardedOptions{Shards: 8}, probprune.Options{})
+//	sharded.Insert(obj)                   // routed to its home shard
+//	matches := sharded.KNN(q, 5, 0.5)     // scatter-gather, bit-identical
+//	moved := sharded.Rebalance()          // online, result-invariant
+//
 // # Continuous queries
 //
 // A Monitor turns one-shot queries into standing subscriptions: clients
@@ -301,6 +317,49 @@ func NewStore(db Database, opts Options) (*Store, error) {
 	return query.NewStore(db, opts)
 }
 
+// Sharded store: N independent Store shards behind a scatter-gather
+// router (see internal/query.ShardedStore and the README's "Sharding"
+// section for the bound-merge argument).
+type (
+	// ShardedStore partitions a live store across N shards, each a full
+	// Store with its own R-tree, decomposition cache and copy-on-write
+	// snapshots. Queries scatter the paper's filter bounds per shard,
+	// merge them canonically and refine once per surviving candidate —
+	// results are bit-identical to an unsharded Store at any shard
+	// count. Mutations pay the O(n/N) detach of their home shard only;
+	// Move/Rebalance migrate objects online.
+	ShardedStore = query.ShardedStore
+	// ShardedSnapshot is one immutable, consistent cut across all
+	// shards of a ShardedStore, with a per-shard version vector.
+	ShardedSnapshot = query.ShardedSnapshot
+	// ShardedOptions configures shard count and the partitioner of a
+	// ShardedStore.
+	ShardedOptions = query.ShardedOptions
+	// ShardFunc deterministically routes an object to one of n shards.
+	ShardFunc = query.ShardFunc
+	// SnapshotView is the read side every snapshot publisher exposes;
+	// *StoreSnapshot and *ShardedSnapshot both implement it.
+	SnapshotView = query.SnapshotView
+)
+
+// NewShardedStore builds a sharded live store over db (unique object
+// IDs required; shards are STR bulk-loaded concurrently). The zero
+// ShardedOptions selects one shard and hash partitioning.
+func NewShardedStore(db Database, sopts ShardedOptions, opts Options) (*ShardedStore, error) {
+	return query.NewShardedStore(db, sopts, opts)
+}
+
+// HashShards is the default shard router: FNV-1a over the object ID.
+func HashShards(o *Object, n int) int {
+	return query.HashShards(o, n)
+}
+
+// StripeShards returns a spatial shard router binning the MBR center
+// along dimension dim into n equal stripes of [lo, hi].
+func StripeShards(dim int, lo, hi float64) ShardFunc {
+	return query.StripeShards(dim, lo, hi)
+}
+
 // Continuous queries: standing KNN/RkNN subscriptions over a Store,
 // maintained incrementally as mutations commit (see internal/cq).
 type (
@@ -331,6 +390,9 @@ type (
 	Change = query.Change
 	// ChangeKind distinguishes insert, update and delete changes.
 	ChangeKind = query.ChangeKind
+	// MonitorSource is the store side a Monitor consumes; *Store and
+	// *ShardedStore both satisfy it.
+	MonitorSource = cq.Source
 )
 
 // Event kinds, subscription kinds, change kinds and slow-consumer
@@ -358,9 +420,11 @@ var (
 	ErrMonitorClosed = cq.ErrMonitorClosed
 )
 
-// NewMonitor attaches a continuous-query monitor to a store. Register
-// standing queries with SubscribeKNN/SubscribeRKNN, release with Close.
-func NewMonitor(store *Store, opts MonitorOptions) *Monitor {
+// NewMonitor attaches a continuous-query monitor to a store — a Store
+// or a ShardedStore (merged multi-shard change stream, tracked by a
+// version-vector cursor). Register standing queries with
+// SubscribeKNN/SubscribeRKNN, release with Close.
+func NewMonitor(store MonitorSource, opts MonitorOptions) *Monitor {
 	return cq.NewMonitor(store, opts)
 }
 

@@ -8,9 +8,37 @@ import (
 	"probprune"
 )
 
+// backend is one of the three public query backends — frozen Engine,
+// live Store, sharded ShardedStore — exposed through the common Engine
+// surface, so every root-level API test body runs unchanged (and must
+// pass identically) against each.
+type backend struct {
+	name string
+	eng  *probprune.Engine
+}
+
+// queryBackends builds identically-configured engines from all three
+// backends over the same database.
+func queryBackends(t *testing.T, db probprune.Database, opts probprune.Options) []backend {
+	t.Helper()
+	store, err := probprune.NewStore(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := probprune.NewShardedStore(db, probprune.ShardedOptions{Shards: 4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []backend{
+		{"engine", probprune.NewEngine(db, opts)},
+		{"store", store.Snapshot().Engine()},
+		{"sharded", sharded.Snapshot().Engine()},
+	}
+}
+
 // TestEndToEndKNN is the integration test of the public API: build a
-// database, index it, pose a threshold kNN query, and cross-check every
-// verdict against the exact computation.
+// database, pose a threshold kNN query through every backend, and
+// cross-check every verdict against the exact computation.
 func TestEndToEndKNN(t *testing.T) {
 	db, err := probprune.Synthetic(probprune.SyntheticConfig{
 		N: 300, Samples: 24, MaxExtent: 0.05, Seed: 11,
@@ -18,64 +46,70 @@ func TestEndToEndKNN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine := probprune.NewEngine(db, probprune.Options{MaxIterations: 8})
-	q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
-	const k, tau = 5, 0.5
-	matches := engine.KNN(q, k, tau)
-	if len(matches) != len(db) {
-		t.Fatalf("%d matches for %d objects", len(matches), len(db))
-	}
-	results := 0
-	for _, m := range matches {
-		if !m.IsResult {
-			continue
-		}
-		results++
-		var cands []*probprune.Object
-		for _, o := range db {
-			if o != m.Object {
-				cands = append(cands, o)
+	for _, be := range queryBackends(t, db, probprune.Options{MaxIterations: 8}) {
+		t.Run(be.name, func(t *testing.T) {
+			q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
+			const k, tau = 5, 0.5
+			matches := be.eng.KNN(q, k, tau)
+			if len(matches) != len(db) {
+				t.Fatalf("%d matches for %d objects", len(matches), len(db))
 			}
-		}
-		pdf := probprune.ExactDomCountPDF(probprune.L2, cands, m.Object, q, k)
-		exact := 0.0
-		for _, p := range pdf {
-			exact += p
-		}
-		if exact < tau-1e-9 {
-			t.Errorf("object %d reported as result but exact P = %g < %g", m.Object.ID, exact, tau)
-		}
-	}
-	if results == 0 {
-		t.Error("threshold kNN query returned no results at all")
-	}
-	if results > 3*k {
-		t.Errorf("implausibly many results: %d", results)
+			results := 0
+			for _, m := range matches {
+				if !m.IsResult {
+					continue
+				}
+				results++
+				var cands []*probprune.Object
+				for _, o := range db {
+					if o != m.Object {
+						cands = append(cands, o)
+					}
+				}
+				pdf := probprune.ExactDomCountPDF(probprune.L2, cands, m.Object, q, k)
+				exact := 0.0
+				for _, p := range pdf {
+					exact += p
+				}
+				if exact < tau-1e-9 {
+					t.Errorf("object %d reported as result but exact P = %g < %g", m.Object.ID, exact, tau)
+				}
+			}
+			if results == 0 {
+				t.Error("threshold kNN query returned no results at all")
+			}
+			if results > 3*k {
+				t.Errorf("implausibly many results: %d", results)
+			}
+		})
 	}
 }
 
 // TestEndToEndInverseRanking exercises the inverse ranking query on the
-// iceberg simulation through the public API.
+// iceberg simulation through the public API, on every backend.
 func TestEndToEndInverseRanking(t *testing.T) {
 	db, err := probprune.IcebergSim(probprune.IcebergConfig{N: 150, Samples: 16, Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine := probprune.NewEngine(db, probprune.Options{MaxIterations: 6})
-	rd := engine.InverseRank(db[3], db[77])
-	if rd.MinRank < 1 {
-		t.Fatalf("MinRank = %d", rd.MinRank)
-	}
-	mass := 0.0
-	for i := rd.MinRank; i < rd.MinRank+len(rd.Ranks); i++ {
-		iv := rd.Bound(i)
-		if iv.LB < -1e-9 || iv.UB > 1+1e-9 || iv.LB > iv.UB+1e-9 {
-			t.Fatalf("rank %d has invalid interval %+v", i, iv)
-		}
-		mass += iv.LB
-	}
-	if mass > 1+1e-9 {
-		t.Fatalf("definite mass %g exceeds 1", mass)
+	for _, be := range queryBackends(t, db, probprune.Options{MaxIterations: 6}) {
+		t.Run(be.name, func(t *testing.T) {
+			rd := be.eng.InverseRank(db[3], db[77])
+			if rd.MinRank < 1 {
+				t.Fatalf("MinRank = %d", rd.MinRank)
+			}
+			mass := 0.0
+			for i := rd.MinRank; i < rd.MinRank+len(rd.Ranks); i++ {
+				iv := rd.Bound(i)
+				if iv.LB < -1e-9 || iv.UB > 1+1e-9 || iv.LB > iv.UB+1e-9 {
+					t.Fatalf("rank %d has invalid interval %+v", i, iv)
+				}
+				mass += iv.LB
+			}
+			if mass > 1+1e-9 {
+				t.Fatalf("definite mass %g exceeds 1", mass)
+			}
+		})
 	}
 }
 
