@@ -1,0 +1,24 @@
+// Benchmarks for the durability layer, wrapping the shared
+// internal/benchscen scenario bodies (cmd/bench writes the same
+// measurements to the committed BENCH_PR5.json): journaled update
+// throughput, and recovery cost cold (whole database replayed from the
+// log) versus from a checkpoint plus empty tail.
+package probprune_test
+
+import (
+	"testing"
+
+	"probprune/internal/benchscen"
+)
+
+func BenchmarkWALIngest(b *testing.B) {
+	benchscen.WALIngest(b, benchscen.MustDB(1000))
+}
+
+func BenchmarkRecoveryCold(b *testing.B) {
+	benchscen.RecoveryCold(b, benchscen.MustDB(1000))
+}
+
+func BenchmarkRecoveryCheckpoint(b *testing.B) {
+	benchscen.RecoveryCheckpoint(b, benchscen.MustDB(1000))
+}

@@ -1,13 +1,15 @@
 // Command bench runs the repository's key performance scenarios and
-// writes the numbers to a machine-readable JSON file (BENCH_PR4.json by
+// writes the numbers to a machine-readable JSON file (BENCH_PR5.json by
 // default), so the performance trajectory of the project is tracked in
 // data rather than prose. It measures the hot serving paths — one-shot
 // engine queries, warm store queries, batched queries, index build —
 // the continuous-query maintenance pair (incremental maintenance vs.
-// re-running every standing query per mutation), and the sharded
-// serving pair: the write-interleaved BatchKNN mix and the store build
-// at 1 vs 8 shards, whose ratio (sharded_batchknn_speedup_8x) is the
-// headline number of the sharding PR.
+// re-running every standing query per mutation), the sharded serving
+// pair (write-interleaved BatchKNN mix and store build at 1 vs 8
+// shards), and the durability trio: journaled update throughput
+// (WALIngest) and recovery cold vs from a checkpoint, whose ratio
+// (recovery_checkpoint_speedup) is the headline number of the
+// durability PR.
 //
 // The scenario bodies live in internal/benchscen and are shared with
 // the `go test -bench` wrappers, so this report and the in-tree
@@ -51,7 +53,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "output file")
+	out := flag.String("o", "BENCH_PR5.json", "output file")
 	quick := flag.Bool("quick", false, "smoke mode: small database, cheap CI run (numbers not comparable with full runs)")
 	flag.Parse()
 	dbSize := 1000
@@ -61,7 +63,7 @@ func main() {
 
 	db := benchscen.MustDB(dbSize)
 	rep := report{
-		PR:         4,
+		PR:         5,
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		DBSize:     dbSize,
@@ -99,6 +101,9 @@ func main() {
 	sharded8 := add("ShardedBatchKNN8", benchscen.ShardedBatchKNN(8))
 	build1 := add("ShardedBuild1", benchscen.ShardedBuild(1))
 	build8 := add("ShardedBuild8", benchscen.ShardedBuild(8))
+	add("WALIngest", benchscen.WALIngest)
+	cold := add("RecoveryCold", benchscen.RecoveryCold)
+	ckpt := add("RecoveryCheckpoint", benchscen.RecoveryCheckpoint)
 
 	if m, r := maintain.Metrics["idca-runs/op"], requery.Metrics["idca-runs/op"]; m > 0 {
 		rep.Derived["cq_idca_run_ratio"] = r / m
@@ -111,6 +116,9 @@ func main() {
 	}
 	if build8.NsPerOp > 0 {
 		rep.Derived["sharded_build_speedup_8x"] = build1.NsPerOp / build8.NsPerOp
+	}
+	if ckpt.NsPerOp > 0 {
+		rep.Derived["recovery_checkpoint_speedup"] = cold.NsPerOp / ckpt.NsPerOp
 	}
 	fmt.Printf("derived: %v\n", rep.Derived)
 

@@ -1,5 +1,6 @@
 // Command udbquery runs probabilistic similarity queries against a
-// dataset written by udbgen.
+// dataset written by udbgen — either format: the gob dataset (.udb) or
+// a checkpoint snapshot (-format ckpt), sniffed by magic bytes.
 //
 // Usage:
 //
@@ -24,6 +25,7 @@ import (
 	"probprune/internal/geom"
 	"probprune/internal/query"
 	"probprune/internal/uncertain"
+	"probprune/internal/wal"
 	"probprune/internal/workload"
 )
 
@@ -45,7 +47,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	db, err := workload.LoadFile(*dbPath)
+	var (
+		db  uncertain.Database
+		err error
+	)
+	if wal.IsCheckpointFile(*dbPath) {
+		var ck *wal.Checkpoint
+		if ck, err = wal.LoadCheckpointFile(*dbPath); err == nil {
+			db = ck.Objects
+		}
+	} else {
+		db, err = workload.LoadFile(*dbPath)
+	}
 	if err != nil {
 		fail("loading %s: %v", *dbPath, err)
 	}

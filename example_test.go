@@ -2,6 +2,7 @@ package probprune_test
 
 import (
 	"fmt"
+	"os"
 
 	"probprune"
 )
@@ -64,4 +65,35 @@ func ExampleExpectedRankBounds() {
 	fmt.Printf("E[rank] in [%.0f, %.0f]\n", lo, hi)
 	// Output:
 	// E[rank] in [2, 2]
+}
+
+// OpenStore recovers a durable store from its journal directory:
+// bootstrap once, commit (each mutation journaled before it applies),
+// close — then reopen and find the exact same database.
+func ExampleOpenStore() {
+	dir, _ := os.MkdirTemp("", "probprune-example-*")
+	defer os.RemoveAll(dir)
+	popts := probprune.PersistOptions{Dir: dir}
+
+	db := probprune.Database{
+		probprune.PointObject(0, probprune.Point{1, 0}),
+		probprune.PointObject(1, probprune.Point{2, 0}),
+	}
+	store, _ := probprune.BootstrapStore(db, popts, probprune.Options{})
+	store.Insert(probprune.PointObject(2, probprune.Point{3, 0}))
+	store.Delete(0)
+	store.Close()
+
+	reopened, _ := probprune.OpenStore(popts, probprune.Options{})
+	defer reopened.Close()
+	fmt.Println("objects:", reopened.Len(), "version:", reopened.Version())
+	q := probprune.PointObject(-1, probprune.Point{0, 0})
+	for _, m := range reopened.KNN(q, 1, 0.5) {
+		if m.IsResult {
+			fmt.Println("nearest neighbor:", m.Object.ID)
+		}
+	}
+	// Output:
+	// objects: 2 version: 2
+	// nearest neighbor: 1
 }

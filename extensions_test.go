@@ -1,6 +1,9 @@
 package probprune_test
 
 import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"probprune"
@@ -80,6 +83,108 @@ func TestUKRanksFacade(t *testing.T) {
 			}
 			if ids := be.eng.GlobalTopK(q, 2); len(ids) != 2 {
 				t.Fatalf("GlobalTopK returned %d objects", len(ids))
+			}
+		})
+	}
+}
+
+// TestDurableReopenOracle is the root-level durability matrix: for the
+// 20 oracle seeds, a mutation trace is written through a durable store,
+// the store is closed and reopened, and the recovered store must answer
+// KNN and RKNN exactly like an in-memory Store that applied the same
+// trace — the public-API face of the crash-recovery equivalence suite.
+func TestDurableReopenOracle(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			db, err := probprune.Synthetic(probprune.SyntheticConfig{
+				N: 10 + int(seed%7), Samples: 4, MaxExtent: 0.2, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := probprune.Options{MaxIterations: 1 + 2*int(seed%3)}
+			popts := probprune.PersistOptions{
+				Dir:             filepath.Join(t.TempDir(), "db"),
+				CheckpointEvery: 4,
+			}
+			durable, err := probprune.BootstrapStore(db, popts, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mirror, err := probprune.NewStore(db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed * 271))
+			next := len(db)
+			for i := 0; i < 12; i++ {
+				pts := []probprune.Point{
+					{rng.Float64(), rng.Float64()},
+					{rng.Float64(), rng.Float64()},
+				}
+				var o *probprune.Object
+				switch rng.Intn(3) {
+				case 0:
+					o, err = probprune.NewObject(next, pts)
+					next++
+					if err == nil {
+						err = durable.Insert(o)
+						if err == nil {
+							err = mirror.Insert(o)
+						}
+					}
+				case 1:
+					o, err = probprune.NewObject(db[rng.Intn(len(db))].ID, pts)
+					if err == nil {
+						if _, live := mirror.Get(o.ID); live {
+							err = durable.Update(o)
+							if err == nil {
+								err = mirror.Update(o)
+							}
+						}
+					}
+				default:
+					victim := db[rng.Intn(len(db))].ID
+					if durable.Delete(victim) != mirror.Delete(victim) {
+						t.Fatal("delete outcome diverged")
+					}
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := durable.Close(); err != nil {
+				t.Fatal(err)
+			}
+			reopened, err := probprune.OpenStore(popts, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer reopened.Close()
+			if reopened.Version() != mirror.Version() {
+				t.Fatalf("version %d, want %d", reopened.Version(), mirror.Version())
+			}
+			q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
+			wantKNN := mirror.KNN(q, 3, 0.4)
+			gotKNN := reopened.KNN(q, 3, 0.4)
+			wantRKNN := mirror.RKNN(q, 2, 0.3)
+			gotRKNN := reopened.RKNN(q, 2, 0.3)
+			for _, pair := range []struct {
+				kind      string
+				got, want []probprune.Match
+			}{{"KNN", gotKNN, wantKNN}, {"RKNN", gotRKNN, wantRKNN}} {
+				if len(pair.got) != len(pair.want) {
+					t.Fatalf("%s: %d matches, want %d", pair.kind, len(pair.got), len(pair.want))
+				}
+				for i := range pair.got {
+					g, w := pair.got[i], pair.want[i]
+					if g.Object.ID != w.Object.ID || g.Prob != w.Prob ||
+						g.IsResult != w.IsResult || g.Decided != w.Decided || g.Iterations != w.Iterations {
+						t.Fatalf("%s match %d: %+v, want %+v", pair.kind, i, g, w)
+					}
+				}
 			}
 		})
 	}

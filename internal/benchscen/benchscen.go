@@ -217,6 +217,98 @@ func ShardedBuild(shards int) func(b *testing.B, db probprune.Database) {
 	}
 }
 
+// WALIngest: journaled update throughput on a durable store — the
+// write-ahead-log cost of the serving path. Every commit frames,
+// CRC-stamps and writes one record before the copy-on-write publish
+// (SyncOS policy: no fsync on the clock); compare with StoreWarmKNN's
+// in-memory sibling store to read the durability tax.
+func WALIngest(b *testing.B, db probprune.Database) {
+	s, err := probprune.BootstrapStore(db,
+		probprune.PersistOptions{Dir: b.TempDir()},
+		probprune.Options{MaxIterations: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim, _ := s.Get(db[rng.Intn(len(db))].ID)
+		if err := s.Update(driftObject(b, rng, victim)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// recoveryJournal writes the shared recovery fixture: an empty
+// bootstrap followed by one journaled insert per object (plus a warm
+// query so the decomposition cache has something to checkpoint), then
+// optionally a checkpoint absorbing the log.
+func recoveryJournal(b *testing.B, db probprune.Database, checkpoint bool) probprune.PersistOptions {
+	b.Helper()
+	popts := probprune.PersistOptions{Dir: b.TempDir()}
+	opts := probprune.Options{MaxIterations: 3}
+	s, err := probprune.BootstrapStore(nil, popts, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, o := range db {
+		if err := s.Insert(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.KNN(probprune.PointObject(-1, probprune.Point{0.5, 0.5}), K, Tau)
+	if checkpoint {
+		if err := s.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return popts
+}
+
+// RecoveryCold: reopening a store whose whole database lives in the
+// log — checkpoint-free recovery decodes and replays one record per
+// object and rebuilds the index from scratch.
+func RecoveryCold(b *testing.B, db probprune.Database) {
+	popts := recoveryJournal(b, db, false)
+	opts := probprune.Options{MaxIterations: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := probprune.OpenStore(popts, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// RecoveryCheckpoint: reopening the same database from a checkpoint
+// with an empty log tail — the state (including the materialized
+// decomposition cache) loads in one pass, nothing replays. The ratio
+// to RecoveryCold is cmd/bench's recovery_checkpoint_speedup.
+func RecoveryCheckpoint(b *testing.B, db probprune.Database) {
+	popts := recoveryJournal(b, db, true)
+	opts := probprune.Options{MaxIterations: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := probprune.OpenStore(popts, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
 // IndexBulkLoad: STR bulk construction of the R-tree.
 func IndexBulkLoad(b *testing.B, db probprune.Database) {
 	b.ReportAllocs()

@@ -22,10 +22,11 @@ import (
 // returned by PartitionsAtLevel are shared and must be treated as
 // read-only — the refinement loop only ever reads them.
 type RefDecomp struct {
-	obj *uncertain.Object
+	obj       *uncertain.Object
+	maxHeight int
 
 	mu     sync.Mutex
-	tree   *uncertain.DecompTree
+	tree   *uncertain.DecompTree // built on first un-seeded level request
 	levels [][]uncertain.Partition
 }
 
@@ -33,10 +34,18 @@ type RefDecomp struct {
 // height limit (<= 0 selects the uncertain package default, matching
 // what a Session builds for itself).
 func NewRefDecomp(obj *uncertain.Object, maxHeight int) *RefDecomp {
-	return &RefDecomp{
-		obj:  obj,
-		tree: uncertain.NewDecompTree(obj, maxHeight),
-	}
+	return &RefDecomp{obj: obj, maxHeight: maxHeight}
+}
+
+// NewSeededRefDecomp prepares a shared decomposition whose first
+// len(levels) levels are served from a previously materialized copy —
+// how a reopened store resumes from a checkpoint without re-splitting.
+// The seed must come from a decomposition of an object with identical
+// samples and weights at the same height limit (decomposition is
+// deterministic, so such a seed is bit-identical to what a fresh tree
+// would compute); deeper levels expand a fresh tree on demand.
+func NewSeededRefDecomp(obj *uncertain.Object, maxHeight int, levels [][]uncertain.Partition) *RefDecomp {
+	return &RefDecomp{obj: obj, maxHeight: maxHeight, levels: levels}
 }
 
 // Object returns the decomposed object.
@@ -52,10 +61,30 @@ func (d *RefDecomp) PartitionsAtLevel(level int) []uncertain.Partition {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.tree == nil && level < len(d.levels) {
+		return d.levels[level]
+	}
+	if d.tree == nil {
+		d.tree = uncertain.NewDecompTree(d.obj, d.maxHeight)
+	}
 	for len(d.levels) <= level {
 		d.levels = append(d.levels, d.tree.PartitionsAtLevel(len(d.levels)))
 	}
 	return d.levels[level]
+}
+
+// MaterializedLevels returns a snapshot of the levels materialized so
+// far — what a checkpoint persists. The inner slices are shared
+// (read-only by contract); the outer slice is a copy.
+func (d *RefDecomp) MaterializedLevels() [][]uncertain.Partition {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.levels) == 0 {
+		return nil
+	}
+	out := make([][]uncertain.Partition, len(d.levels))
+	copy(out, d.levels)
+	return out
 }
 
 // partitionSource is what the refinement loop needs from an operand or
@@ -169,6 +198,46 @@ func (c *DecompCache) Version() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.version
+}
+
+// SetVersion restores the cache epoch — recovery resets it to the
+// checkpointed value so observability counters survive a reopen.
+func (c *DecompCache) SetVersion(v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version = v
+}
+
+// Materialized returns the levels of obj's cached decomposition that
+// have been materialized so far, nil when the cache holds no entry for
+// obj or only a lazy pin. It is the per-object export a checkpoint
+// persists.
+func (c *DecompCache) Materialized(obj *uncertain.Object) [][]uncertain.Partition {
+	c.mu.Lock()
+	d := c.m[obj]
+	c.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	return d.MaterializedLevels()
+}
+
+// Seed pins obj with a pre-materialized decomposition (see
+// NewSeededRefDecomp) — recovery's counterpart of Add. Like Add it
+// counts one epoch tick for a new pin; an existing entry is replaced
+// only if it is still a lazy pin, so a decomposition already handed out
+// stays canonical.
+func (c *DecompCache) Seed(obj *uncertain.Object, levels [][]uncertain.Partition) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.m[obj]; ok {
+		if d == nil {
+			c.m[obj] = NewSeededRefDecomp(obj, c.maxHeight, levels)
+		}
+		return
+	}
+	c.m[obj] = NewSeededRefDecomp(obj, c.maxHeight, levels)
+	c.version++
 }
 
 // Overlay returns a query-scoped view of the cache: lookups hit c (and

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"probprune/internal/geom"
 	"probprune/internal/uncertain"
 )
 
@@ -208,5 +209,84 @@ func TestDecompCacheOverlay(t *testing.T) {
 	reRun := Run(db, target, reference, Options{MaxIterations: 4, SharedDecomps: base.Overlay()})
 	if !reflect.DeepEqual(private.Bounds, reRun.Bounds) {
 		t.Fatal("run after invalidation differs")
+	}
+}
+
+// TestSeededRefDecomp: a RefDecomp seeded from another's materialized
+// levels serves them verbatim and extends past the seed bit-identically
+// to a fresh decomposition — the checkpoint/recovery contract.
+func TestSeededRefDecomp(t *testing.T) {
+	obj := testObjectGrid(t)
+	fresh := NewRefDecomp(obj, 6)
+	for l := 0; l <= 3; l++ {
+		fresh.PartitionsAtLevel(l)
+	}
+	levels := fresh.MaterializedLevels()
+	if len(levels) != 4 {
+		t.Fatalf("materialized %d levels, want 4", len(levels))
+	}
+	seeded := NewSeededRefDecomp(obj, 6, levels)
+	for l := 0; l <= 5; l++ {
+		want := fresh.PartitionsAtLevel(l)
+		got := seeded.PartitionsAtLevel(l)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("level %d: seeded decomposition diverged", l)
+		}
+	}
+	if got := fresh.MaterializedLevels(); len(got) != 6 {
+		t.Fatalf("materialized %d levels after deepening, want 6", len(got))
+	}
+}
+
+func testObjectGrid(t *testing.T) *uncertain.Object {
+	t.Helper()
+	var pts []geom.Point
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			pts = append(pts, geom.Point{float64(i), float64(j)})
+		}
+	}
+	obj, err := uncertain.NewObject(1, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+// TestDecompCacheSeed: Seed replaces lazy pins only, ticks the epoch
+// like Add for new pins, and Materialized/SetVersion round-trip what a
+// checkpoint persists.
+func TestDecompCacheSeed(t *testing.T) {
+	obj := testObjectGrid(t)
+	c := NewDecompCache(6)
+	if c.Materialized(obj) != nil {
+		t.Fatal("materialized levels for an absent object")
+	}
+	c.Add(obj)
+	if c.Materialized(obj) != nil {
+		t.Fatal("materialized levels for a lazy pin")
+	}
+	levels := [][]uncertain.Partition{{{MBR: obj.MBR, Prob: 1}}}
+	c.Seed(obj, levels)
+	if got := c.Get(obj).PartitionsAtLevel(0); !reflect.DeepEqual(got, levels[0]) {
+		t.Fatal("seed did not install the levels")
+	}
+	if got := c.Materialized(obj); !reflect.DeepEqual(got, levels) {
+		t.Fatal("Materialized does not return the seeded levels")
+	}
+	// Seeding an already-materialized entry must not replace it.
+	c.Seed(obj, nil)
+	if got := c.Materialized(obj); !reflect.DeepEqual(got, levels) {
+		t.Fatal("seed replaced a materialized entry")
+	}
+	v := c.Version()
+	other := testObjectGrid(t)
+	c.Seed(other, levels) // new pin: one epoch tick, like Add
+	if c.Version() != v+1 {
+		t.Fatalf("seed of a new object ticked %d, want 1", c.Version()-v)
+	}
+	c.SetVersion(99)
+	if c.Version() != 99 {
+		t.Fatal("SetVersion did not restore the epoch")
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,7 @@ import (
 	"probprune/internal/query"
 	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
+	"probprune/internal/wal"
 )
 
 // Monitor maintains standing subscriptions over one Store. It consumes
@@ -80,6 +82,9 @@ type Monitor struct {
 	subs      map[int64]*Subscription
 	regions   *rtree.Tree[*Subscription] // bounded influence regions
 	unbounded map[int64]*Subscription    // subscriptions that wake on every change
+	cursor    *wal.Cursor                // loaded durable cursor (nil without one)
+	cursorErr error                      // cursor load failure, surfaced on durable subscribes
+	sinceSave int                        // changes processed since the last cursor save
 
 	wmu       sync.Mutex
 	processed uint64
@@ -98,6 +103,7 @@ type item struct {
 	change   *query.Change
 	sub      *Subscription
 	unsub    *Subscription
+	save     chan error // SaveCursor request
 	shutdown bool
 	done     chan struct{}
 }
@@ -137,6 +143,9 @@ func NewMonitor(store Source, opts Options) *Monitor {
 		advanced:  make(chan struct{}),
 	}
 	m.qcond = sync.NewCond(&m.qmu)
+	if opts.CursorPath != "" {
+		m.cursor, m.cursorErr = wal.LoadCursor(opts.CursorPath)
+	}
 	snap, stop := store.Watch(func(ch query.Change) {
 		c := ch
 		m.enqueue(item{change: &c})
@@ -163,7 +172,48 @@ func (m *Monitor) SubscribeRKNN(q *uncertain.Object, k int, tau float64) (*Subsc
 	return m.subscribe(RKNN, q, k, tau)
 }
 
+// SubscribeKNNDurable is SubscribeKNN with a durable identity: the
+// subscription's result set is persisted in the monitor's cursor under
+// name, and a monitor restarted with the same cursor file resumes the
+// subscription with the coalesced delta since the cursor — an object
+// that entered and left while the monitor was down produces no event;
+// everything whose membership or bounds differ produces exactly one.
+// After the resume events, per-version streaming continues as usual.
+// Requires Options.CursorPath; the name must be unique among live
+// durable subscriptions, and re-using a name with a different predicate
+// fails with ErrCursorMismatch.
+func (m *Monitor) SubscribeKNNDurable(name string, q *uncertain.Object, k int, tau float64) (*Subscription, error) {
+	return m.subscribeDurable(name, KNN, q, k, tau)
+}
+
+// SubscribeRKNNDurable is SubscribeRKNN with a durable identity (see
+// SubscribeKNNDurable).
+func (m *Monitor) SubscribeRKNNDurable(name string, q *uncertain.Object, k int, tau float64) (*Subscription, error) {
+	return m.subscribeDurable(name, RKNN, q, k, tau)
+}
+
+func (m *Monitor) subscribeDurable(name string, kind Kind, q *uncertain.Object, k int, tau float64) (*Subscription, error) {
+	if m.opts.CursorPath == "" {
+		return nil, fmt.Errorf("cq: durable subscription %q without Options.CursorPath", name)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("cq: durable subscription with empty name")
+	}
+	if m.cursorErr != nil {
+		return nil, fmt.Errorf("cq: cursor %s unreadable: %w", m.opts.CursorPath, m.cursorErr)
+	}
+	s, err := m.subscribeSub(name, kind, q, k, tau)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 func (m *Monitor) subscribe(kind Kind, q *uncertain.Object, k int, tau float64) (*Subscription, error) {
+	return m.subscribeSub("", kind, q, k, tau)
+}
+
+func (m *Monitor) subscribeSub(name string, kind Kind, q *uncertain.Object, k int, tau float64) (*Subscription, error) {
 	if q == nil {
 		return nil, fmt.Errorf("cq: nil query object")
 	}
@@ -176,6 +226,7 @@ func (m *Monitor) subscribe(kind Kind, q *uncertain.Object, k int, tau float64) 
 	s := &Subscription{
 		id:     m.nextID.Add(1),
 		m:      m,
+		name:   name,
 		kind:   kind,
 		q:      q,
 		k:      k,
@@ -194,10 +245,15 @@ func (m *Monitor) subscribe(kind Kind, q *uncertain.Object, k int, tau float64) 
 	// kill the subscription deterministically before it ever worked.
 	// Surface that as a subscribe error instead of a dead channel.
 	if err := s.Err(); err != nil {
+		if err == ErrCursorMismatch || err == errDuplicateName {
+			return nil, err
+		}
 		return nil, fmt.Errorf("cq: initial result set overflowed the %d-event buffer (raise Options.Buffer or use DropOldest): %w", m.opts.buffer(), err)
 	}
 	return s, nil
 }
+
+var errDuplicateName = fmt.Errorf("cq: durable subscription name already in use")
 
 // Unsubscribe cancels a subscription (see Subscription.Cancel).
 func (m *Monitor) Unsubscribe(s *Subscription) { s.Cancel() }
@@ -355,7 +411,14 @@ func (m *Monitor) run() {
 		case it.unsub != nil:
 			m.dropSub(it.unsub, ErrUnsubscribed)
 			close(it.done)
+		case it.save != nil:
+			it.save <- m.saveCursor()
 		case it.shutdown:
+			if m.opts.CursorPath != "" {
+				// Final cursor save: the next process resumes from the
+				// exact position this one delivered through.
+				m.saveCursor()
+			}
 			for _, s := range m.subs {
 				s.finish(ErrMonitorClosed)
 			}
@@ -367,13 +430,80 @@ func (m *Monitor) run() {
 }
 
 // addSub evaluates the initial result on the latest processed snapshot,
-// registers the influence region and delivers the initial events.
+// registers the influence region and delivers the initial events. A
+// durable subscription first resolves its cursor state: present and
+// matching, the initial events become the coalesced delta since the
+// cursor instead of the full result set.
 func (m *Monitor) addSub(s *Subscription) {
+	if s.name != "" {
+		for _, other := range m.subs {
+			if other.name == s.name {
+				s.finish(errDuplicateName)
+				return
+			}
+		}
+		if m.cursor != nil {
+			for i := range m.cursor.Subs {
+				cs := &m.cursor.Subs[i]
+				if cs.Name != s.name {
+					continue
+				}
+				// The query object is part of the predicate: compare it
+				// by value (the instance cannot survive a restart).
+				if Kind(cs.Kind) != s.kind || cs.K != s.k || cs.Tau != s.tau ||
+					!reflect.DeepEqual(cs.Q, s.q) {
+					s.finish(ErrCursorMismatch)
+					return
+				}
+				s.resume = cs
+				break
+			}
+		}
+	}
 	evs := s.init(m.snap)
+	s.resume = nil
 	m.subs[s.id] = s
 	m.subCount.Add(1)
 	m.place(s, false)
 	m.deliver(s, evs)
+}
+
+// saveCursor persists the durable cursor: the processed watermark plus
+// every named subscription's current result set. Names loaded from the
+// previous cursor that have not been re-subscribed yet are carried
+// through unchanged — an auto-save firing before the application
+// re-attaches its subscriptions must not erase their resume state.
+// Worker-only.
+func (m *Monitor) saveCursor() error {
+	if m.opts.CursorPath == "" {
+		return fmt.Errorf("cq: no Options.CursorPath configured")
+	}
+	m.wmu.Lock()
+	c := &wal.Cursor{Version: m.processed, VV: m.vv}
+	m.wmu.Unlock()
+	ids := make([]int64, 0, len(m.subs))
+	for id := range m.subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	live := make(map[string]bool)
+	for _, id := range ids {
+		s := m.subs[id]
+		if s.name == "" {
+			continue
+		}
+		live[s.name] = true
+		c.Subs = append(c.Subs, s.cursorState())
+	}
+	if m.cursor != nil {
+		for i := range m.cursor.Subs {
+			if cs := &m.cursor.Subs[i]; !live[cs.Name] {
+				c.Subs = append(c.Subs, *cs)
+			}
+		}
+	}
+	m.sinceSave = 0
+	return wal.SaveCursor(m.opts.CursorPath, c)
 }
 
 // dropSub removes a subscription and closes its stream.
@@ -439,6 +569,22 @@ func (m *Monitor) applyChange(ch query.Change) {
 	}
 	m.changes.Add(1)
 	m.advance(ch.Version, versionVector(ch.Snap))
+	if m.opts.CursorPath != "" && m.opts.CursorEvery > 0 {
+		if m.sinceSave++; m.sinceSave >= m.opts.CursorEvery {
+			m.saveCursor() // best effort; SaveCursor surfaces errors
+		}
+	}
+}
+
+// SaveCursor persists the durable cursor now: every event delivered to
+// the subscription buffers so far is covered by it. The save runs on
+// the worker, strictly ordered with change processing.
+func (m *Monitor) SaveCursor() error {
+	reply := make(chan error, 1)
+	if !m.enqueue(item{save: reply}) {
+		return ErrMonitorClosed
+	}
+	return <-reply
 }
 
 // wakeRect is the spatial extent a change can influence directly: the

@@ -97,6 +97,18 @@ type Options struct {
 	// Policy is the slow-consumer policy; the zero value is
 	// DisconnectSlow.
 	Policy Policy
+	// CursorPath, when set, gives the monitor a durable cursor: the
+	// file persists the last fully-delivered store version and the
+	// result set of every named subscription (SubscribeKNNDurable /
+	// SubscribeRKNNDurable). After a restart, re-subscribing under the
+	// same name delivers the coalesced delta between the cursor and the
+	// recovered store head instead of the full result set — resumption
+	// from the last delivered version, not from genesis.
+	CursorPath string
+	// CursorEvery auto-saves the cursor after that many processed
+	// changes; 0 saves only on SaveCursor and Close. The save is
+	// atomic (write + rename) and fsynced.
+	CursorEvery int
 }
 
 // DefaultBuffer is the per-subscription event buffer capacity used when
@@ -120,6 +132,10 @@ var (
 	ErrUnsubscribed = errors.New("cq: unsubscribed")
 	// ErrMonitorClosed: the monitor shut down.
 	ErrMonitorClosed = errors.New("cq: monitor closed")
+	// ErrCursorMismatch: a durable subscription's name exists in the
+	// cursor with a different predicate (kind, k or tau) — resuming it
+	// would silently deliver a wrong delta.
+	ErrCursorMismatch = errors.New("cq: durable subscription does not match its cursor state")
 )
 
 // Stats aggregates monitor-wide maintenance counters; all values are

@@ -11,6 +11,7 @@ import (
 	"probprune/internal/gf"
 	"probprune/internal/query"
 	"probprune/internal/uncertain"
+	"probprune/internal/wal"
 )
 
 // Kind selects the standing query predicate of a subscription.
@@ -57,10 +58,16 @@ type candState struct {
 type Subscription struct {
 	id   int64
 	m    *Monitor
+	name string // durable identity; empty for ephemeral subscriptions
 	kind Kind
 	q    *uncertain.Object
 	k    int
 	tau  float64
+
+	// resume, while the subscription is being added, holds its cursor
+	// state: init then emits the delta since the cursor instead of the
+	// full result set. Cleared after init; worker-owned.
+	resume *wal.CursorSub
 
 	events chan Event
 
@@ -85,6 +92,10 @@ func (s *Subscription) Events() <-chan Event { return s.events }
 
 // Kind returns the subscription's predicate kind.
 func (s *Subscription) Kind() Kind { return s.kind }
+
+// Name returns the durable identity of the subscription, empty for
+// ephemeral ones.
+func (s *Subscription) Name() string { return s.name }
 
 // Query returns the subscription's query reference object.
 func (s *Subscription) Query() *uncertain.Object { return s.q }
@@ -158,7 +169,7 @@ func (s *Subscription) init(sn query.SnapshotView) []Event {
 	case RKNN:
 		matches = e.RKNN(s.q, s.k, s.tau)
 	}
-	var evs []Event
+	var results []query.Match
 	for _, nm := range matches {
 		b := nm.Object
 		if s.preselected(e, b, s.thresh) {
@@ -168,11 +179,88 @@ func (s *Subscription) init(sn query.SnapshotView) []Event {
 		s.m.setupRuns.Add(1)
 		s.cands[b.ID] = &candState{obj: b, match: nm}
 		if nm.IsResult {
-			evs = append(evs, Event{Kind: ObjectEntered, Version: sn.Version(), Object: b, Match: nm})
+			results = append(results, nm)
+		}
+	}
+	var evs []Event
+	if s.resume != nil {
+		evs = s.resumeEvents(sn, results)
+	} else {
+		for _, nm := range results {
+			evs = append(evs, Event{Kind: ObjectEntered, Version: sn.Version(), Object: nm.Object, Match: nm})
 		}
 	}
 	sortEvents(evs)
 	return evs
+}
+
+// resumeEvents computes a resumed durable subscription's initial
+// events: the coalesced delta between the cursor's persisted result
+// set and the current one. An object in both with identical bounds
+// produces nothing; membership changes produce ObjectEntered or
+// ObjectLeft; bound drift on a staying member produces BoundsChanged.
+// All events carry the current snapshot version — the resumed stream
+// is exact from the cursor onward.
+func (s *Subscription) resumeEvents(sn query.SnapshotView, results []query.Match) []Event {
+	prev := make(map[int]wal.CursorEntry, len(s.resume.Entries))
+	for _, pe := range s.resume.Entries {
+		prev[pe.Obj.ID] = pe
+	}
+	cur := make(map[int]bool, len(results))
+	var evs []Event
+	for _, nm := range results {
+		cur[nm.Object.ID] = true
+		pe, ok := prev[nm.Object.ID]
+		switch {
+		case !ok:
+			evs = append(evs, Event{Kind: ObjectEntered, Version: sn.Version(), Object: nm.Object, Match: nm})
+		case pe.LB != nm.Prob.LB || pe.UB != nm.Prob.UB:
+			evs = append(evs, Event{Kind: BoundsChanged, Version: sn.Version(), Object: nm.Object, Match: nm})
+		}
+	}
+	if len(cur) < len(prev) {
+		// Members that left while the monitor was down. Prefer the live
+		// instance (the object may merely no longer qualify); fall back
+		// to the persisted copy for objects deleted from the database.
+		byID := make(map[int]*uncertain.Object)
+		for _, o := range sn.Engine().DB {
+			byID[o.ID] = o
+		}
+		for _, pe := range s.resume.Entries {
+			if cur[pe.Obj.ID] {
+				continue
+			}
+			obj := pe.Obj
+			if o, ok := byID[pe.Obj.ID]; ok {
+				obj = o
+			}
+			evs = append(evs, Event{Kind: ObjectLeft, Version: sn.Version(), Object: obj})
+		}
+	}
+	return evs
+}
+
+// cursorState exports the subscription's current result set for the
+// durable cursor, in ascending object ID order.
+func (s *Subscription) cursorState() wal.CursorSub {
+	cs := wal.CursorSub{Name: s.name, Kind: uint8(s.kind), K: s.k, Tau: s.tau, Q: s.q}
+	ids := make([]int, 0, len(s.cands))
+	for id, c := range s.cands {
+		if c.match.IsResult {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := s.cands[id]
+		cs.Entries = append(cs.Entries, wal.CursorEntry{
+			Obj:        c.obj,
+			LB:         c.match.Prob.LB,
+			UB:         c.match.Prob.UB,
+			Iterations: c.match.Iterations,
+		})
+	}
+	return cs
 }
 
 // preselected reports whether candidate b is discarded by the engine's

@@ -1,0 +1,290 @@
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"probprune/internal/core"
+	"probprune/internal/uncertain"
+	"probprune/internal/wal"
+)
+
+// PersistOptions configures the durability of a Store or ShardedStore
+// opened with OpenStore/OpenShardedStore: where the journal lives, when
+// it is fsynced, and when the log is compacted into a checkpoint.
+type PersistOptions struct {
+	// Dir is the journal directory (created if absent). A ShardedStore
+	// keeps one sub-journal per shard (shard-0, shard-1, ...) plus a
+	// MANIFEST carrying the version vector and the global order.
+	Dir string
+	// Sync is the fsync policy for journaled commits; the zero value is
+	// wal.SyncOS (no explicit fsync).
+	Sync wal.SyncPolicy
+	// SyncEvery is the wal.SyncBackground flush interval; <= 0 selects
+	// one second.
+	SyncEvery time.Duration
+	// CheckpointEvery writes a checkpoint (and truncates the log)
+	// automatically once that many records accumulated since the last
+	// one; 0 disables auto-checkpointing (call Checkpoint explicitly).
+	CheckpointEvery int
+	// SegmentBytes is the log segment rotation threshold; <= 0 selects
+	// wal.DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+func (p PersistOptions) wal() wal.Options {
+	return wal.Options{Sync: p.Sync, SyncEvery: p.SyncEvery, SegmentBytes: p.SegmentBytes}
+}
+
+// storeJournal is the durability state a durable Store carries.
+type storeJournal struct {
+	j               *wal.Journal
+	checkpointEvery int
+	ckptErr         error // first deferred auto-checkpoint failure
+}
+
+// journalLocked journals one commit record before it is applied; a nil
+// journal (in-memory store) accepts everything. Requires s.mu held for
+// writing.
+func (s *Store) journalLocked(rec wal.Record) error {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.j.Append(rec)
+}
+
+// maybeCheckpointLocked runs the auto-checkpoint policy after a commit.
+// A checkpoint failure does not fail the commit (it is already durable
+// in the log); the error is deferred to Close. Requires s.mu held for
+// writing.
+func (s *Store) maybeCheckpointLocked() {
+	sj := s.journal
+	if sj == nil || sj.checkpointEvery <= 0 {
+		return
+	}
+	if sj.j.AppendedSinceCheckpoint() < uint64(sj.checkpointEvery) {
+		return
+	}
+	if err := s.checkpointLocked(); err != nil && sj.ckptErr == nil {
+		sj.ckptErr = err
+	}
+}
+
+// checkpointLocked snapshots the current state (objects, decomposition
+// cache, version) into the journal and truncates the log. Requires
+// s.mu held for writing.
+func (s *Store) checkpointLocked() error {
+	db := make([]*uncertain.Object, len(s.db))
+	copy(db, s.db)
+	decomp := make([][][]uncertain.Partition, len(db))
+	for i, o := range db {
+		decomp[i] = s.cache.Materialized(o)
+	}
+	return s.journal.j.WriteCheckpoint(&wal.Checkpoint{
+		Version:      s.version,
+		Objects:      db,
+		Decomp:       decomp,
+		CacheVersion: s.cache.Version(),
+	})
+}
+
+// Checkpoint durably snapshots the store's current state — the object
+// database in database order, the store version and every materialized
+// decomposition — and truncates the journal to it. Reopening afterwards
+// loads the snapshot and replays only commits journaled since.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return fmt.Errorf("store: not durable (no journal)")
+	}
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.checkpointLocked()
+}
+
+// Sync forces journaled commits to stable storage, regardless of the
+// sync policy. It is a no-op on an in-memory store.
+func (s *Store) Sync() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.journal == nil || s.closed {
+		return nil
+	}
+	return s.journal.j.Sync()
+}
+
+// Close releases the journal of a durable store. Mutations fail after
+// Close (they could no longer be journaled); snapshots and queries
+// remain usable. The on-disk state stays fully recoverable — Close
+// writes no checkpoint, reopening replays the log tail. Closing an
+// in-memory store is a no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.journal.ckptErr
+	if cerr := s.journal.j.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// OpenStore opens (or initializes) a durable store rooted at
+// popts.Dir: the newest checkpoint is loaded — objects, version AND
+// every decomposition the crashed process had materialized — and the
+// journal tail is replayed on top, stopping cleanly at the last intact
+// record. The recovered store is bit-identical to the store that wrote
+// the journal: same database order, same versions, same query answers.
+// Opts must match the options the journal was written under (they are
+// not persisted); opts.SharedDecomps must be left unset.
+func OpenStore(popts PersistOptions, opts core.Options) (*Store, error) {
+	return openStore(popts, opts, nil)
+}
+
+// openStore is OpenStore with a hook observing every replayed record —
+// the sharded router collects the logical records to rebuild its
+// global order.
+func openStore(popts PersistOptions, opts core.Options, onRecord func(wal.Record)) (*Store, error) {
+	j, err := wal.Open(popts.Dir, popts.wal())
+	if err != nil {
+		return nil, err
+	}
+	s, err := recoverStore(j, popts, opts, onRecord)
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recoverStore builds a store from a journal's checkpoint and tail.
+func recoverStore(j *wal.Journal, popts PersistOptions, opts core.Options, onRecord func(wal.Record)) (*Store, error) {
+	ck := j.Checkpoint()
+	var base uncertain.Database
+	if ck != nil {
+		base = ck.Objects
+	}
+	s, err := NewStore(base, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ck != nil {
+		s.version = ck.Version
+		// Seed the persistent cache with the checkpointed
+		// decompositions: the first queries after reopen reuse the
+		// crashed process's kd-splits instead of recomputing them.
+		// Replayed updates and deletes invalidate per object through the
+		// normal mutation paths, exactly like live commits.
+		for i, o := range ck.Objects {
+			if ck.Decomp != nil && ck.Decomp[i] != nil {
+				s.cache.Seed(o, ck.Decomp[i])
+			}
+		}
+		s.cache.SetVersion(ck.CacheVersion)
+	}
+	err = j.Replay(func(rec wal.Record) error {
+		if err := s.applyRecordLocked(rec); err != nil {
+			return err
+		}
+		if onRecord != nil {
+			onRecord(rec)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.journal = &storeJournal{j: j, checkpointEvery: popts.CheckpointEvery}
+	return s, nil
+}
+
+// applyRecordLocked applies one replayed journal record to the store
+// being recovered. No locks, snapshots or watchers exist yet; the
+// mutation bodies are the same ones live commits run, so the recovered
+// state is bit-identical to the state that journaled the record.
+func (s *Store) applyRecordLocked(rec wal.Record) error {
+	if rec.Version != s.version+1 {
+		return fmt.Errorf("store: journal record version %d after store version %d", rec.Version, s.version)
+	}
+	switch rec.Op {
+	case wal.OpInsert, wal.OpMoveIn:
+		if _, dup := s.byID[rec.Obj.ID]; dup {
+			return fmt.Errorf("store: journal re-inserts object ID %d", rec.Obj.ID)
+		}
+		s.addLocked(rec.Obj)
+	case wal.OpDelete, wal.OpMoveOut:
+		o, ok := s.byID[rec.ID]
+		if !ok {
+			return fmt.Errorf("store: journal deletes unknown object ID %d", rec.ID)
+		}
+		s.removeLocked(o)
+	case wal.OpUpdate:
+		old, ok := s.byID[rec.Obj.ID]
+		if !ok {
+			return fmt.Errorf("store: journal updates unknown object ID %d", rec.Obj.ID)
+		}
+		s.replaceLocked(old, rec.Obj)
+	default:
+		return fmt.Errorf("store: journal record with unknown op %d", rec.Op)
+	}
+	s.version = rec.Version
+	return nil
+}
+
+// BootstrapStore creates a NEW durable store over db at popts.Dir,
+// writing the initial database as the first checkpoint. It fails when
+// the directory already holds a journal — recover that with OpenStore
+// instead (an explicit choice, so a typo cannot silently shadow an
+// existing database with a fresh one).
+func BootstrapStore(db uncertain.Database, popts PersistOptions, opts core.Options) (*Store, error) {
+	s, err := NewStore(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.bootstrapJournal(popts, popts.CheckpointEvery); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// bootstrapJournal attaches a fresh journal to an already-built store
+// and writes its state as the initial checkpoint.
+func (s *Store) bootstrapJournal(popts PersistOptions, checkpointEvery int) error {
+	j, err := newEmptyJournal(popts)
+	if err != nil {
+		return err
+	}
+	s.journal = &storeJournal{j: j, checkpointEvery: checkpointEvery}
+	if err := s.checkpointLocked(); err != nil {
+		s.journal = nil
+		j.Close()
+		return err
+	}
+	return nil
+}
+
+// newEmptyJournal opens popts.Dir and verifies it holds no journal yet.
+func newEmptyJournal(popts PersistOptions) (*wal.Journal, error) {
+	j, err := wal.Open(popts.Dir, popts.wal())
+	if err != nil {
+		return nil, err
+	}
+	records := 0
+	if err := j.Replay(func(wal.Record) error { records++; return nil }); err != nil {
+		j.Close()
+		return nil, err
+	}
+	if j.Checkpoint() != nil || records > 0 {
+		j.Close()
+		return nil, fmt.Errorf("store: %s already holds a journal (open it instead of bootstrapping)", popts.Dir)
+	}
+	return j, nil
+}

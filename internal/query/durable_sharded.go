@@ -1,0 +1,384 @@
+package query
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"probprune/internal/core"
+	"probprune/internal/uncertain"
+	"probprune/internal/wal"
+)
+
+// manifestName is the router-level durable state file of a sharded
+// store's directory.
+const manifestName = "MANIFEST"
+
+// shardedJournal is the durability state a durable ShardedStore
+// carries: the shards own the logs, the router owns the manifest and
+// the coordinated checkpoint policy.
+type shardedJournal struct {
+	popts   PersistOptions
+	since   uint64 // records journaled since the last manifest write
+	ckptErr error  // first deferred durability failure (auto-checkpoint, rebalance), surfaced by Close
+}
+
+// shardPersist derives shard i's journal options: its own subdirectory,
+// the router's sync policy, and NO auto-checkpointing — checkpoints are
+// coordinated by the router (manifest first, then shards), which is
+// what keeps the manifest's global order reconstructible from the shard
+// logs at every crash point.
+func shardPersist(popts PersistOptions, i int) PersistOptions {
+	p := popts
+	p.Dir = filepath.Join(popts.Dir, fmt.Sprintf("shard-%d", i))
+	p.CheckpointEvery = 0
+	return p
+}
+
+// maybeCheckpointLocked runs the router's auto-checkpoint policy after
+// a commit; failures are deferred to Close, like Store's. Requires
+// s.mu held for writing.
+func (s *ShardedStore) maybeCheckpointLocked() {
+	sj := s.sj
+	if sj == nil {
+		return
+	}
+	sj.since++
+	if sj.popts.CheckpointEvery <= 0 || sj.since < uint64(sj.popts.CheckpointEvery) {
+		return
+	}
+	if err := s.checkpointLocked(); err != nil && sj.ckptErr == nil {
+		sj.ckptErr = err
+	}
+}
+
+// checkpointLocked coordinates one durable checkpoint: the router
+// manifest is installed first (version, version vector, global order,
+// router decomposition cache), then every shard checkpoints and
+// truncates its log. A crash between the two leaves the manifest
+// current and the shard logs long — recovery replays the surplus
+// records into states the manifest already describes, landing on the
+// same head. Requires s.mu held for writing.
+func (s *ShardedStore) checkpointLocked() error {
+	m := &wal.Manifest{
+		Version:      s.version,
+		Shards:       len(s.shards),
+		VV:           make([]uint64, len(s.shards)),
+		Order:        make([]int, len(s.db)),
+		CacheVersion: s.cache.Version(),
+	}
+	for i, sh := range s.shards {
+		m.VV[i] = sh.Version()
+	}
+	for i, o := range s.db {
+		m.Order[i] = o.ID
+		if levels := s.cache.Materialized(o); levels != nil {
+			m.Decomp = append(m.Decomp, wal.DecompEntry{ID: o.ID, Dim: o.Dim(), Levels: levels})
+		}
+	}
+	if err := wal.SaveManifest(filepath.Join(s.sj.popts.Dir, manifestName), m); err != nil {
+		return err
+	}
+	s.sj.since = 0
+	for _, sh := range s.shards {
+		if err := sh.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint durably snapshots the sharded store: the router manifest
+// (version vector, global order, router cache) plus one checkpoint per
+// shard, truncating every shard's log.
+func (s *ShardedStore) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sj == nil {
+		return fmt.Errorf("sharded store: not durable (no journal)")
+	}
+	if s.closed {
+		return fmt.Errorf("sharded store: closed")
+	}
+	return s.checkpointLocked()
+}
+
+// Sync forces every shard's journaled commits to stable storage.
+func (s *ShardedStore) Sync() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, sh := range s.shards {
+		if err := sh.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every shard's journal. Mutations fail after Close;
+// snapshots and queries remain usable, and the on-disk state stays
+// fully recoverable.
+func (s *ShardedStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sj == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.sj.ckptErr
+	for _, sh := range s.shards {
+		if cerr := sh.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// BootstrapShardedStore creates a NEW durable sharded store over db at
+// popts.Dir: one journal per shard (each bootstrapped with its
+// partition's checkpoint) plus the router manifest. It fails when the
+// directory already holds a manifest — recover that with
+// OpenShardedStore instead.
+func BootstrapShardedStore(db uncertain.Database, popts PersistOptions, sopts ShardedOptions, opts core.Options) (*ShardedStore, error) {
+	if m, err := wal.LoadManifest(filepath.Join(popts.Dir, manifestName)); err != nil {
+		return nil, err
+	} else if m != nil {
+		return nil, fmt.Errorf("sharded store: %s already holds a journal (use OpenShardedStore)", popts.Dir)
+	}
+	// The manifest install below is the commit point of a bootstrap:
+	// shard journals without a manifest are the debris of a bootstrap
+	// that crashed half way (the store was never handed to a caller)
+	// and would otherwise wedge the directory — newEmptyJournal refuses
+	// them, and open routes back here. Clear them and start over.
+	if stale, err := filepath.Glob(filepath.Join(popts.Dir, "shard-*")); err == nil {
+		for _, dir := range stale {
+			os.RemoveAll(dir)
+		}
+	}
+	s, err := NewShardedStore(db, sopts, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Attach every shard to its own fresh journal (each writing its
+	// partition's initial checkpoint), then install the first manifest:
+	// the genesis state is durable before the store accepts a commit.
+	for i, sh := range s.shards {
+		if err := sh.bootstrapJournal(shardPersist(popts, i), 0); err != nil {
+			s.closeShards()
+			return nil, err
+		}
+	}
+	s.sj = &shardedJournal{popts: popts}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkpointLocked(); err != nil {
+		s.closeShards()
+		return nil, err
+	}
+	return s, nil
+}
+
+// closeShards best-effort releases shard journals after a failed
+// bootstrap or open.
+func (s *ShardedStore) closeShards() {
+	for _, sh := range s.shards {
+		if sh != nil {
+			sh.Close()
+		}
+	}
+}
+
+// OpenShardedStore opens (or initializes) a durable sharded store
+// rooted at popts.Dir. A fresh directory is bootstrapped empty with
+// sopts' layout. An existing one is recovered: every shard replays its
+// own checkpoint + log tail in parallel, and the router rebuilds its
+// global insertion order by merging the shards' logical records —
+// keyed by the router epoch each record carries — on top of the
+// manifest's order. The recovered store is bit-identical to the one
+// that wrote the journals: same version vector, same global order,
+// same query answers at any shard count. sopts.Partition must be the
+// partitioner the store was created with (functions are not
+// persisted); sopts.Shards, when non-zero, is validated against the
+// manifest.
+func OpenShardedStore(popts PersistOptions, sopts ShardedOptions, opts core.Options) (*ShardedStore, error) {
+	if opts.SharedDecomps != nil {
+		return nil, fmt.Errorf("sharded store: Options.SharedDecomps must be unset (the store manages its own cache)")
+	}
+	m, err := wal.LoadManifest(filepath.Join(popts.Dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return BootstrapShardedStore(nil, popts, sopts, opts)
+	}
+	if sopts.Shards > 0 && sopts.Shards != m.Shards {
+		return nil, fmt.Errorf("sharded store: manifest has %d shards, options ask for %d", m.Shards, sopts.Shards)
+	}
+	part := sopts.Partition
+	if part == nil {
+		part = HashShards
+	}
+	n := m.Shards
+	s := &ShardedStore{
+		opts:   opts,
+		part:   part,
+		shards: make([]*Store, n),
+		byID:   make(map[int]*uncertain.Object),
+		home:   make(map[int]int),
+		cache:  core.NewDecompCache(opts.MaxHeight),
+		sj:     &shardedJournal{popts: popts},
+	}
+	// Recover every shard in parallel, collecting the logical records
+	// past the manifest epoch — the tail of the global order — and, per
+	// shard, which resident objects arrived through a replayed move-in
+	// (a duplicate's dangling half, if its move-out is missing).
+	var (
+		wg        sync.WaitGroup
+		errs      = make([]error, n)
+		events    = make([][]wal.Record, n)
+		viaMoveIn = make([]map[int]bool, n)
+	)
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			via := make(map[int]bool)
+			viaMoveIn[i] = via
+			s.shards[i], errs[i] = openStore(shardPersist(popts, i), opts, func(rec wal.Record) {
+				if rec.Op.Logical() && rec.Global > m.Version {
+					// Keep the ID only — instances are resolved against
+					// the recovered shard maps below, so a later move's
+					// re-decode cannot alias a stale pointer into the
+					// global slice.
+					events[i] = append(events[i], wal.Record{Op: rec.Op, Global: rec.Global, ID: rec.ObjectID()})
+				}
+				switch rec.Op {
+				case wal.OpMoveIn:
+					via[rec.ObjectID()] = true
+				case wal.OpInsert, wal.OpUpdate:
+					via[rec.ObjectID()] = false
+				case wal.OpDelete, wal.OpMoveOut:
+					delete(via, rec.ObjectID())
+				}
+			})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.closeShards()
+			return nil, err
+		}
+	}
+	if err := s.assemble(m, events, viaMoveIn); err != nil {
+		s.closeShards()
+		return nil, err
+	}
+	return s, nil
+}
+
+// assemble rebuilds the router state from the recovered shards, the
+// manifest, and the post-manifest logical records.
+func (s *ShardedStore) assemble(m *wal.Manifest, events [][]wal.Record, viaMoveIn []map[int]bool) error {
+	// Membership and homes come from the shards themselves: an object's
+	// home is the shard whose recovered state holds it. An ID on two
+	// shards is a migration whose move-out never hit its source journal
+	// (the process died between the two appends): the copy that arrived
+	// through the dangling move-in is dropped — durably, with the
+	// compensating move-out journaled — and the object stays home, as
+	// if the migration never started. Anything else is corruption.
+	var danglers []struct{ shard, id int }
+	for i, sh := range s.shards {
+		for id, o := range sh.byID {
+			if _, dup := s.byID[id]; dup {
+				a, b := s.home[id], i
+				switch {
+				case viaMoveIn[b][id] && !viaMoveIn[a][id]:
+					danglers = append(danglers, struct{ shard, id int }{b, id})
+					continue // keep a's copy
+				case viaMoveIn[a][id] && !viaMoveIn[b][id]:
+					danglers = append(danglers, struct{ shard, id int }{a, id})
+				default:
+					return fmt.Errorf("sharded store: object ID %d recovered on two shards", id)
+				}
+			}
+			s.byID[id] = o
+			s.home[id] = i
+		}
+	}
+	for _, d := range danglers {
+		if _, err := s.shards[d.shard].deleteOp(d.id, wal.OpMoveOut, m.Version); err != nil {
+			return fmt.Errorf("sharded store: compensating interrupted migration of object %d: %w", d.id, err)
+		}
+	}
+	// The global insertion order: manifest order, replayed forward
+	// through the merged logical records. Each logical commit carries a
+	// unique router epoch, so the merge is total and deterministic.
+	var tail []wal.Record
+	for _, evs := range events {
+		tail = append(tail, evs...)
+	}
+	sort.Slice(tail, func(a, b int) bool { return tail[a].Global < tail[b].Global })
+	order := append([]int(nil), m.Order...)
+	version := m.Version
+	touched := make(map[int]bool)
+	for i, rec := range tail {
+		if i > 0 && rec.Global == tail[i-1].Global {
+			return fmt.Errorf("sharded store: two journaled commits share router epoch %d", rec.Global)
+		}
+		if rec.Global != version+1 {
+			return fmt.Errorf("sharded store: journaled commit at router epoch %d after epoch %d", rec.Global, version)
+		}
+		version = rec.Global
+		touched[rec.ID] = true
+		switch rec.Op {
+		case wal.OpInsert:
+			order = append(order, rec.ID)
+		case wal.OpDelete:
+			for k, id := range order {
+				if id == rec.ID {
+					order = append(order[:k], order[k+1:]...)
+					break
+				}
+			}
+		case wal.OpUpdate:
+			// In-place replacement: the order is unchanged.
+		}
+	}
+	s.version = version
+	if len(order) != len(s.byID) {
+		return fmt.Errorf("sharded store: global order has %d objects, shards recovered %d", len(order), len(s.byID))
+	}
+	s.db = make(uncertain.Database, len(order))
+	for i, id := range order {
+		o, ok := s.byID[id]
+		if !ok {
+			return fmt.Errorf("sharded store: global order references unknown object ID %d", id)
+		}
+		s.db[i] = o
+		s.cache.Add(o)
+	}
+	// Seed the router cache from the manifest for objects untouched
+	// since it was written: their values are unchanged (moves re-encode
+	// the same object), so the checkpointed decomposition is the one a
+	// fresh split would compute. Mirror the live epoch ticks of the
+	// replayed tail so the cache version matches the surviving store's.
+	for _, e := range m.Decomp {
+		if o, ok := s.byID[e.ID]; ok && !touched[e.ID] {
+			s.cache.Seed(o, e.Levels)
+		}
+	}
+	v := m.CacheVersion
+	for _, rec := range tail {
+		switch rec.Op {
+		case wal.OpInsert, wal.OpDelete:
+			v++
+		case wal.OpUpdate:
+			v += 2
+		}
+	}
+	s.cache.SetVersion(v)
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"probprune/internal/core"
 	"probprune/internal/geom"
 	"probprune/internal/uncertain"
+	"probprune/internal/wal"
 )
 
 // ShardedStore is a live uncertain-object store partitioned across N
@@ -66,6 +67,13 @@ type ShardedStore struct {
 	cache   *core.DecompCache
 	version uint64
 	snap    *ShardedSnapshot
+
+	// sj, when non-nil, makes the store durable: shards journal every
+	// commit under the router epoch and sj coordinates manifest writes
+	// and checkpoints (see OpenShardedStore). closed rejects mutations
+	// after Close.
+	sj     *shardedJournal
+	closed bool
 
 	watchers    []watcher
 	nextWatcher int
@@ -318,7 +326,7 @@ func (s *ShardedStore) Insert(o *uncertain.Object) error {
 	}
 	si := s.shardFor(o)
 	s.detachLocked()
-	if err := s.shards[si].Insert(o); err != nil {
+	if err := s.shards[si].insertOp(o, wal.OpInsert, s.version+1); err != nil {
 		return err
 	}
 	s.byID[o.ID] = o
@@ -327,20 +335,33 @@ func (s *ShardedStore) Insert(o *uncertain.Object) error {
 	s.cache.Add(o)
 	s.version++
 	s.notifyLocked(ChangeInsert, nil, o)
+	s.maybeCheckpointLocked()
 	return nil
 }
 
 // Delete removes the object with the given ID from its home shard and
-// reports whether one was stored.
+// reports whether one was stored. Journaling errors on a durable store
+// surface through DeleteErr; Delete itself keeps the boolean contract
+// and leaves the store unchanged when journaling fails.
 func (s *ShardedStore) Delete(id int) bool {
+	ok, _ := s.DeleteErr(id)
+	return ok
+}
+
+// DeleteErr is Delete with the journaling error exposed: ok reports
+// whether the ID was stored, err a failure to journal the commit (the
+// store is unchanged when err != nil).
+func (s *ShardedStore) DeleteErr(id int) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	o, ok := s.byID[id]
 	if !ok {
-		return false
+		return false, nil
 	}
 	s.detachLocked()
-	s.shards[s.home[id]].Delete(id)
+	if _, err := s.shards[s.home[id]].deleteOp(id, wal.OpDelete, s.version+1); err != nil {
+		return false, err
+	}
 	for i, x := range s.db {
 		if x == o {
 			s.db = append(s.db[:i], s.db[i+1:]...)
@@ -352,7 +373,8 @@ func (s *ShardedStore) Delete(id int) bool {
 	s.cache.Invalidate(o)
 	s.version++
 	s.notifyLocked(ChangeDelete, o, nil)
-	return true
+	s.maybeCheckpointLocked()
+	return true, nil
 }
 
 // Update atomically replaces the object carrying o.ID on its home
@@ -370,7 +392,7 @@ func (s *ShardedStore) Update(o *uncertain.Object) error {
 		return fmt.Errorf("sharded store: update of unknown object ID %d", o.ID)
 	}
 	s.detachLocked()
-	if err := s.shards[s.home[o.ID]].Update(o); err != nil {
+	if err := s.shards[s.home[o.ID]].updateOp(o, s.version+1); err != nil {
 		return err
 	}
 	for i, x := range s.db {
@@ -384,6 +406,7 @@ func (s *ShardedStore) Update(o *uncertain.Object) error {
 	s.cache.Add(o)
 	s.version++
 	s.notifyLocked(ChangeUpdate, old, o)
+	s.maybeCheckpointLocked()
 	return nil
 }
 
@@ -404,29 +427,54 @@ func (s *ShardedStore) Move(id, dst int) error {
 	if src == dst {
 		return nil
 	}
-	s.moveLocked(id, src, dst)
-	return nil
+	return s.moveLocked(id, src, dst)
 }
 
 // moveLocked performs one detached migration. Requires s.mu held for
-// writing and id resident on shard src.
-func (s *ShardedStore) moveLocked(id, src, dst int) {
+// writing and id resident on shard src. Moves change no logical state:
+// the shard journals record them as OpMoveIn/OpMoveOut under the
+// current router epoch, and recovery excludes them from global-order
+// replay.
+//
+// The move-in is journaled (and applied) BEFORE the move-out: a crash
+// between the two appends leaves the object durably on both shards —
+// never on neither — and recovery detects the duplicate, drops the
+// copy that arrived through the dangling move-in (journaling the
+// compensating move-out), and proceeds as if the migration never
+// happened. Insert into dst cannot fail logically (o is non-nil and
+// the ID is unique across shards by the router's bookkeeping), so any
+// error from either step is a journaling failure with the store
+// unchanged, except a move-out failure after a successful move-in,
+// which is rolled back in memory and on disk before returning.
+func (s *ShardedStore) moveLocked(id, src, dst int) error {
 	o := s.byID[id]
 	s.detachLocked()
-	s.shards[src].Delete(id)
-	// Insert cannot fail: o is non-nil and the ID is unique across
-	// shards by the router's bookkeeping.
-	if err := s.shards[dst].Insert(o); err != nil {
-		panic(fmt.Sprintf("sharded store: re-insert during move: %v", err))
+	if err := s.shards[dst].insertOp(o, wal.OpMoveIn, s.version); err != nil {
+		return err
+	}
+	if _, err := s.shards[src].deleteOp(id, wal.OpMoveOut, s.version); err != nil {
+		// Undo the half-applied migration; if even the compensating
+		// move-out cannot be journaled, the store cannot reach a
+		// consistent durable state and must not keep serving.
+		if _, uerr := s.shards[dst].deleteOp(id, wal.OpMoveOut, s.version); uerr != nil {
+			panic(fmt.Sprintf("sharded store: move of object %d failed (%v) and could not be rolled back: %v", id, err, uerr))
+		}
+		return err
 	}
 	s.home[id] = dst
+	s.maybeCheckpointLocked()
+	return nil
 }
 
 // Rebalance re-applies the partitioner to every stored object and
 // migrates the ones whose current home differs, online, without
 // blocking queries (each published snapshot stays valid). It returns
 // the number of objects moved. Useful after Update drift under a
-// spatial partitioner, or after changing load patterns under any.
+// spatial partitioner, or after changing load patterns under any. On a
+// durable store a migration that fails to journal stops the pass early
+// (the logical database is unaffected — the stragglers stay on their
+// old shards); the error is deferred to Close, like auto-checkpoint
+// failures.
 func (s *ShardedStore) Rebalance() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -434,7 +482,12 @@ func (s *ShardedStore) Rebalance() int {
 	for _, o := range s.db {
 		dst := s.shardFor(o)
 		if src := s.home[o.ID]; src != dst {
-			s.moveLocked(o.ID, src, dst)
+			if err := s.moveLocked(o.ID, src, dst); err != nil {
+				if s.sj != nil && s.sj.ckptErr == nil {
+					s.sj.ckptErr = err
+				}
+				return moved
+			}
 			moved++
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"probprune/internal/geom"
 	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
+	"probprune/internal/wal"
 )
 
 // Store is a concurrent, mutable uncertain-object store layered on the
@@ -50,6 +51,12 @@ type Store struct {
 	cache   *core.DecompCache
 	version uint64
 	snap    *Snapshot // published snapshot; nil after a mutation
+
+	// journal, when non-nil, makes the store durable: every commit is
+	// journaled before it is applied (see OpenStore). closed rejects
+	// mutations after Close — they could no longer be journaled.
+	journal *storeJournal
+	closed  bool
 
 	watchers    []watcher
 	nextWatcher int
@@ -242,8 +249,18 @@ func (s *Store) detachLocked() {
 }
 
 // Insert adds a new object; the ID must not be in use. The object is
-// shared with the store and must not be mutated afterwards.
+// shared with the store and must not be mutated afterwards. On a
+// durable store the commit is journaled (and fsynced per the sync
+// policy) before it is applied; a journaling error leaves the store
+// unchanged.
 func (s *Store) Insert(o *uncertain.Object) error {
+	return s.insertOp(o, wal.OpInsert, 0)
+}
+
+// insertOp is the insert body shared by the public path and the sharded
+// router (which passes the move op kinds and the router epoch for the
+// shard journals).
+func (s *Store) insertOp(o *uncertain.Object, op wal.Op, global uint64) error {
 	if o == nil {
 		return fmt.Errorf("store: nil object")
 	}
@@ -252,30 +269,60 @@ func (s *Store) Insert(o *uncertain.Object) error {
 	if _, dup := s.byID[o.ID]; dup {
 		return fmt.Errorf("store: duplicate object ID %d", o.ID)
 	}
+	if err := s.journalLocked(wal.Record{Op: op, Version: s.version + 1, Global: global, Obj: o}); err != nil {
+		return err
+	}
 	s.detachLocked()
+	s.addLocked(o)
+	s.version++
+	s.notifyLocked(ChangeInsert, nil, o)
+	s.maybeCheckpointLocked()
+	return nil
+}
+
+// addLocked links o into the slice, map, index and cache. Requires
+// s.mu held for writing and the state detached.
+func (s *Store) addLocked(o *uncertain.Object) {
 	s.byID[o.ID] = o
 	s.db = append(s.db, o)
 	s.index.Insert(o.MBR, o)
 	s.cache.Add(o)
-	s.version++
-	s.notifyLocked(ChangeInsert, nil, o)
-	return nil
 }
 
 // Delete removes the object with the given ID and reports whether one
-// was stored.
+// was stored. Journaling errors on a durable store surface through
+// DeleteErr; Delete itself keeps the boolean contract and leaves the
+// store unchanged when journaling fails.
 func (s *Store) Delete(id int) bool {
+	ok, _ := s.deleteOp(id, wal.OpDelete, 0)
+	return ok
+}
+
+// DeleteErr is Delete with the journaling error exposed: ok reports
+// whether the ID was stored, err a failure to journal the commit (the
+// store is unchanged when err != nil).
+func (s *Store) DeleteErr(id int) (bool, error) {
+	return s.deleteOp(id, wal.OpDelete, 0)
+}
+
+// deleteOp is the delete body shared by the public path and the sharded
+// router.
+func (s *Store) deleteOp(id int, op wal.Op, global uint64) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	o, ok := s.byID[id]
 	if !ok {
-		return false
+		return false, nil
+	}
+	if err := s.journalLocked(wal.Record{Op: op, Version: s.version + 1, Global: global, ID: id}); err != nil {
+		return false, err
 	}
 	s.detachLocked()
 	s.removeLocked(o)
 	s.version++
 	s.notifyLocked(ChangeDelete, o, nil)
-	return true
+	s.maybeCheckpointLocked()
+	return true, nil
 }
 
 // Update atomically replaces the object carrying o.ID with o: no query
@@ -283,6 +330,12 @@ func (s *Store) Delete(id int) bool {
 // missing, or with both present. It returns an error when the ID is not
 // stored (use Insert for new objects).
 func (s *Store) Update(o *uncertain.Object) error {
+	return s.updateOp(o, 0)
+}
+
+// updateOp is the update body shared by the public path and the sharded
+// router.
+func (s *Store) updateOp(o *uncertain.Object, global uint64) error {
 	if o == nil {
 		return fmt.Errorf("store: nil object")
 	}
@@ -292,7 +345,20 @@ func (s *Store) Update(o *uncertain.Object) error {
 	if !ok {
 		return fmt.Errorf("store: update of unknown object ID %d", o.ID)
 	}
+	if err := s.journalLocked(wal.Record{Op: wal.OpUpdate, Version: s.version + 1, Global: global, Obj: o}); err != nil {
+		return err
+	}
 	s.detachLocked()
+	s.replaceLocked(old, o)
+	s.version++
+	s.notifyLocked(ChangeUpdate, old, o)
+	s.maybeCheckpointLocked()
+	return nil
+}
+
+// replaceLocked swaps old for o in the slice, map, index and cache.
+// Requires s.mu held for writing and the state detached.
+func (s *Store) replaceLocked(old, o *uncertain.Object) {
 	// Replace the slot in place: the object keeps its database-order
 	// position (query results are in database order) and the update
 	// avoids the O(n) slice shift of a remove-and-append.
@@ -307,9 +373,6 @@ func (s *Store) Update(o *uncertain.Object) error {
 	s.index.Insert(o.MBR, o)
 	s.cache.Invalidate(old)
 	s.cache.Add(o)
-	s.version++
-	s.notifyLocked(ChangeUpdate, old, o)
-	return nil
 }
 
 // removeLocked unlinks o from the slice, map, index and cache.

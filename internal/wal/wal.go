@@ -1,0 +1,592 @@
+// Package wal provides the durability layer under the live stores: a
+// segmented, CRC-framed write-ahead log of store mutations plus
+// checkpoint snapshots that persist the object database together with
+// its decomposition cache, so a reopened store recovers bit-identically
+// to the pre-crash one without re-decomposing anything the crashed
+// process had already paid for.
+//
+// # On-disk layout
+//
+// A journal owns one directory:
+//
+//	wal-00000001.log        append-only record segments
+//	wal-00000002.log
+//	checkpoint-00000002.ckpt  checkpoint snapshots
+//	MANIFEST                  (sharded router directories only)
+//
+// Every segment starts with an 8-byte magic and holds a sequence of
+// frames [len u32][crc32c u32][payload]; the payload is one Record.
+// A checkpoint file is the same framing around one checkpoint payload,
+// and records which segment index the log tail starts at. The directory
+// is self-describing: on open, the newest checkpoint that decodes
+// cleanly wins, segments older than its tail watermark are garbage from
+// an interrupted truncation and are removed.
+//
+// # Crash safety
+//
+// Appends frame every record with a CRC; replay stops at the first
+// frame that is short or fails its checksum and truncates the segment
+// back to the last intact record, so a torn tail write loses exactly
+// the commits that had not finished journaling (the kill-point test
+// asserts this at every byte offset). Checkpoints are written to a
+// temporary file and renamed into place; the manifest likewise. Old
+// segments are deleted only after the new checkpoint is durably
+// installed, so a crash at any point leaves either the old or the new
+// checkpoint complete on disk.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable
+// storage.
+type SyncPolicy uint8
+
+const (
+	// SyncOS (the default): never fsync explicitly; the OS flushes the
+	// page cache on its own schedule. A process crash loses nothing, an
+	// OS crash can lose the most recent commits — recovery still stops
+	// cleanly at the last intact record.
+	SyncOS SyncPolicy = iota
+	// SyncAlways: fsync after every append. Every acknowledged commit
+	// survives an OS crash; the slowest policy.
+	SyncAlways
+	// SyncBackground: a background goroutine fsyncs every SyncEvery
+	// interval (default one second) — the redis-appendfsync-everysec
+	// trade: at most one interval of acknowledged commits at risk.
+	SyncBackground
+)
+
+// String returns a short human-readable policy name.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBackground:
+		return "background"
+	default:
+		return "os"
+	}
+}
+
+// Options configures a journal.
+type Options struct {
+	// Sync is the fsync policy; the zero value is SyncOS.
+	Sync SyncPolicy
+	// SyncEvery is the SyncBackground flush interval; <= 0 selects one
+	// second.
+	SyncEvery time.Duration
+	// SegmentBytes rotates to a fresh segment once the current one
+	// reaches this size; <= 0 selects DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// DefaultSegmentBytes is the segment rotation threshold used when
+// Options does not choose one.
+const DefaultSegmentBytes = 4 << 20
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return DefaultSegmentBytes
+	}
+	return o.SegmentBytes
+}
+
+func (o Options) syncEvery() time.Duration {
+	if o.SyncEvery <= 0 {
+		return time.Second
+	}
+	return o.SyncEvery
+}
+
+const (
+	segMagic  = "ppwal\x00\x01\n"
+	ckptMagic = "ppckpt\x01\n"
+	maniMagic = "ppmani\x01\n"
+
+	frameHeader = 8       // u32 length + u32 crc
+	maxFrame    = 1 << 28 // sanity bound on a single payload
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal is a segmented write-ahead log plus its checkpoint state,
+// rooted in one directory. Typical lifecycle: Open, read Checkpoint(),
+// Replay the tail, then Append per commit and WriteCheckpoint
+// periodically; Close releases the files. All methods are safe for
+// concurrent use, though the stores serialize commits themselves.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File // current segment
+	size      int64    // bytes written to current segment
+	seg       uint64   // current segment index
+	ck        *Checkpoint
+	ckSeg     uint64 // first live segment (tail watermark of ck)
+	ckIndex   uint64 // index of the installed checkpoint file
+	appended  uint64 // records appended since the last checkpoint
+	replayed  bool
+	closed    bool
+	failed    error // latched unrecoverable write failure
+	stopSync  chan struct{}
+	syncErr   error
+	buf       []byte // scratch encode buffer
+	replayEnd uint64 // version of the last replayed record
+}
+
+func segName(i uint64) string  { return fmt.Sprintf("wal-%08d.log", i) }
+func ckptName(i uint64) string { return fmt.Sprintf("checkpoint-%08d.ckpt", i) }
+
+// Open opens (or initializes) the journal directory. It loads the
+// newest intact checkpoint but does not touch the log tail — call
+// Replay next, before the first Append.
+func Open(dir string, opts Options) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts, ckSeg: 1} // segments are numbered from 1
+	if err := j.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	if j.opts.Sync == SyncBackground {
+		j.stopSync = make(chan struct{})
+		go j.syncLoop()
+	}
+	return j, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Checkpoint returns the checkpoint loaded at Open, nil when the
+// directory had none.
+func (j *Journal) Checkpoint() *Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ck
+}
+
+// loadCheckpoint scans the directory for the newest checkpoint that
+// decodes cleanly and removes files an interrupted truncation left
+// behind (older checkpoints, segments before the tail watermark).
+func (j *Journal) loadCheckpoint() error {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var cks []uint64
+	for _, e := range entries {
+		var i uint64
+		if n, _ := fmt.Sscanf(e.Name(), "checkpoint-%08d.ckpt", &i); n == 1 {
+			cks = append(cks, i)
+		}
+	}
+	sort.Slice(cks, func(a, b int) bool { return cks[a] > cks[b] })
+	for _, i := range cks {
+		ck, err := LoadCheckpointFile(filepath.Join(j.dir, ckptName(i)))
+		if err != nil {
+			continue // partial write of a newer checkpoint: fall back
+		}
+		j.ck, j.ckSeg, j.ckIndex = ck, ck.firstSegment, i
+		break
+	}
+	// Remove stale files: superseded checkpoints and pre-watermark
+	// segments (crash between checkpoint install and truncation).
+	for _, i := range cks {
+		if i != j.ckIndex {
+			os.Remove(filepath.Join(j.dir, ckptName(i)))
+		}
+	}
+	for _, i := range j.segmentIndexes() {
+		if i < j.ckSeg {
+			os.Remove(filepath.Join(j.dir, segName(i)))
+		}
+	}
+	return nil
+}
+
+// segmentIndexes lists the segment files present, ascending.
+func (j *Journal) segmentIndexes() []uint64 {
+	entries, _ := os.ReadDir(j.dir)
+	var segs []uint64
+	for _, e := range entries {
+		var i uint64
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%08d.log", &i); n == 1 {
+			segs = append(segs, i)
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	return segs
+}
+
+// Replay feeds every intact record past the checkpoint to fn, in log
+// order, then truncates the log back to the last intact record and
+// positions the journal for appending. A decode error from the log
+// stops replay cleanly (torn tail); an error returned by fn aborts it.
+// Replay must be called exactly once, before the first Append.
+func (j *Journal) Replay(fn func(Record) error) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.replayed {
+		return fmt.Errorf("wal: Replay called twice")
+	}
+	j.replayed = true
+	segs := j.segmentIndexes()
+	last := j.ckSeg // next segment to create if none survive
+	for si, seg := range segs {
+		path := filepath.Join(j.dir, segName(seg))
+		goodEnd, err := replaySegment(path, fn)
+		if err != nil {
+			return err
+		}
+		if goodEnd < 0 {
+			// Corrupt beyond repair (bad magic): an interrupted rotation
+			// wrote the file header partially. Drop it and everything
+			// after — nothing intact can follow a torn segment.
+			for _, s := range segs[si:] {
+				os.Remove(filepath.Join(j.dir, segName(s)))
+			}
+			break
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if goodEnd < fi.Size() {
+			// Torn tail: cut back to the last intact frame and discard
+			// any later segments (they were created after the torn one,
+			// which cannot happen in a clean shutdown).
+			if err := os.Truncate(path, goodEnd); err != nil {
+				return fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			for _, s := range segs[si+1:] {
+				os.Remove(filepath.Join(j.dir, segName(s)))
+			}
+			last = seg
+			break
+		}
+		last = seg
+	}
+	// Re-open the last surviving segment for appending, or start the
+	// first one.
+	if len(segs) == 0 || last < j.ckSeg {
+		last = j.ckSeg
+	}
+	return j.openSegmentLocked(last)
+}
+
+// replaySegment feeds a segment's intact records to fn. It returns the
+// byte offset after the last intact frame, or -1 when the file is not a
+// segment at all (bad or short magic).
+func replaySegment(path string, fn func(Record) error) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		return -1, nil
+	}
+	off := int64(len(segMagic))
+	rest := data[len(segMagic):]
+	for {
+		payload, n := nextFrame(rest)
+		if payload == nil {
+			return off, nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return off, nil // corrupt payload: stop at the last intact record
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, err
+			}
+		}
+		off += int64(n)
+		rest = rest[n:]
+	}
+}
+
+// nextFrame parses one [len][crc][payload] frame, returning the payload
+// and the total frame size, or (nil, 0) when the input holds no intact
+// frame.
+func nextFrame(b []byte) ([]byte, int) {
+	if len(b) < frameHeader {
+		return nil, 0
+	}
+	size := binary.LittleEndian.Uint32(b)
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if size == 0 || size > maxFrame || uint64(frameHeader)+uint64(size) > uint64(len(b)) {
+		return nil, 0
+	}
+	payload := b[frameHeader : frameHeader+size]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, 0
+	}
+	return payload, frameHeader + int(size)
+}
+
+// openSegmentLocked opens segment index i for appending, creating it
+// (with magic) when absent.
+func (j *Journal) openSegmentLocked(i uint64) error {
+	if j.f != nil {
+		j.f.Close()
+	}
+	path := filepath.Join(j.dir, segName(i))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		if _, err := f.Write([]byte(segMagic)); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		// Make the fresh segment's directory entry durable: fsyncing
+		// record data into a file whose name is not on disk yet
+		// protects nothing.
+		if err := syncDir(j.dir); err != nil {
+			f.Close()
+			return err
+		}
+		size = int64(len(segMagic))
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	j.f, j.size, j.seg = f, size, i
+	return nil
+}
+
+// Append journals one record: frame, write, and fsync per the policy.
+// The write is a single contiguous write call, so a crash leaves either
+// the whole frame or a torn tail that replay cuts off — never an
+// interleaved state.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("wal: journal closed")
+	}
+	if j.failed != nil {
+		return fmt.Errorf("wal: journal failed: %w", j.failed)
+	}
+	if !j.replayed {
+		return fmt.Errorf("wal: Append before Replay")
+	}
+	if j.size >= j.opts.segmentBytes()+int64(len(segMagic)) {
+		if err := j.openSegmentLocked(j.seg + 1); err != nil {
+			return err
+		}
+	}
+	j.buf = j.buf[:0]
+	payload, err := appendRecord(j.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	j.buf = payload // keep the grown buffer for reuse
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeader:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		// A partial write leaves garbage past j.size with the file
+		// offset advanced; a LATER successful append would land after
+		// the torn frame and be silently cut off by the next recovery.
+		// Roll the file back to the last intact frame — and if even
+		// that fails, latch the journal so no further commit can be
+		// acknowledged on top of a torn tail.
+		if terr := j.f.Truncate(j.size); terr != nil {
+			j.failed = terr
+		} else if _, serr := j.f.Seek(j.size, io.SeekStart); serr != nil {
+			j.failed = serr
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	j.size += int64(len(frame))
+	j.appended++
+	if j.opts.Sync == SyncAlways {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// AppendedSinceCheckpoint returns the number of records appended since
+// the last checkpoint install (or open) — the store layer's
+// auto-checkpoint trigger.
+func (j *Journal) AppendedSinceCheckpoint() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Sync fsyncs the current segment.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.closed || j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// syncLoop is the SyncBackground flusher.
+func (j *Journal) syncLoop() {
+	t := time.NewTicker(j.opts.syncEvery())
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			j.mu.Lock()
+			if err := j.syncLocked(); err != nil && j.syncErr == nil {
+				j.syncErr = err
+			}
+			j.mu.Unlock()
+		case <-j.stopSync:
+			return
+		}
+	}
+}
+
+// WriteCheckpoint durably installs ck as the new recovery base: the
+// checkpoint file is written and renamed into place, the log rotates to
+// a fresh segment, and the segments the checkpoint absorbed are
+// deleted. After it returns, recovery is checkpoint + (empty) tail.
+func (j *Journal) WriteCheckpoint(ck *Checkpoint) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("wal: journal closed")
+	}
+	if !j.replayed {
+		return fmt.Errorf("wal: WriteCheckpoint before Replay")
+	}
+	// Rotate first: the checkpoint's tail watermark is the fresh
+	// segment, so every record journaled before this moment is absorbed
+	// and every later one lands past the watermark.
+	if err := j.openSegmentLocked(j.seg + 1); err != nil {
+		return err
+	}
+	ck.firstSegment = j.seg
+	next := j.ckIndex + 1
+	if err := saveCheckpointFile(filepath.Join(j.dir, ckptName(next)), ck); err != nil {
+		return err
+	}
+	old, oldSeg := j.ckIndex, j.ckSeg
+	j.ck, j.ckIndex, j.ckSeg = ck, next, j.seg
+	j.appended = 0
+	// Truncate: everything the new checkpoint supersedes. A crash
+	// before these removals leaves garbage that the next Open sweeps.
+	if old != 0 || oldSeg != j.ckSeg {
+		os.Remove(filepath.Join(j.dir, ckptName(old)))
+	}
+	for _, i := range j.segmentIndexes() {
+		if i < j.ckSeg {
+			os.Remove(filepath.Join(j.dir, segName(i)))
+		}
+	}
+	return syncDir(j.dir)
+}
+
+// Close flushes and releases the journal. The directory remains fully
+// recoverable — Close writes no checkpoint.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	if j.stopSync != nil {
+		close(j.stopSync)
+	}
+	var err error
+	if j.f != nil {
+		err = j.f.Sync()
+		if cerr := j.f.Close(); err == nil {
+			err = cerr
+		}
+		j.f = nil
+	}
+	if err == nil {
+		err = j.syncErr
+	}
+	j.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via a temporary file and rename,
+// fsyncing the file so the rename installs complete content.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames, creations and removals inside
+// it are ordered against the data they commit — without it, an OS
+// crash can persist a segment unlink while losing the checkpoint
+// rename that superseded it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

@@ -91,6 +91,21 @@
 //	matches := sharded.KNN(q, 5, 0.5)     // scatter-gather, bit-identical
 //	moved := sharded.Rebalance()          // online, result-invariant
 //
+// # Durability
+//
+// Stores opened with BootstrapStore/OpenStore (and their sharded
+// twins) journal every commit to a segmented, CRC-framed write-ahead
+// log before it applies, and compact the log into checkpoint snapshots
+// persisting the database and the decomposition cache. Reopening after
+// a crash recovers bit-identically, stopping cleanly at the last
+// intact record:
+//
+//	popts := probprune.PersistOptions{Dir: "data/db", CheckpointEvery: 4096}
+//	store, _ := probprune.BootstrapStore(db, popts, probprune.Options{})
+//	store.Insert(obj)                     // journaled, then applied
+//	store.Close()
+//	store, _ = probprune.OpenStore(popts, probprune.Options{})
+//
 // # Continuous queries
 //
 // A Monitor turns one-shot queries into standing subscriptions: clients
@@ -126,6 +141,7 @@ import (
 	"probprune/internal/query"
 	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
+	"probprune/internal/wal"
 	"probprune/internal/workload"
 )
 
@@ -317,6 +333,61 @@ func NewStore(db Database, opts Options) (*Store, error) {
 	return query.NewStore(db, opts)
 }
 
+// Durability: stores opened with OpenStore/OpenShardedStore journal
+// every commit to a segmented, CRC-framed write-ahead log before the
+// copy-on-write publish, and periodically compact the log into
+// checkpoint snapshots that persist the object database AND the
+// decomposition cache. Reopening recovers bit-identically — same
+// versions, same database order, same query answers — stopping cleanly
+// at the last intact record after a torn tail write. See the README's
+// "Durability" section.
+type (
+	// PersistOptions configures the journal directory, fsync policy and
+	// checkpoint cadence of a durable store.
+	PersistOptions = query.PersistOptions
+	// SyncPolicy selects when journaled commits are fsynced.
+	SyncPolicy = wal.SyncPolicy
+)
+
+// Fsync policies for PersistOptions.Sync.
+const (
+	// SyncOS (default): no explicit fsync; the OS flushes on its own.
+	SyncOS = wal.SyncOS
+	// SyncAlways: fsync after every commit.
+	SyncAlways = wal.SyncAlways
+	// SyncBackground: fsync every PersistOptions.SyncEvery (default 1s).
+	SyncBackground = wal.SyncBackground
+)
+
+// OpenStore opens (or initializes) a durable store rooted at
+// popts.Dir, recovering the newest checkpoint plus the journal tail.
+func OpenStore(popts PersistOptions, opts Options) (*Store, error) {
+	return query.OpenStore(popts, opts)
+}
+
+// BootstrapStore creates a new durable store over db at popts.Dir,
+// writing the initial database as the first checkpoint. It refuses a
+// directory that already holds a journal (use OpenStore).
+func BootstrapStore(db Database, popts PersistOptions, opts Options) (*Store, error) {
+	return query.BootstrapStore(db, popts, opts)
+}
+
+// OpenShardedStore opens (or initializes) a durable sharded store: one
+// journal per shard plus a manifest with the version vector; shards
+// recover in parallel and the router merges their logical records to
+// rebuild the exact global order. sopts.Partition must be the
+// partitioner the store was created with.
+func OpenShardedStore(popts PersistOptions, sopts ShardedOptions, opts Options) (*ShardedStore, error) {
+	return query.OpenShardedStore(popts, sopts, opts)
+}
+
+// BootstrapShardedStore creates a new durable sharded store over db at
+// popts.Dir. It refuses a directory that already holds a manifest (use
+// OpenShardedStore).
+func BootstrapShardedStore(db Database, popts PersistOptions, sopts ShardedOptions, opts Options) (*ShardedStore, error) {
+	return query.BootstrapShardedStore(db, popts, sopts, opts)
+}
+
 // Sharded store: N independent Store shards behind a scatter-gather
 // router (see internal/query.ShardedStore and the README's "Sharding"
 // section for the bound-merge argument).
@@ -413,11 +484,13 @@ const (
 	ChangeDelete = query.ChangeDelete
 )
 
-// Terminal subscription errors (see Subscription.Err).
+// Terminal subscription errors (see Subscription.Err), plus the
+// durable-cursor mismatch error (see Monitor.SubscribeKNNDurable).
 var (
-	ErrSlowConsumer  = cq.ErrSlowConsumer
-	ErrUnsubscribed  = cq.ErrUnsubscribed
-	ErrMonitorClosed = cq.ErrMonitorClosed
+	ErrSlowConsumer   = cq.ErrSlowConsumer
+	ErrUnsubscribed   = cq.ErrUnsubscribed
+	ErrMonitorClosed  = cq.ErrMonitorClosed
+	ErrCursorMismatch = cq.ErrCursorMismatch
 )
 
 // NewMonitor attaches a continuous-query monitor to a store — a Store

@@ -8,8 +8,9 @@ import (
 	"probprune"
 )
 
-// backend is one of the three public query backends — frozen Engine,
-// live Store, sharded ShardedStore — exposed through the common Engine
+// backend is one of the four public query backends — frozen Engine,
+// live Store, sharded ShardedStore, and a durable Store written to
+// disk, closed and reopened — exposed through the common Engine
 // surface, so every root-level API test body runs unchanged (and must
 // pass identically) against each.
 type backend struct {
@@ -17,7 +18,20 @@ type backend struct {
 	eng  *probprune.Engine
 }
 
-// queryBackends builds identically-configured engines from all three
+// byID resolves the backend's own instance of a database object —
+// backends recovered from disk hold decoded copies, not db's pointers.
+func (be backend) byID(t *testing.T, id int) *probprune.Object {
+	t.Helper()
+	for _, o := range be.eng.DB {
+		if o.ID == id {
+			return o
+		}
+	}
+	t.Fatalf("object %d not in backend %s", id, be.name)
+	return nil
+}
+
+// queryBackends builds identically-configured engines from all four
 // backends over the same database.
 func queryBackends(t *testing.T, db probprune.Database, opts probprune.Options) []backend {
 	t.Helper()
@@ -33,7 +47,29 @@ func queryBackends(t *testing.T, db probprune.Database, opts probprune.Options) 
 		{"engine", probprune.NewEngine(db, opts)},
 		{"store", store.Snapshot().Engine()},
 		{"sharded", sharded.Snapshot().Engine()},
+		{"durable", durableReopen(t, db, opts).Snapshot().Engine()},
 	}
+}
+
+// durableReopen round-trips db through a journal: bootstrap on disk,
+// close, reopen. Queries on the reopened store must match the
+// in-memory backends bit for bit.
+func durableReopen(t *testing.T, db probprune.Database, opts probprune.Options) *probprune.Store {
+	t.Helper()
+	popts := probprune.PersistOptions{Dir: filepath.Join(t.TempDir(), "db")}
+	s, err := probprune.BootstrapStore(db, popts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := probprune.OpenStore(popts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reopened.Close() })
+	return reopened
 }
 
 // TestEndToEndKNN is the integration test of the public API: build a
@@ -60,9 +96,11 @@ func TestEndToEndKNN(t *testing.T) {
 					continue
 				}
 				results++
+				// Exclude the candidate by ID, not pointer: the durable
+				// backend's objects are decoded copies of db's.
 				var cands []*probprune.Object
 				for _, o := range db {
-					if o != m.Object {
+					if o.ID != m.Object.ID {
 						cands = append(cands, o)
 					}
 				}
@@ -94,7 +132,10 @@ func TestEndToEndInverseRanking(t *testing.T) {
 	}
 	for _, be := range queryBackends(t, db, probprune.Options{MaxIterations: 6}) {
 		t.Run(be.name, func(t *testing.T) {
-			rd := be.eng.InverseRank(db[3], db[77])
+			// Resolve the operands from the backend's own database: the
+			// durable backend holds decoded copies, and the engine
+			// identifies the target among the candidates by instance.
+			rd := be.eng.InverseRank(be.byID(t, db[3].ID), be.byID(t, db[77].ID))
 			if rd.MinRank < 1 {
 				t.Fatalf("MinRank = %d", rd.MinRank)
 			}
