@@ -1,0 +1,56 @@
+//go:build !race
+
+// Hard allocation ceilings for the hot query paths, enforced in plain
+// test runs and in CI (the race detector instruments allocations, so
+// the ceilings only hold — and only run — without -race). The numbers
+// bound the regression budget for the flat-node R-tree + per-query
+// arena work: a kNN query at db=1000 used to cost ~7,800 allocations;
+// the ceilings pin it below 1,000 cold and 900 warm, with measured
+// steady state several times lower still.
+
+package probprune_test
+
+import (
+	"testing"
+
+	"probprune"
+	"probprune/internal/benchscen"
+)
+
+const allocDBSize = 1000
+
+// TestEngineKNNAllocCeiling: a threshold kNN query on a frozen engine
+// (persistent pinned decomposition cache, pooled run arenas) stays
+// under 1,000 allocations.
+func TestEngineKNNAllocCeiling(t *testing.T) {
+	db := benchscen.MustDB(allocDBSize)
+	e := probprune.NewEngine(db, probprune.Options{MaxIterations: 3})
+	q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
+	e.KNN(q, benchscen.K, benchscen.Tau) // warm pools and decomposition cache
+	allocs := testing.AllocsPerRun(5, func() {
+		e.KNN(q, benchscen.K, benchscen.Tau)
+	})
+	if allocs > 1000 {
+		t.Fatalf("EngineKNN allocated %.0f times per query, ceiling 1000", allocs)
+	}
+	t.Logf("EngineKNN: %.0f allocs per query (ceiling 1000)", allocs)
+}
+
+// TestStoreWarmKNNAllocCeiling: the same query served warm from a live
+// Store snapshot stays under 900 allocations.
+func TestStoreWarmKNNAllocCeiling(t *testing.T) {
+	db := benchscen.MustDB(allocDBSize)
+	s, err := probprune.NewStore(db, probprune.Options{MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
+	s.KNN(q, benchscen.K, benchscen.Tau) // warm the persistent cache
+	allocs := testing.AllocsPerRun(5, func() {
+		s.KNN(q, benchscen.K, benchscen.Tau)
+	})
+	if allocs > 900 {
+		t.Fatalf("StoreWarmKNN allocated %.0f times per query, ceiling 900", allocs)
+	}
+	t.Logf("StoreWarmKNN: %.0f allocs per query (ceiling 900)", allocs)
+}

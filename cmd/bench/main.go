@@ -1,5 +1,5 @@
 // Command bench runs the repository's key performance scenarios and
-// writes the numbers to a machine-readable JSON file (BENCH_PR5.json by
+// writes the numbers to a machine-readable JSON file (BENCH_PR6.json by
 // default), so the performance trajectory of the project is tracked in
 // data rather than prose. It measures the hot serving paths — one-shot
 // engine queries, warm store queries, batched queries, index build —
@@ -7,9 +7,14 @@
 // re-running every standing query per mutation), the sharded serving
 // pair (write-interleaved BatchKNN mix and store build at 1 vs 8
 // shards), and the durability trio: journaled update throughput
-// (WALIngest) and recovery cold vs from a checkpoint, whose ratio
-// (recovery_checkpoint_speedup) is the headline number of the
-// durability PR.
+// (WALIngest) and recovery cold vs from a checkpoint.
+//
+// Every scenario is measured twice: a serial pass pinned to
+// GOMAXPROCS=1 (the apples-to-apples baseline against earlier reports,
+// which were recorded at gomaxprocs 1) and a parallel pass at
+// GOMAXPROCS=NumCPU, which lets the query executor fan candidate runs
+// out across cores. The derived parallel_speedup_* ratios quantify what
+// the worker pool buys on the current hardware.
 //
 // The scenario bodies live in internal/benchscen and are shared with
 // the `go test -bench` wrappers, so this report and the in-tree
@@ -18,6 +23,7 @@
 //	go run ./cmd/bench                 # full size, ~1s per benchmark
 //	go run ./cmd/bench -quick          # smoke mode on a small database
 //	go run ./cmd/bench -o bench.json
+//	go run ./cmd/bench -cpuprofile cpu.pb -memprofile mem.pb
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"probprune"
@@ -43,38 +50,53 @@ type benchResult struct {
 }
 
 type report struct {
-	PR         int                `json:"pr"`
-	Go         string             `json:"go"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	DBSize     int                `json:"db_size"`
-	Quick      bool               `json:"quick"`
+	PR int    `json:"pr"`
+	Go string `json:"go"`
+	// GOMAXPROCS is the setting of the serial pass (always 1); NumCPU is
+	// what the parallel pass ran at.
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	NumCPU     int  `json:"num_cpu"`
+	DBSize     int  `json:"db_size"`
+	Quick      bool `json:"quick"`
+	// Benchmarks is the serial (GOMAXPROCS=1) pass — comparable with the
+	// BENCH_PR*.json history; Parallel is the same scenario set at
+	// GOMAXPROCS=NumCPU.
 	Benchmarks []benchResult      `json:"benchmarks"`
+	Parallel   []benchResult      `json:"parallel"`
 	Derived    map[string]float64 `json:"derived"`
 }
 
-func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output file")
-	quick := flag.Bool("quick", false, "smoke mode: small database, cheap CI run (numbers not comparable with full runs)")
-	flag.Parse()
-	dbSize := 1000
-	if *quick {
-		dbSize = 150
-	}
+// scenario pairs a report row name with its benchscen body.
+type scenario struct {
+	name string
+	fn   func(b *testing.B, db probprune.Database)
+}
 
-	db := benchscen.MustDB(dbSize)
-	rep := report{
-		PR:         5,
-		Go:         runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		DBSize:     dbSize,
-		Quick:      *quick,
-		Derived:    map[string]float64{},
+func scenarios() []scenario {
+	return []scenario{
+		{"EngineKNN", benchscen.EngineKNN},
+		{"StoreWarmKNN", benchscen.StoreWarmKNN},
+		{"StoreBatchKNN16", benchscen.StoreBatchKNN16},
+		{"IndexBulkLoad", benchscen.IndexBulkLoad},
+		{"CQMaintain", benchscen.CQMaintain},
+		{"CQRequery", benchscen.CQRequery},
+		{"ShardedBatchKNN1", benchscen.ShardedBatchKNN(1)},
+		{"ShardedBatchKNN8", benchscen.ShardedBatchKNN(8)},
+		{"ShardedBuild1", benchscen.ShardedBuild(1)},
+		{"ShardedBuild8", benchscen.ShardedBuild(8)},
+		{"WALIngest", benchscen.WALIngest},
+		{"RecoveryCold", benchscen.RecoveryCold},
+		{"RecoveryCheckpoint", benchscen.RecoveryCheckpoint},
 	}
+}
 
-	add := func(name string, fn func(b *testing.B, db probprune.Database)) benchResult {
-		res := testing.Benchmark(func(b *testing.B) { fn(b, db) })
+// runPass measures every scenario at the current GOMAXPROCS setting.
+func runPass(label string, db probprune.Database) []benchResult {
+	out := make([]benchResult, 0, len(scenarios()))
+	for _, s := range scenarios() {
+		res := testing.Benchmark(func(b *testing.B) { s.fn(b, db) })
 		br := benchResult{
-			Name:        name,
+			Name:        s.name,
 			Iterations:  res.N,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
@@ -86,24 +108,76 @@ func main() {
 				br.Metrics[k] = v
 			}
 		}
-		rep.Benchmarks = append(rep.Benchmarks, br)
-		fmt.Printf("%-24s %12.0f ns/op  %v\n", name, br.NsPerOp, br.Metrics)
-		return br
+		out = append(out, br)
+		fmt.Printf("%-8s %-20s %12.0f ns/op %8d allocs/op  %v\n",
+			label, s.name, br.NsPerOp, br.AllocsPerOp, br.Metrics)
+	}
+	return out
+}
+
+func find(rs []benchResult, name string) benchResult {
+	for _, r := range rs {
+		if r.Name == name {
+			return r
+		}
+	}
+	return benchResult{}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR6.json", "output file")
+	quick := flag.Bool("quick", false, "smoke mode: small database, cheap CI run (numbers not comparable with full runs)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering both benchmark passes to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the passes to this file")
+	flag.Parse()
+	dbSize := 1000
+	if *quick {
+		dbSize = 150
 	}
 
-	add("EngineKNN", benchscen.EngineKNN)
-	add("StoreWarmKNN", benchscen.StoreWarmKNN)
-	add("StoreBatchKNN16", benchscen.StoreBatchKNN16)
-	add("IndexBulkLoad", benchscen.IndexBulkLoad)
-	maintain := add("CQMaintain", benchscen.CQMaintain)
-	requery := add("CQRequery", benchscen.CQRequery)
-	sharded1 := add("ShardedBatchKNN1", benchscen.ShardedBatchKNN(1))
-	sharded8 := add("ShardedBatchKNN8", benchscen.ShardedBatchKNN(8))
-	build1 := add("ShardedBuild1", benchscen.ShardedBuild(1))
-	build8 := add("ShardedBuild8", benchscen.ShardedBuild(8))
-	add("WALIngest", benchscen.WALIngest)
-	cold := add("RecoveryCold", benchscen.RecoveryCold)
-	ckpt := add("RecoveryCheckpoint", benchscen.RecoveryCheckpoint)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	db := benchscen.MustDB(dbSize)
+	rep := report{
+		PR:         6,
+		Go:         runtime.Version(),
+		GOMAXPROCS: 1,
+		NumCPU:     runtime.NumCPU(),
+		DBSize:     dbSize,
+		Quick:      *quick,
+		Derived:    map[string]float64{},
+	}
+
+	// Serial pass: pinned to one CPU so numbers line up with the
+	// BENCH_PR*.json history.
+	prev := runtime.GOMAXPROCS(1)
+	rep.Benchmarks = runPass("serial", db)
+	runtime.GOMAXPROCS(prev)
+
+	// Parallel pass: all cores; the executor's candidate fan-out and the
+	// sharded scatter-gather get to use them.
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	rep.Parallel = runPass("parallel", db)
+	runtime.GOMAXPROCS(prev)
+
+	maintain := find(rep.Benchmarks, "CQMaintain")
+	requery := find(rep.Benchmarks, "CQRequery")
+	sharded1 := find(rep.Benchmarks, "ShardedBatchKNN1")
+	sharded8 := find(rep.Benchmarks, "ShardedBatchKNN8")
+	build1 := find(rep.Benchmarks, "ShardedBuild1")
+	build8 := find(rep.Benchmarks, "ShardedBuild8")
+	cold := find(rep.Benchmarks, "RecoveryCold")
+	ckpt := find(rep.Benchmarks, "RecoveryCheckpoint")
 
 	if m, r := maintain.Metrics["idca-runs/op"], requery.Metrics["idca-runs/op"]; m > 0 {
 		rep.Derived["cq_idca_run_ratio"] = r / m
@@ -120,7 +194,26 @@ func main() {
 	if ckpt.NsPerOp > 0 {
 		rep.Derived["recovery_checkpoint_speedup"] = cold.NsPerOp / ckpt.NsPerOp
 	}
+	// Serial-vs-parallel speedup per scenario (same binary, same data,
+	// only GOMAXPROCS differs).
+	for _, s := range rep.Benchmarks {
+		if p := find(rep.Parallel, s.Name); p.NsPerOp > 0 {
+			rep.Derived["parallel_speedup_"+s.Name] = s.NsPerOp / p.NsPerOp
+		}
+	}
 	fmt.Printf("derived: %v\n", rep.Derived)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -100,6 +100,14 @@ type Options struct {
 	// AdaptiveEps is the width threshold of the adaptive heuristic;
 	// zero selects a small default.
 	AdaptiveEps float64
+	// Scratch, when non-nil, supplies a reusable arena for the run's
+	// hot-path temporaries (generating functions, per-pair interval and
+	// bound buffers). Bounds are bit-identical with and without it. A
+	// Scratch may be reused by any number of sequential runs but must
+	// never be shared by concurrent ones; with Parallelism > 1 only the
+	// sequential parts of the run use it. Results remain valid after
+	// their scratch is reused — retained slices are never arena-backed.
+	Scratch *Scratch
 }
 
 // DefaultMaxIterations is the refinement depth used when Options does
@@ -385,39 +393,63 @@ func finishFilter(res *Result, opts Options) {
 			return res.Influence[i].ID < res.Influence[j].ID
 		})
 	}
-	ivs := make([]gf.Interval, len(res.Influence))
+	var ivs []gf.Interval
+	if sc := opts.Scratch; sc != nil {
+		ivs = sc.intervals(len(res.Influence))
+	} else {
+		ivs = make([]gf.Interval, len(res.Influence))
+	}
 	for i, a := range res.Influence {
 		ivs[i] = gf.Interval{LB: 0, UB: a.ExistenceProb()}
 	}
-	res.Bounds, res.CDF = expandBounds(ivs, opts.KMax)
+	res.Bounds, res.CDF = expandBounds(opts.Scratch, ivs, opts.KMax)
 }
 
 // expandBounds builds the point and CDF bound arrays from one UGF over
-// the given per-candidate intervals.
-func expandBounds(ivs []gf.Interval, kMax int) ([]gf.Interval, []gf.Interval) {
-	var f *gf.UGF
-	if kMax > 0 {
-		f = gf.NewTruncatedUGF(kMax)
-	} else {
-		f = gf.NewUGF()
-	}
+// the given per-candidate intervals. The returned slices are freshly
+// allocated (safe to retain in a Result); only the UGF expansion itself
+// draws on the scratch.
+func expandBounds(sc *Scratch, ivs []gf.Interval, kMax int) ([]gf.Interval, []gf.Interval) {
+	f := scratchUGF(sc, kMax)
 	f.MultiplyAll(ivs)
-	return boundsFromUGF(f, len(ivs), kMax)
+	hi := boundsHi(len(ivs), kMax)
+	bounds := make([]gf.Interval, hi+1)
+	cdf := make([]gf.Interval, hi+2)
+	fillBoundsFromUGF(f, bounds, cdf)
+	return bounds, cdf
 }
 
-func boundsFromUGF(f *gf.UGF, c, kMax int) (bounds, cdf []gf.Interval) {
-	hi := c
-	if kMax > 0 && kMax-1 < hi {
-		hi = kMax - 1
+// expandBoundsScratch is expandBounds with the outputs also placed in
+// the arena — the per-pair hot path, whose results are only accumulated
+// into the iteration totals and never retained. The returned slices are
+// invalidated by the next use of the scratch.
+func expandBoundsScratch(sc *Scratch, ivs []gf.Interval, kMax int) ([]gf.Interval, []gf.Interval) {
+	if sc == nil {
+		return expandBounds(nil, ivs, kMax)
 	}
-	bounds = make([]gf.Interval, hi+1)
-	cdf = make([]gf.Interval, hi+2)
+	f := scratchUGF(sc, kMax)
+	f.MultiplyAll(ivs)
+	bounds, cdf := sc.boundArrays(boundsHi(len(ivs), kMax))
+	fillBoundsFromUGF(f, bounds, cdf)
+	return bounds, cdf
+}
+
+// boundsHi returns the largest tracked relative count for c candidates
+// under truncation kMax.
+func boundsHi(c, kMax int) int {
+	if kMax > 0 && kMax-1 < c {
+		return kMax - 1
+	}
+	return c
+}
+
+func fillBoundsFromUGF(f *gf.UGF, bounds, cdf []gf.Interval) {
+	hi := len(bounds) - 1
 	for k := 0; k <= hi; k++ {
 		bounds[k] = f.Bound(k)
 		cdf[k] = f.CDFBound(k)
 	}
 	cdf[hi+1] = f.CDFBound(hi + 1)
-	return bounds, cdf
 }
 
 func influenceSources(res *Result, opts Options) []partitionSource {

@@ -68,7 +68,10 @@ func (d *RefDecomp) PartitionsAtLevel(level int) []uncertain.Partition {
 		d.tree = uncertain.NewDecompTree(d.obj, d.maxHeight)
 	}
 	for len(d.levels) <= level {
-		d.levels = append(d.levels, d.tree.PartitionsAtLevel(len(d.levels)))
+		// Materialize the level in packed form: one contiguous coord
+		// array per level, so every refinement pass over it is a linear
+		// scan instead of a walk over scattered tree-node rectangles.
+		d.levels = append(d.levels, uncertain.PackPartitions(d.tree.PartitionsAtLevel(len(d.levels))))
 	}
 	return d.levels[level]
 }
@@ -143,6 +146,9 @@ func (c *DecompCache) Get(obj *uncertain.Object) *RefDecomp {
 	d, ok := c.m[obj]
 	if !ok || d == nil {
 		d = NewRefDecomp(obj, c.maxHeight)
+		if c.m == nil {
+			c.m = make(map[*uncertain.Object]*RefDecomp)
+		}
 		c.m[obj] = d
 	}
 	return d
@@ -171,6 +177,9 @@ func (c *DecompCache) Add(obj *uncertain.Object) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.m[obj]; !ok {
+		if c.m == nil {
+			c.m = make(map[*uncertain.Object]*RefDecomp)
+		}
 		c.m[obj] = nil
 		c.version++
 	}
@@ -236,6 +245,9 @@ func (c *DecompCache) Seed(obj *uncertain.Object, levels [][]uncertain.Partition
 		}
 		return
 	}
+	if c.m == nil {
+		c.m = make(map[*uncertain.Object]*RefDecomp)
+	}
 	c.m[obj] = NewSeededRefDecomp(obj, c.maxHeight, levels)
 	c.version++
 }
@@ -244,9 +256,10 @@ func (c *DecompCache) Seed(obj *uncertain.Object, levels [][]uncertain.Partition
 // its ancestors) for objects they already hold, while decompositions of
 // unknown objects — typically the query object — are created in the
 // overlay and die with it instead of accumulating in the persistent
-// cache.
+// cache. The overlay's own map is allocated lazily on first insert, so
+// a query whose objects are all cache-resident pays nothing for it.
 func (c *DecompCache) Overlay() *DecompCache {
-	return &DecompCache{maxHeight: c.maxHeight, parent: c, m: make(map[*uncertain.Object]*RefDecomp)}
+	return &DecompCache{maxHeight: c.maxHeight, parent: c}
 }
 
 // Len returns the number of decompositions in this cache (excluding

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"probprune/internal/gf"
+	"probprune/internal/uncertain"
+)
+
+// Scratch is a reusable arena for the allocation-heavy temporaries of
+// IDCA runs: the generating function expanded per (B', R') partition
+// pair, the per-candidate interval scratch, the per-pair bound arrays,
+// and the per-step pair/partition tables. One warm Scratch makes the
+// whole refinement loop allocation-free per pair; the query layer keeps
+// a pool of them and installs one per worker via Options.Scratch.
+//
+// A Scratch must never be used by two runs concurrently. Reusing it
+// sequentially is always safe: every slice that outlives a run (Result
+// bounds, influence sets, iteration stats) is freshly allocated, never
+// scratch-backed, so results stay valid after the arena moves on to the
+// next run. Bounds are bit-identical with and without a Scratch.
+type Scratch struct {
+	ugf    gf.UGF
+	ivs    []gf.Interval
+	bounds []gf.Interval
+	cdf    []gf.Interval
+	pairs  []brPair
+	aParts [][]uncertain.Partition
+	exist  []float64
+}
+
+// NewScratch returns an empty arena; buffers grow on first use and are
+// retained across runs.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// intervals returns the per-candidate interval buffer resized to n.
+// Contents are unspecified; callers assign every element.
+func (sc *Scratch) intervals(n int) []gf.Interval {
+	if cap(sc.ivs) < n {
+		sc.ivs = make([]gf.Interval, n)
+	}
+	sc.ivs = sc.ivs[:n]
+	return sc.ivs
+}
+
+// boundArrays returns the per-pair bound/CDF buffers sized for hi.
+func (sc *Scratch) boundArrays(hi int) (bounds, cdf []gf.Interval) {
+	if cap(sc.bounds) < hi+1 {
+		sc.bounds = make([]gf.Interval, hi+1)
+	}
+	if cap(sc.cdf) < hi+2 {
+		sc.cdf = make([]gf.Interval, hi+2)
+	}
+	sc.bounds, sc.cdf = sc.bounds[:hi+1], sc.cdf[:hi+2]
+	return sc.bounds, sc.cdf
+}
+
+// pairList returns the (B', R') pair table, emptied for appending.
+func (sc *Scratch) pairList(capHint int) []brPair {
+	if cap(sc.pairs) < capHint {
+		sc.pairs = make([]brPair, 0, capHint)
+	}
+	sc.pairs = sc.pairs[:0]
+	return sc.pairs
+}
+
+// partLists returns the per-candidate partition-list buffer resized to
+// n; every element is assigned by the caller.
+func (sc *Scratch) partLists(n int) [][]uncertain.Partition {
+	if cap(sc.aParts) < n {
+		sc.aParts = make([][]uncertain.Partition, n)
+	}
+	sc.aParts = sc.aParts[:n]
+	return sc.aParts
+}
+
+// existSlice returns the per-candidate existence buffer resized to n;
+// every element is assigned by the caller.
+func (sc *Scratch) existSlice(n int) []float64 {
+	if cap(sc.exist) < n {
+		sc.exist = make([]float64, n)
+	}
+	sc.exist = sc.exist[:n]
+	return sc.exist
+}
+
+// scratchUGF returns a neutral UGF with the given truncation: the
+// arena's reusable instance when available, a fresh one otherwise.
+func scratchUGF(sc *Scratch, kMax int) *gf.UGF {
+	if sc == nil {
+		if kMax > 0 {
+			return gf.NewTruncatedUGF(kMax)
+		}
+		return gf.NewUGF()
+	}
+	sc.ugf.Reset(kMax)
+	return &sc.ugf
+}

@@ -114,8 +114,14 @@ func (s *Session) Step() bool {
 	bParts := s.bSrc.PartitionsAtLevel(s.level)
 	rParts := s.rSrc.PartitionsAtLevel(s.level)
 	c := len(s.aSrcs)
-	aParts := make([][]uncertain.Partition, c)
-	exist := make([]float64, c)
+	var aParts [][]uncertain.Partition
+	var exist []float64
+	if sc := s.opts.Scratch; sc != nil {
+		aParts, exist = sc.partLists(c), sc.existSlice(c)
+	} else {
+		aParts = make([][]uncertain.Partition, c)
+		exist = make([]float64, c)
+	}
 	eps := s.opts.adaptiveEps()
 	for i, t := range s.aSrcs {
 		if !s.opts.Adaptive || s.candWidth[i] > eps {
@@ -167,36 +173,46 @@ func refine(res *Result, aSrcs []partitionSource, opts Options) {
 // the aggregated per-candidate interval width (the adaptive signal).
 func iterate(n geom.Norm, opts Options, bParts, rParts []uncertain.Partition, aParts [][]uncertain.Partition, exist []float64) ([]gf.Interval, []gf.Interval, []float64) {
 	c := len(aParts)
-	type pair struct{ b, r uncertain.Partition }
-	pairs := make([]pair, 0, len(bParts)*len(rParts))
+	sc := opts.Scratch
+	var pairs []brPair
+	if sc != nil {
+		pairs = sc.pairList(len(bParts) * len(rParts))
+	} else {
+		pairs = make([]brPair, 0, len(bParts)*len(rParts))
+	}
 	for _, bp := range bParts {
 		for _, rp := range rParts {
-			pairs = append(pairs, pair{b: bp, r: rp})
+			pairs = append(pairs, brPair{b: bp, r: rp})
 		}
 	}
 
-	hi := c
-	if opts.KMax > 0 && opts.KMax-1 < hi {
-		hi = opts.KMax - 1
-	}
+	// The accumulators are retained by the caller (they become the
+	// Result's bounds), so they are allocated per step, never
+	// arena-backed.
+	hi := boundsHi(c, opts.KMax)
 	accB := make([]gf.Interval, hi+1)
 	accC := make([]gf.Interval, hi+2)
 	accW := make([]float64, c)
 
-	// process evaluates one pair into the caller-provided scratch and
-	// returns the expanded bounds.
-	process := func(p pair, ivs []gf.Interval) ([]gf.Interval, []gf.Interval) {
+	// process evaluates one pair into the given arena (nil allocates)
+	// and returns the expanded bounds, valid until the next pair.
+	process := func(sc *Scratch, p brPair, ivs []gf.Interval) ([]gf.Interval, []gf.Interval) {
 		for i := range aParts {
 			ivs[i] = domination.BoundsWithExistence(n, opts.Criterion, aParts[i], exist[i], p.b.MBR, p.r.MBR)
 		}
-		return expandBounds(ivs, opts.KMax)
+		return expandBoundsScratch(sc, ivs, opts.KMax)
 	}
 
 	workers := opts.Parallelism
 	if workers <= 1 || len(pairs) < 2 {
-		ivs := make([]gf.Interval, c)
+		var ivs []gf.Interval
+		if sc != nil {
+			ivs = sc.intervals(c)
+		} else {
+			ivs = make([]gf.Interval, c)
+		}
 		for _, p := range pairs {
-			b, cd := process(p, ivs)
+			b, cd := process(sc, p, ivs)
 			w := p.b.Prob * p.r.Prob
 			addScaled(accB, b, w)
 			addScaled(accC, cd, w)
@@ -220,7 +236,9 @@ func iterate(n geom.Norm, opts Options, bParts, rParts []uncertain.Partition, aP
 				ivs := make([]gf.Interval, c)
 				for i := w; i < len(pairs); i += workers {
 					p := pairs[i]
-					b, cd := process(p, ivs)
+					// Workers never touch the caller's scratch; the arena
+					// is single-owner by contract.
+					b, cd := process(nil, p, ivs)
 					weight := p.b.Prob * p.r.Prob
 					addScaled(pb, b, weight)
 					addScaled(pc, cd, weight)
@@ -249,6 +267,9 @@ func iterate(n geom.Norm, opts Options, bParts, rParts []uncertain.Partition, aP
 	clampAll(accC)
 	return accB, accC, accW
 }
+
+// brPair is one (B', R') partition pair of a refinement level.
+type brPair struct{ b, r uncertain.Partition }
 
 func addScaled(dst, src []gf.Interval, w float64) {
 	for k := range dst {

@@ -155,56 +155,174 @@ func IntervalMaxDist(lo, hi, x float64) float64 {
 	return math.Max(math.Abs(x-lo), math.Abs(hi-x))
 }
 
+// The four distance kernels below are the hottest functions of the
+// whole query path (Nearby orderings, kNN preselection, shard routing).
+// Each accumulates its per-dimension separation terms directly instead
+// of materializing temporary corner points, so they are allocation-free;
+// the per-term operations mirror Norm.Dist exactly, keeping results
+// bit-identical to the corner-point formulation.
+
+// minSep returns the (non-negative) separation of r and s in dimension
+// i: zero when their extents overlap there.
+func (r Rect) minSep(s Rect, i int) float64 {
+	switch {
+	case s.Max[i] < r.Min[i]:
+		return r.Min[i] - s.Max[i]
+	case r.Max[i] < s.Min[i]:
+		return s.Min[i] - r.Max[i]
+	default:
+		return 0
+	}
+}
+
+// maxSep returns the largest possible separation of r and s in
+// dimension i (farthest-corner pair).
+func (r Rect) maxSep(s Rect, i int) float64 {
+	return math.Max(math.Abs(s.Max[i]-r.Min[i]), math.Abs(r.Max[i]-s.Min[i]))
+}
+
 // MinDist returns the minimal Lp distance between the rectangle and a
 // point: the distance to the closest possible location inside r.
 func (r Rect) MinDist(n Norm, p Point) float64 {
-	q := make(Point, len(p))
-	for i := range p {
-		q[i] = clamp(p[i], r.Min[i], r.Max[i])
+	if n.IsInf() {
+		max := 0.0
+		for i := range p {
+			if d := math.Abs(p[i] - clamp(p[i], r.Min[i], r.Max[i])); d > max {
+				max = d
+			}
+		}
+		return max
 	}
-	return n.Dist(p, q)
+	if n.P == 2 {
+		sum := 0.0
+		for i := range p {
+			d := p[i] - clamp(p[i], r.Min[i], r.Max[i])
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+	if n.P == 1 {
+		sum := 0.0
+		for i := range p {
+			sum += math.Abs(p[i] - clamp(p[i], r.Min[i], r.Max[i]))
+		}
+		return sum
+	}
+	sum := 0.0
+	for i := range p {
+		sum += math.Pow(math.Abs(p[i]-clamp(p[i], r.Min[i], r.Max[i])), n.P)
+	}
+	return math.Pow(sum, 1/n.P)
+}
+
+// farCorner returns the coordinate of the corner of r farthest from
+// p[i] in dimension i.
+func (r Rect) farCorner(p Point, i int) float64 {
+	if math.Abs(p[i]-r.Min[i]) > math.Abs(p[i]-r.Max[i]) {
+		return r.Min[i]
+	}
+	return r.Max[i]
 }
 
 // MaxDist returns the maximal Lp distance between the rectangle and a
 // point: the distance to the farthest corner of r.
 func (r Rect) MaxDist(n Norm, p Point) float64 {
-	q := make(Point, len(p))
-	for i := range p {
-		if math.Abs(p[i]-r.Min[i]) > math.Abs(p[i]-r.Max[i]) {
-			q[i] = r.Min[i]
-		} else {
-			q[i] = r.Max[i]
+	if n.IsInf() {
+		max := 0.0
+		for i := range p {
+			if d := math.Abs(p[i] - r.farCorner(p, i)); d > max {
+				max = d
+			}
 		}
+		return max
 	}
-	return n.Dist(p, q)
+	if n.P == 2 {
+		sum := 0.0
+		for i := range p {
+			d := p[i] - r.farCorner(p, i)
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+	if n.P == 1 {
+		sum := 0.0
+		for i := range p {
+			sum += math.Abs(p[i] - r.farCorner(p, i))
+		}
+		return sum
+	}
+	sum := 0.0
+	for i := range p {
+		sum += math.Pow(math.Abs(p[i]-r.farCorner(p, i)), n.P)
+	}
+	return math.Pow(sum, 1/n.P)
 }
 
 // MinDistRect returns the minimal Lp distance between two rectangles:
 // zero when they intersect.
 func (r Rect) MinDistRect(n Norm, s Rect) float64 {
-	d := make(Point, len(r.Min))
-	z := make(Point, len(r.Min))
-	for i := range r.Min {
-		switch {
-		case s.Max[i] < r.Min[i]:
-			d[i] = r.Min[i] - s.Max[i]
-		case r.Max[i] < s.Min[i]:
-			d[i] = s.Min[i] - r.Max[i]
-		default:
-			d[i] = 0
+	if n.IsInf() {
+		max := 0.0
+		for i := range r.Min {
+			if d := r.minSep(s, i); d > max {
+				max = d
+			}
 		}
+		return max
 	}
-	return n.Dist(d, z)
+	if n.P == 2 {
+		sum := 0.0
+		for i := range r.Min {
+			d := r.minSep(s, i)
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+	if n.P == 1 {
+		sum := 0.0
+		for i := range r.Min {
+			sum += r.minSep(s, i)
+		}
+		return sum
+	}
+	sum := 0.0
+	for i := range r.Min {
+		sum += math.Pow(r.minSep(s, i), n.P)
+	}
+	return math.Pow(sum, 1/n.P)
 }
 
 // MaxDistRect returns the maximal Lp distance between two rectangles.
 func (r Rect) MaxDistRect(n Norm, s Rect) float64 {
-	d := make(Point, len(r.Min))
-	z := make(Point, len(r.Min))
-	for i := range r.Min {
-		d[i] = math.Max(math.Abs(s.Max[i]-r.Min[i]), math.Abs(r.Max[i]-s.Min[i]))
+	if n.IsInf() {
+		max := 0.0
+		for i := range r.Min {
+			if d := r.maxSep(s, i); d > max {
+				max = d
+			}
+		}
+		return max
 	}
-	return n.Dist(d, z)
+	if n.P == 2 {
+		sum := 0.0
+		for i := range r.Min {
+			d := r.maxSep(s, i)
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+	if n.P == 1 {
+		sum := 0.0
+		for i := range r.Min {
+			sum += r.maxSep(s, i)
+		}
+		return sum
+	}
+	sum := 0.0
+	for i := range r.Min {
+		sum += math.Pow(r.maxSep(s, i), n.P)
+	}
+	return math.Pow(sum, 1/n.P)
 }
 
 func clamp(x, lo, hi float64) float64 {

@@ -59,6 +59,14 @@ type UGF struct {
 	// coefficient of x^i y^j. Row i exists for i <= degX(); row i has
 	// entries for j <= degY(i).
 	c [][]float64
+	// Multiply ping-pongs between two flat backing buffers (rows of c
+	// are sub-slices of buf[cur]), so a warmed-up UGF expands factors
+	// without allocating. Reset rewinds to the neutral element while
+	// keeping the buffers, which is what lets a query session reuse one
+	// UGF across every partition pair it expands.
+	rows [2][][]float64
+	buf  [2][]float64
+	cur  int
 }
 
 // NewUGF returns the neutral UGF F⁰ = 1 with no truncation.
@@ -73,6 +81,31 @@ func NewTruncatedUGF(kMax int) *UGF {
 		panic("gf: NewTruncatedUGF requires kMax > 0")
 	}
 	return &UGF{kMax: kMax, c: [][]float64{{1}}}
+}
+
+// Reset rewinds the UGF to the neutral element F⁰ = 1 with the given
+// truncation bound (kMax <= 0 disables truncation), retaining the
+// coefficient storage of previous expansions. A reset-and-reused UGF
+// produces bit-identical bounds to a freshly constructed one; after a
+// warm-up it multiplies factors without allocating.
+func (f *UGF) Reset(kMax int) {
+	if kMax < 0 {
+		kMax = 0
+	}
+	f.kMax = kMax
+	f.n = 0
+	w := 1 - f.cur
+	buf := f.buf[w]
+	if cap(buf) < 1 {
+		buf = make([]float64, 1)
+	}
+	buf = buf[:1]
+	buf[0] = 1
+	rows := f.rows[w][:0]
+	rows = append(rows, buf[0:1:1])
+	f.rows[w], f.buf[w] = rows, buf
+	f.c = rows
+	f.cur = w
 }
 
 // N returns the number of factors multiplied into the UGF so far.
@@ -109,10 +142,31 @@ func (f *UGF) Multiply(iv Interval) {
 
 	f.n++
 	nx := f.degX()
-	next := make([][]float64, nx+1)
+	total := 0
 	for i := 0; i <= nx; i++ {
-		next[i] = make([]float64, f.degY(i)+1)
+		total += f.degY(i) + 1
 	}
+	// Carve the next triangle out of the idle backing buffer; the old
+	// coefficients live in the other one, so reading while scattering is
+	// safe. The first few calls grow the buffers; afterwards Multiply is
+	// allocation-free.
+	w := 1 - f.cur
+	buf := f.buf[w]
+	if cap(buf) < total {
+		buf = make([]float64, total)
+	} else {
+		buf = buf[:total]
+		clear(buf)
+	}
+	rows := f.rows[w][:0]
+	off := 0
+	for i := 0; i <= nx; i++ {
+		l := f.degY(i) + 1
+		rows = append(rows, buf[off:off+l:off+l])
+		off += l
+	}
+	f.rows[w], f.buf[w] = rows, buf
+	next := rows
 	// Scatter every old coefficient into the three destination cells,
 	// clamping indexes into the truncated state space.
 	for i, row := range f.c {
@@ -132,6 +186,7 @@ func (f *UGF) Multiply(iv Interval) {
 		}
 	}
 	f.c = next
+	f.cur = w
 }
 
 // add accumulates mass into cell (i, j) of dst, applying the Section VI

@@ -47,6 +47,9 @@ func (e *Engine) queryCache() *core.DecompCache {
 	if e.Opts.SharedDecomps != nil {
 		return e.Opts.SharedDecomps.Overlay()
 	}
+	if e.defaultCache != nil {
+		return e.defaultCache.Overlay()
+	}
 	return core.NewDecompCache(e.Opts.MaxHeight)
 }
 
@@ -62,6 +65,10 @@ func (e *Engine) runOpts() core.Options {
 	opts.SharedTarget = nil
 	opts.SharedReference = nil
 	opts.SharedDecomps = nil
+	// A scratch arena is single-owner; concurrent candidate runs must
+	// never share one installed at engine level. run/newSession attach a
+	// per-run (pooled) or per-session arena instead.
+	opts.Scratch = nil
 	return opts
 }
 

@@ -39,7 +39,9 @@ import (
 func knnPruneThreshold(index *rtree.Tree[*uncertain.Object], q *uncertain.Object, k int, n geom.Norm) float64 {
 	thresh := math.Inf(1)
 	need := k + 1
-	index.Nearby(
+	buf := nearbyPool.Get().(*rtree.NearbyBuf)
+	defer nearbyPool.Put(buf)
+	index.NearbyWith(buf,
 		func(mbr geom.Rect, _ *uncertain.Object, leaf bool) float64 {
 			if leaf {
 				return mbr.MaxDistRect(n, q.MBR)

@@ -55,12 +55,35 @@ type Engine struct {
 	// oblivious to it, which is what keeps sharded results bit-identical
 	// to the monolithic path.
 	plane *shardPlane
+
+	// defaultCache is the persistent decomposition cache NewEngine
+	// installs when Options.SharedDecomps is unset (see NewEngine). Kept
+	// out of Opts so callers that clone an engine's Opts into another
+	// component (a Store manages its own cache and rejects a preset one)
+	// see exactly what they configured.
+	defaultCache *core.DecompCache
 }
 
 // NewEngine builds an engine and its R-tree index over db (an STR bulk
 // load — O(n log n) with better-clustered nodes than repeated inserts).
+//
+// Unless Options.SharedDecomps is already set, the engine gets a
+// persistent decomposition cache with every database object pinned —
+// the same cross-query kd-split reuse Store engines have had all along.
+// Pins are lazy (one map entry per object until a query first touches
+// it) and decompositions are deterministic, so results are bit-identical
+// to an uncached engine; only the repeated splitting work disappears.
+// Callers that mutate DB afterwards should construct the Engine struct
+// directly or manage their own cache.
 func NewEngine(db uncertain.Database, opts core.Options) *Engine {
-	return &Engine{DB: db, Index: bulkIndex(db), Opts: opts}
+	e := &Engine{DB: db, Index: bulkIndex(db), Opts: opts}
+	if opts.SharedDecomps == nil {
+		e.defaultCache = core.NewDecompCache(opts.MaxHeight)
+		for _, o := range db {
+			e.defaultCache.Add(o)
+		}
+	}
+	return e
 }
 
 // bulkIndex STR-bulk-loads an R-tree over the objects' MBRs.
@@ -96,6 +119,15 @@ type Match struct {
 // state (canonical influence ordering); they differ only in how the
 // filter step traverses the data.
 func (e *Engine) run(target, reference *uncertain.Object, opts core.Options) *core.Result {
+	if opts.Scratch == nil {
+		// Check a pooled arena out for the duration of the run. The run
+		// completes before return and a Result never retains
+		// arena-backed slices, so the scratch is quiescent when it goes
+		// back to the pool.
+		sc := scratchPool.Get().(*core.Scratch)
+		opts.Scratch = sc
+		defer scratchPool.Put(sc)
+	}
 	if e.plane != nil {
 		return e.plane.run(target, reference, opts)
 	}
@@ -108,6 +140,13 @@ func (e *Engine) run(target, reference *uncertain.Object, opts core.Options) *co
 // newSession prepares an incremental IDCA run through the same dispatch
 // as run — the session-based queries (TopKNN) go through here.
 func (e *Engine) newSession(target, reference *uncertain.Object, opts core.Options) *core.Session {
+	if opts.Scratch == nil {
+		// A session outlives this call and is stepped at the caller's
+		// pace (possibly interleaved with other live sessions), so it
+		// gets a private arena rather than a pooled one: reused across
+		// its own Steps, garbage-collected with the session.
+		opts.Scratch = core.NewScratch()
+	}
 	if e.plane != nil {
 		return e.plane.newSession(target, reference, opts)
 	}

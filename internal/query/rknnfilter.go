@@ -62,7 +62,9 @@ func (e *Engine) rknnPrunable(q, b *uncertain.Object, k int, n geom.Norm) bool {
 // each shard asked only for the residual it could still contribute.
 func rknnCertainDominators(index *rtree.Tree[*uncertain.Object], q, b *uncertain.Object, need int, lim float64, n geom.Norm) int {
 	count := 0
-	index.Nearby(
+	buf := nearbyPool.Get().(*rtree.NearbyBuf)
+	defer nearbyPool.Put(buf)
+	index.NearbyWith(buf,
 		func(mbr geom.Rect, _ *uncertain.Object, leaf bool) float64 {
 			if leaf {
 				return mbr.MaxDistRect(n, b.MBR)

@@ -8,6 +8,7 @@ import (
 
 	"probprune/internal/core"
 	"probprune/internal/geom"
+	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
 	"probprune/internal/wal"
 )
@@ -739,6 +740,8 @@ func (p *shardPlane) knnThreshold(q *uncertain.Object, k int, n geom.Norm) float
 		order = append(order, shardDist{sh, root.MinDistRect(n, q.MBR)})
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].min < order[j].min })
+	buf := nearbyPool.Get().(*rtree.NearbyBuf)
+	defer nearbyPool.Put(buf)
 	for _, sd := range order {
 		if h.Len() == h.bound && sd.min >= h.threshold() {
 			// Every object in this (and every later) shard has
@@ -746,7 +749,7 @@ func (p *shardPlane) knnThreshold(q *uncertain.Object, k int, n geom.Norm) float
 			// can displace a heap member.
 			break
 		}
-		sd.sh.index.Nearby(
+		sd.sh.index.NearbyWith(buf,
 			func(mbr geom.Rect, _ *uncertain.Object, leaf bool) float64 {
 				if leaf {
 					return mbr.MaxDistRect(n, q.MBR)

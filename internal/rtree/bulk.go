@@ -25,67 +25,133 @@ type BulkItem[T comparable] struct {
 // result satisfies the same invariants as an incrementally built tree
 // (every non-root node holds between minEntries and maxEntries entries)
 // and supports all mutations. Items are not retained; rectangles are
-// cloned like Insert does.
+// copied into the tree's packed storage.
 func Bulk[T comparable](items []BulkItem[T]) *Tree[T] {
+	t := New[T]()
 	if len(items) == 0 {
-		return New[T]()
+		return t
 	}
-	entries := make([]entry[T], len(items))
-	for i, it := range items {
-		entries[i] = entry[T]{rect: it.Rect.Clone(), value: it.Value}
-	}
-	level := packLevel(entries, true)
-	for len(level) > 1 {
-		up := make([]entry[T], len(level))
-		for i, n := range level {
-			up[i] = entry[T]{rect: nodeRect(n), child: n}
-		}
-		level = packLevel(up, false)
-	}
-	return &Tree[T]{root: level[0], size: len(items)}
-}
+	t.dim = items[0].Rect.Dim()
 
-// packLevel tiles entries into spatial order and packs them into nodes
-// of the given kind. It returns the nodes of the new level (one node
-// when len(entries) <= maxEntries).
-func packLevel[T comparable](entries []entry[T], leaf bool) []*node[T] {
-	dim := entries[0].rect.Dim()
-	tile(entries, 0, dim)
-	groups := splitEven(len(entries), maxEntries)
-	nodes := make([]*node[T], 0, len(groups))
+	// Leaf level: tile a permutation of the items and pack them into
+	// leaves. Sorting int32 indices instead of the items themselves keeps
+	// the stable sort's swaps pointer-free (no write barriers on
+	// BulkItem's rectangle slices and value), which dominates bulk-load
+	// time for pointer-valued trees; items are read through the
+	// permutation when packing.
+	ord := make([]int32, len(items))
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	keys := make([]float64, len(items))
+	tileBy(ord, keys, 0, t.dim, func(i int32, d int) float64 {
+		return rectCenter(items[i].Rect, d)
+	})
+	groups := splitEven(len(items), maxEntries)
+	level := make([]int32, 0, len(groups))
 	off := 0
 	for _, g := range groups {
-		n := &node[T]{leaf: leaf, entries: entries[off : off+g : off+g]}
-		n.count = groupCount(leaf, n.entries)
-		nodes = append(nodes, n)
+		ni := t.newNode(true)
+		base := int(ni) * slotCap
+		for k := 0; k < g; k++ {
+			it := &items[ord[off+k]]
+			t.setRect(ni, k, it.Rect)
+			t.vals[base+k] = it.Value
+		}
+		t.meta[ni].n = int16(g)
+		t.meta[ni].count = int32(g)
+		level = append(level, ni)
 		off += g
 	}
-	return nodes
+
+	// Upper levels: tile the nodes by their tight MBRs and pack.
+	type upEntry struct {
+		rect geom.Rect
+		ni   int32
+	}
+	for len(level) > 1 {
+		ups := make([]upEntry, len(level))
+		for i, ni := range level {
+			ups[i] = upEntry{rect: t.nodeRectAlloc(ni), ni: ni}
+		}
+		ord = ord[:len(ups)]
+		for i := range ord {
+			ord[i] = int32(i)
+		}
+		tileBy(ord, keys[:len(ups)], 0, t.dim, func(i int32, d int) float64 {
+			return rectCenter(ups[i].rect, d)
+		})
+		groups := splitEven(len(ups), maxEntries)
+		level = level[:0]
+		off := 0
+		for _, g := range groups {
+			ni := t.newNode(false)
+			base := int(ni) * slotCap
+			count := int32(0)
+			for k := 0; k < g; k++ {
+				u := ups[ord[off+k]]
+				t.setRect(ni, k, u.rect)
+				t.child[base+k] = u.ni
+				count += t.meta[u.ni].count
+			}
+			t.meta[ni].n = int16(g)
+			t.meta[ni].count = count
+			level = append(level, ni)
+			off += g
+		}
+	}
+	t.root = level[0]
+	t.size = len(items)
+	t.refreshRootMBR()
+	return t
 }
 
-// tile recursively orders entries into STR tiles: sort by the center
-// coordinate of the current dimension, slice into slabs sized for an
-// even spread of the remaining pages, and recurse on the next
-// dimension within each slab.
-func tile[T comparable](entries []entry[T], dim, dims int) {
-	sort.SliceStable(entries, func(i, j int) bool {
-		return rectCenter(entries[i].rect, dim) < rectCenter(entries[j].rect, dim)
-	})
-	if dim >= dims-1 || len(entries) <= maxEntries {
+// keyedSorter stable-sorts an index permutation by a precomputed
+// parallel key array. Sorting through a concrete sort.Interface keeps
+// comparisons and swaps compiled (no reflect-based swapper, no
+// per-comparison closure dispatch), and swapping (int32, float64) pairs
+// is write-barrier free; a stable sort's output is uniquely determined
+// by the keys and the initial order, so the resulting permutation is
+// identical to stably sorting the items themselves on the same keys.
+type keyedSorter struct {
+	keys []float64
+	ord  []int32
+}
+
+func (k keyedSorter) Len() int           { return len(k.ord) }
+func (k keyedSorter) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
+func (k keyedSorter) Swap(i, j int) {
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
+	k.ord[i], k.ord[j] = k.ord[j], k.ord[i]
+}
+
+// tileBy recursively orders the permutation ord into STR tiles: sort by
+// the center coordinate of the current dimension, slice into slabs
+// sized for an even spread of the remaining pages, and recurse on the
+// next dimension within each slab. keys is scratch of len(ord) for the
+// sort keys — computed once per pass (n calls to center instead of
+// n log n from inside a comparison); center maps an original item index
+// to its center coordinate.
+func tileBy(ord []int32, keys []float64, dim, dims int, center func(i int32, d int) float64) {
+	for i, oi := range ord {
+		keys[i] = center(oi, dim)
+	}
+	sort.Stable(keyedSorter{keys: keys, ord: ord})
+	if dim >= dims-1 || len(ord) <= maxEntries {
 		return
 	}
-	pages := (len(entries) + maxEntries - 1) / maxEntries
+	pages := (len(ord) + maxEntries - 1) / maxEntries
 	slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dims-dim))))
 	if slabs < 1 {
 		slabs = 1
 	}
-	slabSize := (len(entries) + slabs - 1) / slabs
-	for off := 0; off < len(entries); off += slabSize {
+	slabSize := (len(ord) + slabs - 1) / slabs
+	for off := 0; off < len(ord); off += slabSize {
 		end := off + slabSize
-		if end > len(entries) {
-			end = len(entries)
+		if end > len(ord) {
+			end = len(ord)
 		}
-		tile(entries[off:end], dim+1, dims)
+		tileBy(ord[off:end], keys[off:end], dim+1, dims, center)
 	}
 }
 
@@ -111,22 +177,21 @@ func splitEven(n, max int) []int {
 	return out
 }
 
-// Clone returns a structurally independent copy of the tree: nodes and
-// entry slices are copied, so mutations on either tree never affect the
-// other. Rectangle and value data are shared — the tree never mutates a
-// stored rectangle in place (Insert clones its input, recomputed MBRs
-// are fresh allocations), so sharing is safe. Cost is O(n).
+// Clone returns a structurally independent copy of the tree: the packed
+// arrays are copied wholesale (a handful of memcpys — no pointer
+// chasing, no per-node allocation), so mutations on either tree never
+// affect the other. This is what makes the store's copy-on-write
+// snapshot detach cheap.
 func (t *Tree[T]) Clone() *Tree[T] {
-	return &Tree[T]{root: cloneNode(t.root), size: t.size}
-}
-
-func cloneNode[T comparable](n *node[T]) *node[T] {
-	c := &node[T]{leaf: n.leaf, count: n.count, entries: make([]entry[T], len(n.entries))}
-	copy(c.entries, n.entries)
-	if !n.leaf {
-		for i := range c.entries {
-			c.entries[i].child = cloneNode(c.entries[i].child)
-		}
+	return &Tree[T]{
+		dim:     t.dim,
+		size:    t.size,
+		root:    t.root,
+		meta:    append([]nodeMeta(nil), t.meta...),
+		coords:  append([]float64(nil), t.coords...),
+		child:   append([]int32(nil), t.child...),
+		vals:    append([]T(nil), t.vals...),
+		free:    append([]int32(nil), t.free...),
+		rootMBR: append([]float64(nil), t.rootMBR...),
 	}
-	return c
 }

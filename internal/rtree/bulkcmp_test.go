@@ -1,0 +1,40 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Comparative benchmarks: the flat-node STR bulk load against the
+// preserved pointer-based reference implementation. The flat build
+// must not lose ground to the layout it replaced.
+
+func bulkItems(n int) []BulkItem[int] {
+	rng := rand.New(rand.NewSource(3))
+	items := make([]BulkItem[int], n)
+	for i := range items {
+		items[i] = BulkItem[int]{Rect: randRect(rng, 2), Value: i}
+	}
+	return items
+}
+
+var (
+	bulkFlatSink *Tree[int]
+	bulkRefSink  *refTree[int]
+)
+
+func BenchmarkBulkFlat(b *testing.B) {
+	items := bulkItems(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bulkFlatSink = Bulk(items)
+	}
+}
+
+func BenchmarkBulkRef(b *testing.B) {
+	items := bulkItems(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bulkRefSink = refBulk(items)
+	}
+}

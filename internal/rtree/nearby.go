@@ -1,8 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
-
 	"probprune/internal/geom"
 )
 
@@ -33,34 +31,67 @@ func MinDist[T comparable](n geom.Norm, query geom.Rect) DistFunc[T] {
 	}
 }
 
-// nearbyItem is one priority-queue entry: either a pending subtree or a
-// stored value.
-type nearbyItem[T comparable] struct {
-	dist  float64
-	seq   int // insertion sequence; breaks ties deterministically
-	node  *node[T]
-	rect  geom.Rect
-	value T
+// nearbyItem is one priority-queue entry: a pending subtree (node >= 0)
+// or a stored value (node < 0, addressed by its leaf slot). Items are
+// plain values — the queue is a flat slice, not a heap of boxed
+// pointers — and carry no T, so one buffer type serves every tree
+// instantiation.
+type nearbyItem struct {
+	dist float64
+	seq  int32 // insertion sequence; breaks ties deterministically
+	node int32
+	vn   int32 // value's leaf node (value items)
+	ei   int32 // value's entry slot (value items)
 }
 
-type nearbyQueue[T comparable] []*nearbyItem[T]
+// NearbyBuf is reusable Nearby traversal state. A zero NearbyBuf is
+// ready to use; passing the same buffer to successive NearbyWith calls
+// (from one goroutine at a time) reuses the queue's backing array, so
+// warm traversals allocate nothing. Buffers are tree-independent and
+// safe to pool globally.
+type NearbyBuf struct {
+	items []nearbyItem
+}
 
-func (q nearbyQueue[T]) Len() int { return len(q) }
-func (q nearbyQueue[T]) Less(i, j int) bool {
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
+func nbLess(a, b nearbyItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q nearbyQueue[T]) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *nearbyQueue[T]) Push(x any)   { *q = append(*q, x.(*nearbyItem[T])) }
-func (q *nearbyQueue[T]) Pop() any {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return x
+
+func nbPush(h []nearbyItem, it nearbyItem) []nearbyItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nbLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+func nbSiftDown(h []nearbyItem) {
+	i := 0
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && nbLess(h[r], h[l]) {
+			m = r
+		}
+		if !nbLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Nearby visits stored values in ascending dist order, calling iter with
@@ -70,32 +101,45 @@ func (q *nearbyQueue[T]) Pop() any {
 // frontier actually consumed, so early-terminating callers leave most
 // of the tree untouched.
 func (t *Tree[T]) Nearby(dist DistFunc[T], iter func(rect geom.Rect, value T, d float64) bool) {
+	var buf NearbyBuf
+	t.NearbyWith(&buf, dist, iter)
+}
+
+// NearbyWith is Nearby with caller-supplied traversal state; see
+// NearbyBuf. The visit order is identical to Nearby's: the queue pops
+// in (dist, seq) order, which is total, so the heap layout cannot
+// influence it.
+func (t *Tree[T]) NearbyWith(buf *NearbyBuf, dist DistFunc[T], iter func(rect geom.Rect, value T, d float64) bool) {
 	if t.size == 0 {
 		return
 	}
 	var zero T
-	seq := 0
-	q := make(nearbyQueue[T], 0, maxEntries)
-	push := func(it *nearbyItem[T]) {
-		it.seq = seq
-		seq++
-		heap.Push(&q, it)
-	}
-	push(&nearbyItem[T]{dist: dist(nodeRect(t.root), zero, false), node: t.root})
-	for len(q) > 0 {
-		it := heap.Pop(&q).(*nearbyItem[T])
-		if it.node == nil {
-			if !iter(it.rect, it.value, it.dist) {
+	h := buf.items[:0]
+	defer func() { buf.items = h[:0] }()
+	seq := int32(1)
+	h = nbPush(h, nearbyItem{dist: dist(t.rootRect(), zero, false), node: t.root})
+	for len(h) > 0 {
+		it := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		nbSiftDown(h)
+		if it.node < 0 {
+			if !iter(t.rectAt(it.vn, int(it.ei)), t.valAt(it.vn, int(it.ei)), it.dist) {
 				return
 			}
 			continue
 		}
-		for _, e := range it.node.entries {
-			if it.node.leaf {
-				push(&nearbyItem[T]{dist: dist(e.rect, e.value, true), rect: e.rect, value: e.value})
+		ni := it.node
+		leaf := t.meta[ni].leaf
+		for i := 0; i < int(t.meta[ni].n); i++ {
+			r := t.rectAt(ni, i)
+			if leaf {
+				h = nbPush(h, nearbyItem{dist: dist(r, t.valAt(ni, i), true), seq: seq, node: -1, vn: ni, ei: int32(i)})
 			} else {
-				push(&nearbyItem[T]{dist: dist(e.rect, zero, false), node: e.child})
+				h = nbPush(h, nearbyItem{dist: dist(r, zero, false), seq: seq, node: t.childAt(ni, i)})
 			}
+			seq++
 		}
 	}
 }

@@ -1,0 +1,617 @@
+// This file keeps the original pointer-based R-tree as a reference
+// implementation for the equivalence fuzzer: the flat-node tree must
+// reproduce its structure and traversal orders bit-for-bit for any
+// insert/delete/bulk trace. It is a rename of the pre-flat rtree.go,
+// nearby.go and bulk.go with no behavioral edits.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"probprune/internal/geom"
+)
+
+// refTree is an R-tree mapping rectangles to values of type T — the
+// original pointer-based layout.
+type refTree[T comparable] struct {
+	root *refNode[T]
+	size int
+}
+
+type refTreeEntry[T comparable] struct {
+	rect  geom.Rect
+	child *refNode[T] // non-nil for internal entries
+	value T           // set for leaf entries
+}
+
+type refNode[T comparable] struct {
+	leaf    bool
+	entries []refTreeEntry[T]
+	count   int // number of values stored in this subtree
+}
+
+// New returns an empty tree.
+func newRefTree[T comparable]() *refTree[T] {
+	return &refTree[T]{root: &refNode[T]{leaf: true}}
+}
+
+// Len returns the number of stored values.
+func (t *refTree[T]) Len() int { return t.size }
+
+// Bounds returns the minimum bounding rectangle of every stored value
+// and whether the tree is non-empty. A scatter-gather router uses it to
+// rule whole shards out of a probe with one distance test instead of a
+// traversal.
+func (t *refTree[T]) Bounds() (geom.Rect, bool) {
+	if t.size == 0 {
+		return geom.Rect{}, false
+	}
+	return refNodeRect(t.root), true
+}
+
+// Insert adds value under the given bounding rectangle. Duplicate
+// rectangles and values are allowed.
+func (t *refTree[T]) Insert(rect geom.Rect, value T) {
+	t.insertEntry(refTreeEntry[T]{rect: rect.Clone(), value: value})
+	t.size++
+}
+
+// insertEntry places a leaf entry without touching t.size — the shared
+// path of Insert and orphan reinsertion, which moves values that are
+// still accounted for.
+func (t *refTree[T]) insertEntry(e refTreeEntry[T]) {
+	split := t.insert(t.root, e)
+	if split != nil {
+		// Root split: grow the tree by one level.
+		old := t.root
+		t.root = &refNode[T]{
+			leaf: false,
+			entries: []refTreeEntry[T]{
+				{rect: refNodeRect(old), child: old},
+				{rect: refNodeRect(split), child: split},
+			},
+			count: old.count + split.count,
+		}
+	}
+}
+
+// insert places e into the subtree under n, returning a new sibling if
+// n had to split.
+func (t *refTree[T]) insert(n *refNode[T], e refTreeEntry[T]) *refNode[T] {
+	n.count++
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > maxEntries {
+			return t.split(n)
+		}
+		return nil
+	}
+	best := refChooseSubtree(n, e.rect)
+	child := n.entries[best].child
+	split := t.insert(child, e)
+	if split != nil {
+		// The child's entries were redistributed: recompute its MBR
+		// tightly instead of unioning in the new rectangle.
+		n.entries[best].rect = refNodeRect(child)
+		n.entries = append(n.entries, refTreeEntry[T]{rect: refNodeRect(split), child: split})
+		if len(n.entries) > maxEntries {
+			return t.split(n)
+		}
+	} else {
+		n.entries[best].rect = n.entries[best].rect.Union(e.rect)
+	}
+	return nil
+}
+
+// chooseSubtree picks the child whose MBR needs the least enlargement
+// to cover r, breaking ties by smaller area (Guttman's ChooseLeaf).
+func refChooseSubtree[T comparable](n *refNode[T], r geom.Rect) int {
+	best := 0
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for i, e := range n.entries {
+		area := e.rect.Area()
+		enl := e.rect.Union(r).Area() - area
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// split performs Guttman's quadratic split on an overflowing node,
+// keeping one group in n and returning the other as a new node.
+func (t *refTree[T]) split(n *refNode[T]) *refNode[T] {
+	entries := n.entries
+	// Pick the two seeds wasting the most area if grouped together.
+	s1, s2 := refPickSeeds(entries)
+	g1 := []refTreeEntry[T]{entries[s1]}
+	g2 := []refTreeEntry[T]{entries[s2]}
+	r1, r2 := entries[s1].rect, entries[s2].rect
+	rest := make([]refTreeEntry[T], 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must take all remaining entries to reach the
+		// minimum, assign them wholesale.
+		if len(g1)+len(rest) <= minEntries {
+			g1 = append(g1, rest...)
+			for _, e := range rest {
+				r1 = r1.Union(e.rect)
+			}
+			break
+		}
+		if len(g2)+len(rest) <= minEntries {
+			g2 = append(g2, rest...)
+			for _, e := range rest {
+				r2 = r2.Union(e.rect)
+			}
+			break
+		}
+		// PickNext: the entry with the strongest preference.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			d1 := r1.Union(e.rect).Area() - r1.Area()
+			d2 := r2.Union(e.rect).Area() - r2.Area()
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		d1 := r1.Union(e.rect).Area() - r1.Area()
+		d2 := r2.Union(e.rect).Area() - r2.Area()
+		if d1 < d2 || (d1 == d2 && len(g1) <= len(g2)) {
+			g1 = append(g1, e)
+			r1 = r1.Union(e.rect)
+		} else {
+			g2 = append(g2, e)
+			r2 = r2.Union(e.rect)
+		}
+	}
+	n.entries = g1
+	n.count = refGroupCount(n.leaf, g1)
+	sib := &refNode[T]{leaf: n.leaf, entries: g2, count: refGroupCount(n.leaf, g2)}
+	return sib
+}
+
+func refGroupCount[T comparable](leaf bool, g []refTreeEntry[T]) int {
+	if leaf {
+		return len(g)
+	}
+	c := 0
+	for _, e := range g {
+		c += e.child.count
+	}
+	return c
+}
+
+func refPickSeeds[T comparable](entries []refTreeEntry[T]) (int, int) {
+	s1, s2, worst := 0, 1, -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			u := entries[i].rect.Union(entries[j].rect).Area()
+			waste := u - entries[i].rect.Area() - entries[j].rect.Area()
+			if waste > worst {
+				s1, s2, worst = i, j, waste
+			}
+		}
+	}
+	return s1, s2
+}
+
+func refNodeRect[T comparable](n *refNode[T]) geom.Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// SearchIntersect calls fn for every stored value whose rectangle
+// intersects query. Traversal stops early if fn returns false.
+func (t *refTree[T]) SearchIntersect(query geom.Rect, fn func(rect geom.Rect, value T) bool) {
+	t.searchIntersect(t.root, query, fn)
+}
+
+func (t *refTree[T]) searchIntersect(n *refNode[T], query geom.Rect, fn func(geom.Rect, T) bool) bool {
+	for _, e := range n.entries {
+		if !e.rect.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.rect, e.value) {
+				return false
+			}
+		} else if !t.searchIntersect(e.child, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk traverses the tree top-down. For every node (including leaf
+// nodes), node is called with the node's MBR and the number of values
+// beneath it, and its verdict controls descent. leaf is called for
+// every value that is reached (via Descend into a leaf node, or via
+// TakeSubtree). Either callback may be nil.
+//
+// This is the primitive the bulk complete-domination filter builds on:
+// a node whose MBR is dominated by the target w.r.t. the reference is
+// SkipSubtree'd (the count argument discards the subtree wholesale); a
+// node whose MBR dominates the target is TakeSubtree'd so each object
+// inherits the verdict but still gets its per-object existence check —
+// counting dominators wholesale is unsound for existentially uncertain
+// objects; everything else descends.
+func (t *refTree[T]) Walk(node func(mbr geom.Rect, count int) WalkAction, leaf func(rect geom.Rect, value T)) {
+	if t.size == 0 {
+		return
+	}
+	t.walk(t.root, refNodeRect(t.root), node, leaf)
+}
+
+func (t *refTree[T]) walk(n *refNode[T], mbr geom.Rect, nodeFn func(geom.Rect, int) WalkAction, leafFn func(geom.Rect, T)) {
+	action := Descend
+	if nodeFn != nil {
+		action = nodeFn(mbr, n.count)
+	}
+	switch action {
+	case SkipSubtree:
+		return
+	case TakeSubtree:
+		t.emitAll(n, leafFn)
+	default:
+		for _, e := range n.entries {
+			if n.leaf {
+				if leafFn != nil {
+					leafFn(e.rect, e.value)
+				}
+			} else {
+				t.walk(e.child, e.rect, nodeFn, leafFn)
+			}
+		}
+	}
+}
+
+func (t *refTree[T]) emitAll(n *refNode[T], leafFn func(geom.Rect, T)) {
+	if leafFn == nil {
+		return
+	}
+	for _, e := range n.entries {
+		if n.leaf {
+			leafFn(e.rect, e.value)
+		} else {
+			t.emitAll(e.child, leafFn)
+		}
+	}
+}
+
+// Delete removes one entry with the given rectangle and value, and
+// reports whether an entry was found. Underflowing nodes are condensed
+// and their remaining entries reinserted (Guttman's CondenseTree).
+func (t *refTree[T]) Delete(rect geom.Rect, value T) bool {
+	var orphans []refTreeEntry[T]
+	found, _ := t.delete(t.root, rect, value, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	// Collapse a root with a single internal child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &refNode[T]{leaf: true}
+	}
+	for _, e := range orphans {
+		if e.child != nil {
+			t.reinsertSubtree(e.child)
+		} else {
+			// Orphaned values never left t.size — move the entry without
+			// re-counting it (and without re-cloning its rectangle).
+			t.insertEntry(e)
+		}
+	}
+	return true
+}
+
+func (t *refTree[T]) reinsertSubtree(n *refNode[T]) {
+	if n.leaf {
+		for _, e := range n.entries {
+			t.insertEntry(e)
+		}
+		return
+	}
+	for _, e := range n.entries {
+		t.reinsertSubtree(e.child)
+	}
+}
+
+// delete removes the matching value from the subtree under n. It
+// returns whether the value was found and how many values left the
+// subtree (the deleted one plus any orphaned by condensing, which the
+// caller reinserts from the top).
+func (t *refTree[T]) delete(n *refNode[T], rect geom.Rect, value T, orphans *[]refTreeEntry[T]) (bool, int) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.value == value && e.rect.Equal(rect) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				n.count--
+				return true, 1
+			}
+		}
+		return false, 0
+	}
+	for i, e := range n.entries {
+		if !e.rect.ContainsRect(rect) {
+			continue
+		}
+		found, removed := t.delete(e.child, rect, value, orphans)
+		if !found {
+			continue
+		}
+		if len(e.child.entries) < minEntries {
+			// Condense: orphan the underflowing child's remaining
+			// entries; their values also leave this subtree until the
+			// top-level reinsertion puts them back.
+			removed += e.child.count
+			*orphans = append(*orphans, e.child.entries...)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			n.entries[i].rect = refNodeRect(e.child)
+		}
+		n.count -= removed
+		return true, removed
+	}
+	return false, 0
+}
+
+// All calls fn for every stored (rect, value) pair.
+func (t *refTree[T]) All(fn func(rect geom.Rect, value T)) {
+	t.emitAll(t.root, fn)
+}
+
+// CheckInvariants validates structural invariants (entry counts, MBR
+// containment, subtree counts); it is exported for tests.
+func (t *refTree[T]) CheckInvariants() error {
+	n, err := t.check(t.root, true)
+	if err != nil {
+		return err
+	}
+	if n != t.size {
+		return fmt.Errorf("rtree: size %d but %d reachable values", t.size, n)
+	}
+	return nil
+}
+
+func (t *refTree[T]) check(n *refNode[T], isRoot bool) (int, error) {
+	if !isRoot && (len(n.entries) < minEntries || len(n.entries) > maxEntries) {
+		return 0, fmt.Errorf("rtree: node with %d entries outside [%d, %d]", len(n.entries), minEntries, maxEntries)
+	}
+	if n.leaf {
+		if n.count != len(n.entries) {
+			return 0, fmt.Errorf("rtree: leaf count %d != %d entries", n.count, len(n.entries))
+		}
+		return len(n.entries), nil
+	}
+	total := 0
+	for _, e := range n.entries {
+		sub := refNodeRect(e.child)
+		if !e.rect.ContainsRect(sub) {
+			return 0, fmt.Errorf("rtree: entry MBR %v does not contain child MBR %v", e.rect, sub)
+		}
+		c, err := t.check(e.child, false)
+		if err != nil {
+			return 0, err
+		}
+		if c != e.child.count {
+			return 0, fmt.Errorf("rtree: child count %d != %d reachable", e.child.count, c)
+		}
+		total += c
+	}
+	if n.count != total {
+		return 0, fmt.Errorf("rtree: node count %d != %d reachable", n.count, total)
+	}
+	return total, nil
+}
+
+// This file adds best-first incremental traversal to the R-tree: values
+// are visited in ascending order of a caller-supplied distance, pulled
+// from a priority queue of subtrees and values keyed by that distance
+// (the classic kNN traversal of Hjaltason & Samet, as popularized by
+// tidwall's rtree implementations). The iterator is incremental — the
+// caller stops as soon as it has seen enough, and only the visited
+// frontier of the tree is ever touched — which is what lets the query
+// layer derive kNN prune thresholds and reverse-kNN preselection
+// verdicts without full scans.
+
+// refNearbyItem is one priority-queue entry: either a pending subtree
+// or a stored value.
+type refNearbyItem[T comparable] struct {
+	dist  float64
+	seq   int // insertion sequence; breaks ties deterministically
+	node  *refNode[T]
+	rect  geom.Rect
+	value T
+}
+
+type refNearbyQueue[T comparable] []*refNearbyItem[T]
+
+func (q refNearbyQueue[T]) Len() int { return len(q) }
+func (q refNearbyQueue[T]) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refNearbyQueue[T]) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refNearbyQueue[T]) Push(x any)   { *q = append(*q, x.(*refNearbyItem[T])) }
+func (q *refNearbyQueue[T]) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return x
+}
+
+// Nearby visits stored values in ascending dist order, calling iter with
+// each value and its distance until iter returns false or the tree is
+// exhausted. The visit order is deterministic: exact distance ties are
+// broken by discovery order. Traversal work is proportional to the
+// frontier actually consumed, so early-terminating callers leave most
+// of the tree untouched.
+func (t *refTree[T]) Nearby(dist DistFunc[T], iter func(rect geom.Rect, value T, d float64) bool) {
+	if t.size == 0 {
+		return
+	}
+	var zero T
+	seq := 0
+	q := make(refNearbyQueue[T], 0, maxEntries)
+	push := func(it *refNearbyItem[T]) {
+		it.seq = seq
+		seq++
+		heap.Push(&q, it)
+	}
+	push(&refNearbyItem[T]{dist: dist(refNodeRect(t.root), zero, false), node: t.root})
+	for len(q) > 0 {
+		it := heap.Pop(&q).(*refNearbyItem[T])
+		if it.node == nil {
+			if !iter(it.rect, it.value, it.dist) {
+				return
+			}
+			continue
+		}
+		for _, e := range it.node.entries {
+			if it.node.leaf {
+				push(&refNearbyItem[T]{dist: dist(e.rect, e.value, true), rect: e.rect, value: e.value})
+			} else {
+				push(&refNearbyItem[T]{dist: dist(e.rect, zero, false), node: e.child})
+			}
+		}
+	}
+}
+
+// This file implements Sort-Tile-Recursive (STR) bulk loading
+// (Leutenegger et al., ICDE'97) and structural cloning. Bulk builds a
+// packed tree in O(n log n) — one multi-key sort plus a linear packing
+// pass per level — where n repeated Inserts cost O(n log n) tree
+// descents WITH the quadratic split on every overflow. The packed tree
+// is also better clustered: tiles are spatially coherent, so the
+// domination filter prunes more subtrees at node granularity.
+
+// refBulk builds a tree over items with the STR packing algorithm,
+// mirroring Bulk.
+func refBulk[T comparable](items []BulkItem[T]) *refTree[T] {
+	if len(items) == 0 {
+		return newRefTree[T]()
+	}
+	entries := make([]refTreeEntry[T], len(items))
+	for i, it := range items {
+		entries[i] = refTreeEntry[T]{rect: it.Rect.Clone(), value: it.Value}
+	}
+	level := refPackLevel(entries, true)
+	for len(level) > 1 {
+		up := make([]refTreeEntry[T], len(level))
+		for i, n := range level {
+			up[i] = refTreeEntry[T]{rect: refNodeRect(n), child: n}
+		}
+		level = refPackLevel(up, false)
+	}
+	return &refTree[T]{root: level[0], size: len(items)}
+}
+
+// packLevel tiles entries into spatial order and packs them into nodes
+// of the given kind. It returns the nodes of the new level (one node
+// when len(entries) <= maxEntries).
+func refPackLevel[T comparable](entries []refTreeEntry[T], leaf bool) []*refNode[T] {
+	dim := entries[0].rect.Dim()
+	refTile(entries, 0, dim)
+	groups := refSplitEven(len(entries), maxEntries)
+	nodes := make([]*refNode[T], 0, len(groups))
+	off := 0
+	for _, g := range groups {
+		n := &refNode[T]{leaf: leaf, entries: entries[off : off+g : off+g]}
+		n.count = refGroupCount(leaf, n.entries)
+		nodes = append(nodes, n)
+		off += g
+	}
+	return nodes
+}
+
+// tile recursively orders entries into STR tiles: sort by the center
+// coordinate of the current dimension, slice into slabs sized for an
+// even spread of the remaining pages, and recurse on the next
+// dimension within each slab.
+func refTile[T comparable](entries []refTreeEntry[T], dim, dims int) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		return refRectCenter(entries[i].rect, dim) < refRectCenter(entries[j].rect, dim)
+	})
+	if dim >= dims-1 || len(entries) <= maxEntries {
+		return
+	}
+	pages := (len(entries) + maxEntries - 1) / maxEntries
+	slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dims-dim))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := (len(entries) + slabs - 1) / slabs
+	for off := 0; off < len(entries); off += slabSize {
+		end := off + slabSize
+		if end > len(entries) {
+			end = len(entries)
+		}
+		refTile(entries[off:end], dim+1, dims)
+	}
+}
+
+func refRectCenter(r geom.Rect, dim int) float64 {
+	return (r.Min[dim] + r.Max[dim]) / 2
+}
+
+// splitEven partitions n items into the fewest groups of size <= max,
+// sized as evenly as possible. For n > max the groups hold at least
+// n/ceil(n/max) >= max/2 >= minEntries items, so packed nodes never
+// underflow; a single group may be arbitrarily small only when it
+// becomes the root.
+func refSplitEven(n, max int) []int {
+	g := (n + max - 1) / max
+	base, rem := n/g, n%g
+	out := make([]int, g)
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Clone returns a structurally independent copy of the tree: nodes and
+// entry slices are copied, so mutations on either tree never affect the
+// other. Rectangle and value data are shared — the tree never mutates a
+// stored rectangle in place (Insert clones its input, recomputed MBRs
+// are fresh allocations), so sharing is safe. Cost is O(n).
+func (t *refTree[T]) Clone() *refTree[T] {
+	return &refTree[T]{root: refCloneNode(t.root), size: t.size}
+}
+
+func refCloneNode[T comparable](n *refNode[T]) *refNode[T] {
+	c := &refNode[T]{leaf: n.leaf, count: n.count, entries: make([]refTreeEntry[T], len(n.entries))}
+	copy(c.entries, n.entries)
+	if !n.leaf {
+		for i := range c.entries {
+			c.entries[i].child = refCloneNode(c.entries[i].child)
+		}
+	}
+	return c
+}

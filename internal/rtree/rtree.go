@@ -10,6 +10,20 @@
 // only help it be dominated), so a verdict established for a node MBR
 // transfers to every object stored beneath it. Walk exposes exactly the
 // traversal contract this needs.
+//
+// Layout: the tree is flat, not pointer-linked. Nodes live in one
+// []nodeMeta slice addressed by int32 indices; each node owns a
+// fixed-stride slot range in three packed arrays — entry rectangles in
+// coords (2·dim floats per entry), child links in child, stored values
+// in vals. Entry rectangles handed to callbacks are sub-slice views
+// into coords, so traversals allocate nothing, and Clone is a handful
+// of bulk copies instead of a pointer-chasing rebuild. The algorithms
+// (ChooseLeaf, quadratic split, CondenseTree, STR packing, best-first
+// Nearby) are operation-for-operation those of the original
+// pointer-based implementation, so tree shapes, stored rectangle
+// values and traversal orders are bit-identical — the equivalence
+// fuzzer in rtree_test.go pins exactly that against the retained
+// reference implementation.
 package rtree
 
 import (
@@ -20,112 +34,284 @@ import (
 )
 
 // Degree bounds for nodes: every node except the root holds between
-// minEntries and maxEntries entries.
+// minEntries and maxEntries entries. slotCap reserves one transient
+// overflow slot per node, filled only between an insertion and the
+// split it triggers.
 const (
 	maxEntries = 16
 	minEntries = 6
+	slotCap    = maxEntries + 1
 )
 
+// nodeMeta is the per-node header; entry data lives in the tree's
+// packed arrays at the node's slot range.
+type nodeMeta struct {
+	leaf  bool
+	n     int16 // entries in use
+	count int32 // values stored in this subtree
+}
+
 // Tree is an R-tree mapping rectangles to values of type T. The zero
-// value is not usable; construct with New.
+// value is not usable; construct with New. A Tree may be read
+// concurrently, but mutations require exclusive access (the store
+// layer guarantees this via copy-on-write snapshots).
 type Tree[T comparable] struct {
-	root *node[T]
+	dim  int
 	size int
-}
+	root int32 // node index; -1 until the first insert fixes dim
 
-type entry[T comparable] struct {
-	rect  geom.Rect
-	child *node[T] // non-nil for internal entries
-	value T        // set for leaf entries
-}
+	meta   []nodeMeta
+	coords []float64 // slotCap rects of 2*dim floats per node
+	child  []int32   // slotCap child links per node (internal nodes)
+	vals   []T       // slotCap values per node (leaf nodes)
+	free   []int32   // recycled node slots
 
-type node[T comparable] struct {
-	leaf    bool
-	entries []entry[T]
-	count   int // number of values stored in this subtree
+	// rootMBR caches the union of the root's entry rectangles (2*dim
+	// floats), maintained on every mutation so read paths never compute
+	// or allocate it.
+	rootMBR []float64
+
+	// Mutation scratch, reused across Inserts/Deletes (mutations are
+	// exclusive by contract). scCoords holds slotCap+2 rect slots: the
+	// overflowing node's entries plus the two split-group accumulators.
+	scCoords     []float64
+	orphanCoords []float64
+	orphanVals   []T
 }
 
 // New returns an empty tree.
 func New[T comparable]() *Tree[T] {
-	return &Tree[T]{root: &node[T]{leaf: true}}
+	return &Tree[T]{root: -1}
 }
 
 // Len returns the number of stored values.
 func (t *Tree[T]) Len() int { return t.size }
 
+// Dim returns the dimensionality of stored rectangles (0 before the
+// first insert).
+func (t *Tree[T]) Dim() int { return t.dim }
+
+// coordOff returns the offset of entry i of node ni in coords.
+func (t *Tree[T]) coordOff(ni int32, i int) int {
+	return (int(ni)*slotCap + i) * 2 * t.dim
+}
+
+// rectAt returns a view of entry i of node ni. The view aliases the
+// tree's packed storage: callers must treat it as read-only, and it is
+// invalidated by mutations.
+func (t *Tree[T]) rectAt(ni int32, i int) geom.Rect {
+	o := t.coordOff(ni, i)
+	d := t.dim
+	return geom.Rect{Min: t.coords[o : o+d : o+d], Max: t.coords[o+d : o+2*d : o+2*d]}
+}
+
+func (t *Tree[T]) childAt(ni int32, i int) int32 { return t.child[int(ni)*slotCap+i] }
+func (t *Tree[T]) valAt(ni int32, i int) T       { return t.vals[int(ni)*slotCap+i] }
+
+// setRect copies r into entry slot i of node ni.
+func (t *Tree[T]) setRect(ni int32, i int, r geom.Rect) {
+	o := t.coordOff(ni, i)
+	d := t.dim
+	copy(t.coords[o:o+d], r.Min)
+	copy(t.coords[o+d:o+2*d], r.Max)
+}
+
+// writeNodeRect computes the tight MBR of node ci (the union of its
+// entry rectangles, accumulated in entry order exactly like the
+// reference nodeRect) directly into entry slot i of node ni.
+func (t *Tree[T]) writeNodeRect(ni int32, i int, ci int32) {
+	d := t.dim
+	o := t.coordOff(ni, i)
+	co := t.coordOff(ci, 0)
+	copy(t.coords[o:o+2*d], t.coords[co:co+2*d])
+	for k := 1; k < int(t.meta[ci].n); k++ {
+		ck := t.coordOff(ci, k)
+		for j := 0; j < d; j++ {
+			t.coords[o+j] = math.Min(t.coords[o+j], t.coords[ck+j])
+			t.coords[o+d+j] = math.Max(t.coords[o+d+j], t.coords[ck+d+j])
+		}
+	}
+}
+
+// nodeRectAlloc returns a freshly allocated tight MBR of node ni —
+// validation/bulk paths only; hot paths use writeNodeRect.
+func (t *Tree[T]) nodeRectAlloc(ni int32) geom.Rect {
+	r := t.rectAt(ni, 0).Clone()
+	d := t.dim
+	for k := 1; k < int(t.meta[ni].n); k++ {
+		ck := t.coordOff(ni, k)
+		for j := 0; j < d; j++ {
+			r.Min[j] = math.Min(r.Min[j], t.coords[ck+j])
+			r.Max[j] = math.Max(r.Max[j], t.coords[ck+d+j])
+		}
+	}
+	return r
+}
+
+// rootRect returns a view of the cached root MBR; valid while size > 0.
+func (t *Tree[T]) rootRect() geom.Rect {
+	d := t.dim
+	return geom.Rect{Min: t.rootMBR[0:d:d], Max: t.rootMBR[d : 2*d : 2*d]}
+}
+
+// refreshRootMBR recomputes the cached root MBR after a mutation.
+func (t *Tree[T]) refreshRootMBR() {
+	if t.size == 0 || t.root < 0 {
+		return
+	}
+	d := t.dim
+	if len(t.rootMBR) < 2*d {
+		t.rootMBR = make([]float64, 2*d)
+	}
+	ro := t.coordOff(t.root, 0)
+	copy(t.rootMBR[:2*d], t.coords[ro:ro+2*d])
+	for k := 1; k < int(t.meta[t.root].n); k++ {
+		ck := t.coordOff(t.root, k)
+		for j := 0; j < d; j++ {
+			t.rootMBR[j] = math.Min(t.rootMBR[j], t.coords[ck+j])
+			t.rootMBR[d+j] = math.Max(t.rootMBR[d+j], t.coords[ck+d+j])
+		}
+	}
+}
+
 // Bounds returns the minimum bounding rectangle of every stored value
 // and whether the tree is non-empty. A scatter-gather router uses it to
 // rule whole shards out of a probe with one distance test instead of a
-// traversal.
+// traversal. The returned rectangle is caller-owned.
 func (t *Tree[T]) Bounds() (geom.Rect, bool) {
 	if t.size == 0 {
 		return geom.Rect{}, false
 	}
-	return nodeRect(t.root), true
+	return t.rootRect().Clone(), true
+}
+
+// newNode allocates (or recycles) a node slot and returns its index.
+func (t *Tree[T]) newNode(leaf bool) int32 {
+	if k := len(t.free); k > 0 {
+		ni := t.free[k-1]
+		t.free = t.free[:k-1]
+		t.meta[ni] = nodeMeta{leaf: leaf}
+		return ni
+	}
+	ni := int32(len(t.meta))
+	t.meta = append(t.meta, nodeMeta{leaf: leaf})
+	t.coords = grown(t.coords, 2*t.dim*slotCap)
+	t.child = grown(t.child, slotCap)
+	t.vals = grown(t.vals, slotCap)
+	return ni
+}
+
+// grown extends s by n zeroed elements, reusing capacity when possible.
+func grown[E any](s []E, n int) []E {
+	l := len(s)
+	if cap(s) < l+n {
+		ns := make([]E, l+n, 2*cap(s)+n)
+		copy(ns, s)
+		return ns
+	}
+	s = s[:l+n]
+	clear(s[l:])
+	return s
+}
+
+// freeNode returns a node slot to the free list, dropping value
+// references so the GC can reclaim them.
+func (t *Tree[T]) freeNode(ni int32) {
+	base := int(ni) * slotCap
+	clear(t.vals[base : base+slotCap])
+	t.meta[ni] = nodeMeta{}
+	t.free = append(t.free, ni)
 }
 
 // Insert adds value under the given bounding rectangle. Duplicate
-// rectangles and values are allowed.
+// rectangles and values are allowed. The rectangle is copied into the
+// tree's packed storage; the argument is not retained.
 func (t *Tree[T]) Insert(rect geom.Rect, value T) {
-	t.insertEntry(entry[T]{rect: rect.Clone(), value: value})
+	if t.root < 0 {
+		t.dim = rect.Dim()
+		t.root = t.newNode(true)
+	}
+	t.insertEntry(rect, value)
 	t.size++
+	t.refreshRootMBR()
 }
 
 // insertEntry places a leaf entry without touching t.size — the shared
 // path of Insert and orphan reinsertion, which moves values that are
 // still accounted for.
-func (t *Tree[T]) insertEntry(e entry[T]) {
-	split := t.insert(t.root, e)
-	if split != nil {
+func (t *Tree[T]) insertEntry(rect geom.Rect, value T) {
+	sib := t.insert(t.root, rect, value)
+	if sib >= 0 {
 		// Root split: grow the tree by one level.
 		old := t.root
-		t.root = &node[T]{
-			leaf: false,
-			entries: []entry[T]{
-				{rect: nodeRect(old), child: old},
-				{rect: nodeRect(split), child: split},
-			},
-			count: old.count + split.count,
-		}
+		nr := t.newNode(false)
+		t.appendInternalEntry(nr, old)
+		t.appendInternalEntry(nr, sib)
+		t.meta[nr].count = t.meta[old].count + t.meta[sib].count
+		t.root = nr
 	}
 }
 
-// insert places e into the subtree under n, returning a new sibling if
-// n had to split.
-func (t *Tree[T]) insert(n *node[T], e entry[T]) *node[T] {
-	n.count++
-	if n.leaf {
-		n.entries = append(n.entries, e)
-		if len(n.entries) > maxEntries {
-			return t.split(n)
+// appendLeafEntry appends (rect, value) to leaf node ni.
+func (t *Tree[T]) appendLeafEntry(ni int32, rect geom.Rect, value T) {
+	i := int(t.meta[ni].n)
+	t.setRect(ni, i, rect)
+	t.vals[int(ni)*slotCap+i] = value
+	t.meta[ni].n++
+}
+
+// appendInternalEntry appends child ci (with its tight MBR) to internal
+// node ni.
+func (t *Tree[T]) appendInternalEntry(ni, ci int32) {
+	i := int(t.meta[ni].n)
+	t.writeNodeRect(ni, i, ci)
+	t.child[int(ni)*slotCap+i] = ci
+	t.meta[ni].n++
+}
+
+// insert places a leaf entry into the subtree under ni, returning the
+// index of a new sibling if ni had to split (-1 otherwise).
+func (t *Tree[T]) insert(ni int32, rect geom.Rect, value T) int32 {
+	t.meta[ni].count++
+	if t.meta[ni].leaf {
+		t.appendLeafEntry(ni, rect, value)
+		if int(t.meta[ni].n) > maxEntries {
+			return t.split(ni)
 		}
-		return nil
+		return -1
 	}
-	best := chooseSubtree(n, e.rect)
-	child := n.entries[best].child
-	split := t.insert(child, e)
-	if split != nil {
+	best := t.chooseSubtree(ni, rect)
+	ci := t.childAt(ni, best)
+	sib := t.insert(ci, rect, value)
+	if sib >= 0 {
 		// The child's entries were redistributed: recompute its MBR
 		// tightly instead of unioning in the new rectangle.
-		n.entries[best].rect = nodeRect(child)
-		n.entries = append(n.entries, entry[T]{rect: nodeRect(split), child: split})
-		if len(n.entries) > maxEntries {
-			return t.split(n)
+		t.writeNodeRect(ni, best, ci)
+		t.appendInternalEntry(ni, sib)
+		if int(t.meta[ni].n) > maxEntries {
+			return t.split(ni)
 		}
 	} else {
-		n.entries[best].rect = n.entries[best].rect.Union(e.rect)
+		// Union the inserted rectangle into the chosen entry in place.
+		o := t.coordOff(ni, best)
+		d := t.dim
+		for j := 0; j < d; j++ {
+			t.coords[o+j] = math.Min(t.coords[o+j], rect.Min[j])
+			t.coords[o+d+j] = math.Max(t.coords[o+d+j], rect.Max[j])
+		}
 	}
-	return nil
+	return -1
 }
 
 // chooseSubtree picks the child whose MBR needs the least enlargement
 // to cover r, breaking ties by smaller area (Guttman's ChooseLeaf).
-func chooseSubtree[T comparable](n *node[T], r geom.Rect) int {
+func (t *Tree[T]) chooseSubtree(ni int32, r geom.Rect) int {
 	best := 0
 	bestEnl, bestArea := math.Inf(1), math.Inf(1)
-	for i, e := range n.entries {
-		area := e.rect.Area()
-		enl := e.rect.Union(r).Area() - area
+	for i := 0; i < int(t.meta[ni].n); i++ {
+		er := t.rectAt(ni, i)
+		area := er.Area()
+		enl := unionArea(er, r) - area
 		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
 			best, bestEnl, bestArea = i, enl, area
 		}
@@ -133,118 +319,199 @@ func chooseSubtree[T comparable](n *node[T], r geom.Rect) int {
 	return best
 }
 
+// unionArea returns Union(a, b).Area() without materializing the union:
+// the same per-dimension extents multiplied in the same order.
+func unionArea(a, b geom.Rect) float64 {
+	p := 1.0
+	for i := range a.Min {
+		p *= math.Max(a.Max[i], b.Max[i]) - math.Min(a.Min[i], b.Min[i])
+	}
+	return p
+}
+
 // split performs Guttman's quadratic split on an overflowing node,
-// keeping one group in n and returning the other as a new node.
-func (t *Tree[T]) split(n *node[T]) *node[T] {
-	entries := n.entries
-	// Pick the two seeds wasting the most area if grouped together.
-	s1, s2 := pickSeeds(entries)
-	g1 := []entry[T]{entries[s1]}
-	g2 := []entry[T]{entries[s2]}
-	r1, r2 := entries[s1].rect, entries[s2].rect
-	rest := make([]entry[T], 0, len(entries)-2)
-	for i, e := range entries {
-		if i != s1 && i != s2 {
-			rest = append(rest, e)
-		}
-	}
-	for len(rest) > 0 {
-		// If one group must take all remaining entries to reach the
-		// minimum, assign them wholesale.
-		if len(g1)+len(rest) <= minEntries {
-			g1 = append(g1, rest...)
-			for _, e := range rest {
-				r1 = r1.Union(e.rect)
-			}
-			break
-		}
-		if len(g2)+len(rest) <= minEntries {
-			g2 = append(g2, rest...)
-			for _, e := range rest {
-				r2 = r2.Union(e.rect)
-			}
-			break
-		}
-		// PickNext: the entry with the strongest preference.
-		bestIdx, bestDiff := 0, -1.0
-		for i, e := range rest {
-			d1 := r1.Union(e.rect).Area() - r1.Area()
-			d2 := r2.Union(e.rect).Area() - r2.Area()
-			diff := d1 - d2
-			if diff < 0 {
-				diff = -diff
-			}
-			if diff > bestDiff {
-				bestIdx, bestDiff = i, diff
-			}
-		}
-		e := rest[bestIdx]
-		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
-		d1 := r1.Union(e.rect).Area() - r1.Area()
-		d2 := r2.Union(e.rect).Area() - r2.Area()
-		if d1 < d2 || (d1 == d2 && len(g1) <= len(g2)) {
-			g1 = append(g1, e)
-			r1 = r1.Union(e.rect)
-		} else {
-			g2 = append(g2, e)
-			r2 = r2.Union(e.rect)
-		}
-	}
-	n.entries = g1
-	n.count = groupCount(n.leaf, g1)
-	sib := &node[T]{leaf: n.leaf, entries: g2, count: groupCount(n.leaf, g2)}
-	return sib
-}
+// keeping one group in ni and returning the other as a new node. The
+// seed picking, preference ordering and tie-breaking replicate the
+// reference implementation operation for operation.
+func (t *Tree[T]) split(ni int32) int32 {
+	d := t.dim
+	d2 := 2 * d
+	n := int(t.meta[ni].n) // slotCap: maxEntries + 1 overflow entry
+	leaf := t.meta[ni].leaf
 
-func groupCount[T comparable](leaf bool, g []entry[T]) int {
+	// Copy the node's entries into scratch: coords may reallocate when
+	// the sibling is allocated, and the slots are about to be rewritten.
+	if cap(t.scCoords) < (slotCap+2)*d2 {
+		t.scCoords = make([]float64, (slotCap+2)*d2)
+	}
+	sc := t.scCoords[:(slotCap+2)*d2]
+	copy(sc[:n*d2], t.coords[t.coordOff(ni, 0):t.coordOff(ni, 0)+n*d2])
+	var schild [slotCap]int32
+	var svals [slotCap]T
+	base := int(ni) * slotCap
 	if leaf {
-		return len(g)
+		copy(svals[:n], t.vals[base:base+n])
+	} else {
+		copy(schild[:n], t.child[base:base+n])
 	}
-	c := 0
-	for _, e := range g {
-		c += e.child.count
+	srect := func(i int) geom.Rect {
+		o := i * d2
+		return geom.Rect{Min: sc[o : o+d : o+d], Max: sc[o+d : o+d2 : o+d2]}
 	}
-	return c
-}
+	// Group accumulator rects live in the two extra scratch slots.
+	r1, r2 := srect(slotCap), srect(slotCap+1)
+	unionInto := func(r geom.Rect, e geom.Rect) {
+		for j := 0; j < d; j++ {
+			r.Min[j] = math.Min(r.Min[j], e.Min[j])
+			r.Max[j] = math.Max(r.Max[j], e.Max[j])
+		}
+	}
 
-func pickSeeds[T comparable](entries []entry[T]) (int, int) {
-	s1, s2, worst := 0, 1, -1.0
-	for i := 0; i < len(entries); i++ {
-		for j := i + 1; j < len(entries); j++ {
-			u := entries[i].rect.Union(entries[j].rect).Area()
-			waste := u - entries[i].rect.Area() - entries[j].rect.Area()
+	// Pick the two seeds wasting the most area if grouped together.
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			u := unionArea(srect(i), srect(j))
+			waste := u - srect(i).Area() - srect(j).Area()
 			if waste > worst {
 				s1, s2, worst = i, j, waste
 			}
 		}
 	}
-	return s1, s2
+	var g1, g2, rest [slotCap]int
+	n1, n2 := 1, 1
+	g1[0], g2[0] = s1, s2
+	copy(r1.Min, srect(s1).Min)
+	copy(r1.Max, srect(s1).Max)
+	copy(r2.Min, srect(s2).Min)
+	copy(r2.Max, srect(s2).Max)
+	nr := 0
+	for i := 0; i < n; i++ {
+		if i != s1 && i != s2 {
+			rest[nr] = i
+			nr++
+		}
+	}
+	for nr > 0 {
+		// If one group must take all remaining entries to reach the
+		// minimum, assign them wholesale.
+		if n1+nr <= minEntries {
+			for k := 0; k < nr; k++ {
+				g1[n1] = rest[k]
+				n1++
+				unionInto(r1, srect(rest[k]))
+			}
+			break
+		}
+		if n2+nr <= minEntries {
+			for k := 0; k < nr; k++ {
+				g2[n2] = rest[k]
+				n2++
+				unionInto(r2, srect(rest[k]))
+			}
+			break
+		}
+		// PickNext: the entry with the strongest preference.
+		bestIdx, bestDiff := 0, -1.0
+		a1, a2 := r1.Area(), r2.Area()
+		for k := 0; k < nr; k++ {
+			e := srect(rest[k])
+			d1 := unionArea(r1, e) - a1
+			d2v := unionArea(r2, e) - a2
+			diff := d1 - d2v
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff = k, diff
+			}
+		}
+		ei := rest[bestIdx]
+		copy(rest[bestIdx:], rest[bestIdx+1:nr])
+		nr--
+		e := srect(ei)
+		d1 := unionArea(r1, e) - r1.Area()
+		d2v := unionArea(r2, e) - r2.Area()
+		if d1 < d2v || (d1 == d2v && n1 <= n2) {
+			g1[n1] = ei
+			n1++
+			unionInto(r1, e)
+		} else {
+			g2[n2] = ei
+			n2++
+			unionInto(r2, e)
+		}
+	}
+
+	sib := t.newNode(leaf)
+	t.writeGroup(ni, leaf, sc, g1[:n1], schild[:], svals[:])
+	t.writeGroup(sib, leaf, sc, g2[:n2], schild[:], svals[:])
+	return sib
 }
 
-func nodeRect[T comparable](n *node[T]) geom.Rect {
-	r := n.entries[0].rect
-	for _, e := range n.entries[1:] {
-		r = r.Union(e.rect)
+// writeGroup rewrites node ni with the given scratch-entry indices.
+func (t *Tree[T]) writeGroup(ni int32, leaf bool, sc []float64, g []int, schild []int32, svals []T) {
+	d2 := 2 * t.dim
+	base := int(ni) * slotCap
+	count := int32(0)
+	for k, idx := range g {
+		o := t.coordOff(ni, k)
+		copy(t.coords[o:o+d2], sc[idx*d2:(idx+1)*d2])
+		if leaf {
+			t.vals[base+k] = svals[idx]
+			count++
+		} else {
+			ci := schild[idx]
+			t.child[base+k] = ci
+			count += t.meta[ci].count
+		}
 	}
-	return r
+	// Drop stale value references beyond the group.
+	if leaf {
+		clear(t.vals[base+len(g) : base+slotCap])
+	}
+	t.meta[ni].n = int16(len(g))
+	t.meta[ni].count = count
+}
+
+// removeEntry deletes entry i of node ni, shifting later entries left.
+func (t *Tree[T]) removeEntry(ni int32, i int) {
+	n := int(t.meta[ni].n)
+	d2 := 2 * t.dim
+	if i < n-1 {
+		o := t.coordOff(ni, i)
+		copy(t.coords[o:o+(n-1-i)*d2], t.coords[o+d2:o+(n-i)*d2])
+		base := int(ni) * slotCap
+		copy(t.child[base+i:base+n-1], t.child[base+i+1:base+n])
+		copy(t.vals[base+i:base+n-1], t.vals[base+i+1:base+n])
+	}
+	var zero T
+	t.vals[int(ni)*slotCap+n-1] = zero
+	t.meta[ni].n--
 }
 
 // SearchIntersect calls fn for every stored value whose rectangle
 // intersects query. Traversal stops early if fn returns false.
 func (t *Tree[T]) SearchIntersect(query geom.Rect, fn func(rect geom.Rect, value T) bool) {
+	if t.root < 0 {
+		return
+	}
 	t.searchIntersect(t.root, query, fn)
 }
 
-func (t *Tree[T]) searchIntersect(n *node[T], query geom.Rect, fn func(geom.Rect, T) bool) bool {
-	for _, e := range n.entries {
-		if !e.rect.Intersects(query) {
+func (t *Tree[T]) searchIntersect(ni int32, query geom.Rect, fn func(geom.Rect, T) bool) bool {
+	leaf := t.meta[ni].leaf
+	for i := 0; i < int(t.meta[ni].n); i++ {
+		r := t.rectAt(ni, i)
+		if !r.Intersects(query) {
 			continue
 		}
-		if n.leaf {
-			if !fn(e.rect, e.value) {
+		if leaf {
+			if !fn(r, t.valAt(ni, i)) {
 				return false
 			}
-		} else if !t.searchIntersect(e.child, query, fn) {
+		} else if !t.searchIntersect(t.childAt(ni, i), query, fn) {
 			return false
 		}
 	}
@@ -268,7 +535,8 @@ const (
 // nodes), node is called with the node's MBR and the number of values
 // beneath it, and its verdict controls descent. leaf is called for
 // every value that is reached (via Descend into a leaf node, or via
-// TakeSubtree). Either callback may be nil.
+// TakeSubtree). Either callback may be nil. Rectangles passed to the
+// callbacks are read-only views into the tree's packed storage.
 //
 // This is the primitive the bulk complete-domination filter builds on:
 // a node whose MBR is dominated by the target w.r.t. the reference is
@@ -281,41 +549,43 @@ func (t *Tree[T]) Walk(node func(mbr geom.Rect, count int) WalkAction, leaf func
 	if t.size == 0 {
 		return
 	}
-	t.walk(t.root, nodeRect(t.root), node, leaf)
+	t.walk(t.root, t.rootRect(), node, leaf)
 }
 
-func (t *Tree[T]) walk(n *node[T], mbr geom.Rect, nodeFn func(geom.Rect, int) WalkAction, leafFn func(geom.Rect, T)) {
+func (t *Tree[T]) walk(ni int32, mbr geom.Rect, nodeFn func(geom.Rect, int) WalkAction, leafFn func(geom.Rect, T)) {
 	action := Descend
 	if nodeFn != nil {
-		action = nodeFn(mbr, n.count)
+		action = nodeFn(mbr, int(t.meta[ni].count))
 	}
 	switch action {
 	case SkipSubtree:
 		return
 	case TakeSubtree:
-		t.emitAll(n, leafFn)
+		t.emitAll(ni, leafFn)
 	default:
-		for _, e := range n.entries {
-			if n.leaf {
+		leaf := t.meta[ni].leaf
+		for i := 0; i < int(t.meta[ni].n); i++ {
+			if leaf {
 				if leafFn != nil {
-					leafFn(e.rect, e.value)
+					leafFn(t.rectAt(ni, i), t.valAt(ni, i))
 				}
 			} else {
-				t.walk(e.child, e.rect, nodeFn, leafFn)
+				t.walk(t.childAt(ni, i), t.rectAt(ni, i), nodeFn, leafFn)
 			}
 		}
 	}
 }
 
-func (t *Tree[T]) emitAll(n *node[T], leafFn func(geom.Rect, T)) {
+func (t *Tree[T]) emitAll(ni int32, leafFn func(geom.Rect, T)) {
 	if leafFn == nil {
 		return
 	}
-	for _, e := range n.entries {
-		if n.leaf {
-			leafFn(e.rect, e.value)
+	leaf := t.meta[ni].leaf
+	for i := 0; i < int(t.meta[ni].n); i++ {
+		if leaf {
+			leafFn(t.rectAt(ni, i), t.valAt(ni, i))
 		} else {
-			t.emitAll(e.child, leafFn)
+			t.emitAll(t.childAt(ni, i), leafFn)
 		}
 	}
 }
@@ -324,90 +594,119 @@ func (t *Tree[T]) emitAll(n *node[T], leafFn func(geom.Rect, T)) {
 // reports whether an entry was found. Underflowing nodes are condensed
 // and their remaining entries reinserted (Guttman's CondenseTree).
 func (t *Tree[T]) Delete(rect geom.Rect, value T) bool {
-	var orphans []entry[T]
-	found, _ := t.delete(t.root, rect, value, &orphans)
+	if t.root < 0 {
+		return false
+	}
+	t.orphanCoords = t.orphanCoords[:0]
+	t.orphanVals = t.orphanVals[:0]
+	found, _ := t.delete(t.root, rect, value)
 	if !found {
 		return false
 	}
 	t.size--
 	// Collapse a root with a single internal child.
-	for !t.root.leaf && len(t.root.entries) == 1 {
-		t.root = t.root.entries[0].child
+	for !t.meta[t.root].leaf && t.meta[t.root].n == 1 {
+		old := t.root
+		t.root = t.childAt(old, 0)
+		t.freeNode(old)
 	}
-	if !t.root.leaf && len(t.root.entries) == 0 {
-		t.root = &node[T]{leaf: true}
+	if !t.meta[t.root].leaf && t.meta[t.root].n == 0 {
+		t.freeNode(t.root)
+		t.root = t.newNode(true)
 	}
-	for _, e := range orphans {
-		if e.child != nil {
-			t.reinsertSubtree(e.child)
-		} else {
-			// Orphaned values never left t.size — move the entry without
-			// re-counting it (and without re-cloning its rectangle).
-			t.insertEntry(e)
-		}
+	// Reinsert orphaned values in collection order — the same sequence
+	// the reference implementation's top-level reinsertion produces.
+	d2 := 2 * t.dim
+	for k := range t.orphanVals {
+		o := k * d2
+		r := geom.Rect{Min: t.orphanCoords[o : o+t.dim : o+t.dim], Max: t.orphanCoords[o+t.dim : o+d2 : o+d2]}
+		t.insertEntry(r, t.orphanVals[k])
 	}
+	clear(t.orphanVals)
+	t.orphanVals = t.orphanVals[:0]
+	t.refreshRootMBR()
 	return true
 }
 
-func (t *Tree[T]) reinsertSubtree(n *node[T]) {
-	if n.leaf {
-		for _, e := range n.entries {
-			t.insertEntry(e)
-		}
-		return
-	}
-	for _, e := range n.entries {
-		t.reinsertSubtree(e.child)
-	}
-}
-
-// delete removes the matching value from the subtree under n. It
+// delete removes the matching value from the subtree under ni. It
 // returns whether the value was found and how many values left the
-// subtree (the deleted one plus any orphaned by condensing, which the
-// caller reinserts from the top).
-func (t *Tree[T]) delete(n *node[T], rect geom.Rect, value T, orphans *[]entry[T]) (bool, int) {
-	if n.leaf {
-		for i, e := range n.entries {
-			if e.value == value && e.rect.Equal(rect) {
-				n.entries = append(n.entries[:i], n.entries[i+1:]...)
-				n.count--
+// subtree (the deleted one plus any orphaned by condensing, which
+// Delete reinserts from the top).
+func (t *Tree[T]) delete(ni int32, rect geom.Rect, value T) (bool, int32) {
+	if t.meta[ni].leaf {
+		for i := 0; i < int(t.meta[ni].n); i++ {
+			if t.valAt(ni, i) == value && t.rectAt(ni, i).Equal(rect) {
+				t.removeEntry(ni, i)
+				t.meta[ni].count--
 				return true, 1
 			}
 		}
 		return false, 0
 	}
-	for i, e := range n.entries {
-		if !e.rect.ContainsRect(rect) {
+	for i := 0; i < int(t.meta[ni].n); i++ {
+		if !t.rectAt(ni, i).ContainsRect(rect) {
 			continue
 		}
-		found, removed := t.delete(e.child, rect, value, orphans)
+		ci := t.childAt(ni, i)
+		found, removed := t.delete(ci, rect, value)
 		if !found {
 			continue
 		}
-		if len(e.child.entries) < minEntries {
+		if int(t.meta[ci].n) < minEntries {
 			// Condense: orphan the underflowing child's remaining
-			// entries; their values also leave this subtree until the
-			// top-level reinsertion puts them back.
-			removed += e.child.count
-			*orphans = append(*orphans, e.child.entries...)
-			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			// values; they also leave this subtree until the top-level
+			// reinsertion puts them back.
+			removed += t.meta[ci].count
+			t.collectOrphans(ci)
+			t.removeEntry(ni, i)
 		} else {
-			n.entries[i].rect = nodeRect(e.child)
+			t.writeNodeRect(ni, i, ci)
 		}
-		n.count -= removed
+		t.meta[ni].count -= removed
 		return true, removed
 	}
 	return false, 0
 }
 
+// collectOrphans copies every leaf (rect, value) under ni into the
+// orphan scratch in DFS entry order — exactly the order the reference
+// implementation reinserts a condensed subtree — and frees its nodes.
+// Rect data must be copied out: reinsertion recycles freed slots, which
+// would otherwise overwrite it mid-use.
+func (t *Tree[T]) collectOrphans(ni int32) {
+	d2 := 2 * t.dim
+	if t.meta[ni].leaf {
+		for i := 0; i < int(t.meta[ni].n); i++ {
+			o := t.coordOff(ni, i)
+			t.orphanCoords = append(t.orphanCoords, t.coords[o:o+d2]...)
+			t.orphanVals = append(t.orphanVals, t.valAt(ni, i))
+		}
+	} else {
+		for i := 0; i < int(t.meta[ni].n); i++ {
+			t.collectOrphans(t.childAt(ni, i))
+		}
+	}
+	t.freeNode(ni)
+}
+
 // All calls fn for every stored (rect, value) pair.
 func (t *Tree[T]) All(fn func(rect geom.Rect, value T)) {
+	if t.root < 0 {
+		return
+	}
 	t.emitAll(t.root, fn)
 }
 
 // CheckInvariants validates structural invariants (entry counts, MBR
-// containment, subtree counts); it is exported for tests.
+// containment, subtree counts, root-MBR cache coherence); it is
+// exported for tests.
 func (t *Tree[T]) CheckInvariants() error {
+	if t.root < 0 {
+		if t.size != 0 {
+			return fmt.Errorf("rtree: size %d with no root", t.size)
+		}
+		return nil
+	}
 	n, err := t.check(t.root, true)
 	if err != nil {
 		return err
@@ -415,36 +714,44 @@ func (t *Tree[T]) CheckInvariants() error {
 	if n != t.size {
 		return fmt.Errorf("rtree: size %d but %d reachable values", t.size, n)
 	}
+	if t.size > 0 {
+		want := t.nodeRectAlloc(t.root)
+		if !t.rootRect().Equal(want) {
+			return fmt.Errorf("rtree: cached root MBR %v != computed %v", t.rootRect(), want)
+		}
+	}
 	return nil
 }
 
-func (t *Tree[T]) check(n *node[T], isRoot bool) (int, error) {
-	if !isRoot && (len(n.entries) < minEntries || len(n.entries) > maxEntries) {
-		return 0, fmt.Errorf("rtree: node with %d entries outside [%d, %d]", len(n.entries), minEntries, maxEntries)
+func (t *Tree[T]) check(ni int32, isRoot bool) (int, error) {
+	n := int(t.meta[ni].n)
+	if !isRoot && (n < minEntries || n > maxEntries) {
+		return 0, fmt.Errorf("rtree: node with %d entries outside [%d, %d]", n, minEntries, maxEntries)
 	}
-	if n.leaf {
-		if n.count != len(n.entries) {
-			return 0, fmt.Errorf("rtree: leaf count %d != %d entries", n.count, len(n.entries))
+	if t.meta[ni].leaf {
+		if int(t.meta[ni].count) != n {
+			return 0, fmt.Errorf("rtree: leaf count %d != %d entries", t.meta[ni].count, n)
 		}
-		return len(n.entries), nil
+		return n, nil
 	}
 	total := 0
-	for _, e := range n.entries {
-		sub := nodeRect(e.child)
-		if !e.rect.ContainsRect(sub) {
-			return 0, fmt.Errorf("rtree: entry MBR %v does not contain child MBR %v", e.rect, sub)
+	for i := 0; i < n; i++ {
+		ci := t.childAt(ni, i)
+		sub := t.nodeRectAlloc(ci)
+		if !t.rectAt(ni, i).ContainsRect(sub) {
+			return 0, fmt.Errorf("rtree: entry MBR %v does not contain child MBR %v", t.rectAt(ni, i), sub)
 		}
-		c, err := t.check(e.child, false)
+		c, err := t.check(ci, false)
 		if err != nil {
 			return 0, err
 		}
-		if c != e.child.count {
-			return 0, fmt.Errorf("rtree: child count %d != %d reachable", e.child.count, c)
+		if c != int(t.meta[ci].count) {
+			return 0, fmt.Errorf("rtree: child count %d != %d reachable", t.meta[ci].count, c)
 		}
 		total += c
 	}
-	if n.count != total {
-		return 0, fmt.Errorf("rtree: node count %d != %d reachable", n.count, total)
+	if int(t.meta[ni].count) != total {
+		return 0, fmt.Errorf("rtree: node count %d != %d reachable", t.meta[ni].count, total)
 	}
 	return total, nil
 }

@@ -157,16 +157,52 @@ func (t *DecompTree) massMedian(n *decompNode) int {
 
 func (t *DecompTree) newChild(idx []int) *decompNode {
 	obj := t.obj
+	// Grow the child MBR in place instead of unioning a fresh point-rect
+	// per sample — one corner-pair allocation per node, not per sample.
 	mbr := geom.PointRect(obj.Samples[idx[0]])
 	prob := obj.Weight(idx[0])
 	for _, id := range idx[1:] {
-		mbr = mbr.Union(geom.PointRect(obj.Samples[id]))
+		s := obj.Samples[id]
+		for d := range s {
+			if s[d] < mbr.Min[d] {
+				mbr.Min[d] = s[d]
+			}
+			if s[d] > mbr.Max[d] {
+				mbr.Max[d] = s[d]
+			}
+		}
 		prob += obj.Weight(id)
 	}
 	// Copy the index slice so sibling re-sorts cannot alias.
 	own := make([]int, len(idx))
 	copy(own, idx)
 	return &decompNode{mbr: mbr, prob: prob, idx: own}
+}
+
+// PackPartitions returns a copy of parts whose MBR corner coordinates
+// live in one contiguous backing array — one allocation per level
+// instead of per cell. The refinement loop iterates a whole level's
+// MBRs per (B', R') pair, so contiguity turns the pointer-chasing walk
+// over scattered tree-node rectangles into a linear scan. Values are
+// copied verbatim; callers treat the result as read-only, like any
+// shared partition slice.
+func PackPartitions(parts []Partition) []Partition {
+	if len(parts) == 0 {
+		return parts
+	}
+	dim := parts[0].MBR.Dim()
+	flat := make([]float64, 2*dim*len(parts))
+	out := make([]Partition, len(parts))
+	off := 0
+	for i, p := range parts {
+		min := flat[off : off+dim : off+dim]
+		max := flat[off+dim : off+2*dim : off+2*dim]
+		copy(min, p.MBR.Min)
+		copy(max, p.MBR.Max)
+		out[i] = Partition{MBR: geom.Rect{Min: min, Max: max}, Prob: p.Prob}
+		off += 2 * dim
+	}
+	return out
 }
 
 func widestAxis(r geom.Rect) int {
