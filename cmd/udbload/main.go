@@ -1,0 +1,71 @@
+// Command udbload measures the serving layer under subscription
+// fan-out load: it starts an in-process udbserver on loopback, attaches
+// a fleet of concurrent durable subscribers (1000 for the committed
+// report), and paces delete+reinsert mutations through the store while
+// every mutation fans a push out to every subscriber. It records the
+// p50/p99/max push latency (mutation issued → push decoded client-side)
+// and concurrent one-shot query latency into a machine-readable JSON
+// report (BENCH_PR7.json by default).
+//
+//	go run ./cmd/udbload                  # full size: 1000 subscribers
+//	go run ./cmd/udbload -quick           # CI smoke: 50 subscribers
+//	go run ./cmd/udbload -o load.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"probprune/internal/benchscen"
+)
+
+type report struct {
+	PR     int                        `json:"pr"`
+	Go     string                     `json:"go"`
+	NumCPU int                        `json:"num_cpu"`
+	Quick  bool                       `json:"quick"`
+	Load   benchscen.ServerLoadResult `json:"server_load"`
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_PR7.json", "output report path")
+		quick = flag.Bool("quick", false, "CI smoke mode: small fleet, few mutations")
+		subs  = flag.Int("subscribers", 0, "override subscriber count (0: 1000, or 50 with -quick)")
+		pairs = flag.Int("pairs", 0, "override mutation pair count (0: 100, or 20 with -quick)")
+		gap   = flag.Duration("gap", 0, "override writer pacing (0: 5ms; scaled up for big fleets on few cores)")
+	)
+	flag.Parse()
+
+	cfg := benchscen.ServerLoadConfig{Subscribers: *subs, Pairs: *pairs, WriteGap: *gap}
+	if *quick {
+		if cfg.Subscribers == 0 {
+			cfg.Subscribers = 50
+		}
+		if cfg.Pairs == 0 {
+			cfg.Pairs = 20
+		}
+		cfg.DBSize = 200
+	}
+	log.Printf("udbload: starting (subscribers=%d pairs=%d quick=%v)", cfg.Subscribers, cfg.Pairs, *quick)
+	res, err := benchscen.ServerLoad(cfg)
+	if err != nil {
+		log.Fatalf("udbload: %v", err)
+	}
+	rep := report{PR: 7, Go: runtime.Version(), NumCPU: runtime.NumCPU(), Quick: *quick, Load: res}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("udbload: %d subscribers, %d events in %.1fs — push p50 %.3fms p99 %.3fms max %.3fms; query p50 %.3fms p99 %.3fms (%s)\n",
+		res.Subscribers, res.Events, res.DurationSec,
+		res.PushP50Ms, res.PushP99Ms, res.PushMaxMs, res.QueryP50Ms, res.QueryP99Ms, *out)
+}

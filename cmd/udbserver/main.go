@@ -1,0 +1,184 @@
+// Command udbserver serves a live uncertain-object store over TCP,
+// speaking the pipelined RESP-style protocol documented in
+// docs/PROTOCOL.md: one-shot probabilistic queries (KNN, RKNN, TOPKNN,
+// INVRANK, BATCH), ingest (INSERT/UPDATE/DELETE) and durable
+// continuous-query push channels (SUBSCRIBE/RESUME).
+//
+// Usage:
+//
+//	udbserver -addr :7654                          # volatile in-memory store
+//	udbserver -addr :7654 -synthetic 10000         # preloaded synthetic data
+//	udbserver -addr :7654 -dir /var/lib/udb        # durable store (WAL + checkpoints)
+//	udbserver -addr :7654 -dir /var/lib/udb -shards 8 -sync background
+//
+// With -dir the store journals every commit and recovers
+// bit-identically on restart; the subscription cursor lives at
+// dir/cursor, so named subscriptions survive restarts too (RESUME
+// returns a coalesced delta against the durable cursor). Without -dir
+// everything is in memory and named subscriptions are refused.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// subscription sessions drain their retained tails, every client gets
+// a terminal `>... end closed` push, and the store (if durable) is
+// checkpointed on close.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"probprune/internal/core"
+	"probprune/internal/query"
+	"probprune/internal/server"
+	"probprune/internal/uncertain"
+	"probprune/internal/wal"
+	"probprune/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7654", "TCP listen address")
+		dir        = flag.String("dir", "", "durable store directory (empty: volatile in-memory store)")
+		shards     = flag.Int("shards", 1, "shard count (>1 selects a ShardedStore)")
+		sync       = flag.String("sync", "os", "fsync policy for durable commits: os, always, background")
+		ckptEvery  = flag.Int("checkpoint-every", 4096, "auto-checkpoint after this many journal records (durable only)")
+		synthetic  = flag.Int("synthetic", 0, "preload N synthetic objects (volatile or fresh durable store)")
+		dataset    = flag.String("db", "", "preload a udbgen dataset file (volatile or fresh durable store)")
+		iterations = flag.Int("iterations", 3, "max refinement iterations per query")
+		retain     = flag.Int("retain", 0, "per-subscription retained-event ring (resume window); 0: default 8192")
+	)
+	flag.Parse()
+	if err := run(*addr, *dir, *shards, *sync, *ckptEvery, *synthetic, *dataset, *iterations, *retain); err != nil {
+		fmt.Fprintln(os.Stderr, "udbserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, shards int, sync string, ckptEvery, synthetic int, dataset string, iterations, retain int) error {
+	opts := core.Options{MaxIterations: iterations}
+	db, err := seedDatabase(synthetic, dataset)
+	if err != nil {
+		return err
+	}
+
+	var (
+		backend server.Backend
+		closeFn func() error
+		cursor  string
+	)
+	switch {
+	case dir == "" && shards > 1:
+		s, err := query.NewShardedStore(db, query.ShardedOptions{Shards: shards}, opts)
+		if err != nil {
+			return err
+		}
+		backend, closeFn = s, s.Close
+	case dir == "":
+		s, err := query.NewStore(db, opts)
+		if err != nil {
+			return err
+		}
+		backend, closeFn = s, s.Close
+	default:
+		popts := query.PersistOptions{Dir: dir, CheckpointEvery: ckptEvery}
+		switch sync {
+		case "os":
+			popts.Sync = wal.SyncOS
+		case "always":
+			popts.Sync = wal.SyncAlways
+		case "background":
+			popts.Sync = wal.SyncBackground
+		default:
+			return fmt.Errorf("unknown -sync policy %q (want os, always or background)", sync)
+		}
+		cursor = filepath.Join(dir, "cursor")
+		fresh := !journalExists(dir)
+		if shards > 1 {
+			var s *query.ShardedStore
+			if fresh {
+				s, err = query.BootstrapShardedStore(db, popts, query.ShardedOptions{Shards: shards}, opts)
+			} else {
+				s, err = query.OpenShardedStore(popts, query.ShardedOptions{Shards: shards}, opts)
+			}
+			if err != nil {
+				return err
+			}
+			backend, closeFn = s, s.Close
+		} else {
+			var s *query.Store
+			if fresh {
+				s, err = query.BootstrapStore(db, popts, opts)
+			} else {
+				s, err = query.OpenStore(popts, opts)
+			}
+			if err != nil {
+				return err
+			}
+			backend, closeFn = s, s.Close
+		}
+	}
+
+	srv := server.New(backend, server.Options{
+		CursorPath: cursor,
+		Retain:     retain,
+		Logf:       log.Printf,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("udbserver: listening on %s (%d objects, shards=%d, durable=%v)",
+		ln.Addr(), backend.Len(), shards, dir != "")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case s := <-sig:
+		log.Printf("udbserver: %v — draining subscriptions and shutting down", s)
+	case err := <-serveErr:
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	return closeFn()
+}
+
+// seedDatabase builds the initial database from -synthetic / -db (both
+// empty: an empty store, populated over the wire).
+func seedDatabase(synthetic int, dataset string) (uncertain.Database, error) {
+	switch {
+	case synthetic > 0 && dataset != "":
+		return nil, fmt.Errorf("-synthetic and -db are mutually exclusive")
+	case synthetic > 0:
+		return workload.Synthetic(workload.SyntheticConfig{N: synthetic, Samples: 8, MaxExtent: 0.02, Seed: 99})
+	case dataset != "":
+		return workload.LoadFile(dataset)
+	default:
+		return uncertain.Database{}, nil
+	}
+}
+
+// journalExists reports whether dir already holds a store (single
+// journal segments or a sharded manifest).
+func journalExists(dir string) bool {
+	for _, name := range []string{"MANIFEST", "shard-0"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	return len(ents) > 0
+}

@@ -1,0 +1,297 @@
+package benchscen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probprune/internal/core"
+	"probprune/internal/geom"
+	"probprune/internal/query"
+	"probprune/internal/server"
+	"probprune/internal/server/client"
+	"probprune/internal/uncertain"
+	"probprune/internal/workload"
+)
+
+// ServerLoad is the serving-layer load scenario behind cmd/udbload and
+// BENCH_PR7.json: one udbserver instance on loopback, a fleet of
+// concurrent durable subscribers each watching a standing kNN query on
+// its own neighborhood (the "millions of users each tracking their
+// surroundings" shape from the ROADMAP north star), and a paced writer
+// that repeatedly deletes and reinserts random objects. Every mutation
+// is maintained against all standing queries; the subscribers whose
+// result sets it touches get pushes. Push latency is measured per
+// event from the instant the mutation was issued to the instant the
+// push frame is decoded client-side, i.e. the full pipeline: TCP in,
+// dispatch, commit, continuous-query maintenance, session ring,
+// connection write, TCP out, client decode. A side channel of one-shot
+// KNN calls samples query latency under the same standing-query
+// pressure.
+
+// ServerLoadConfig sizes one ServerLoad run.
+type ServerLoadConfig struct {
+	// Subscribers is the concurrent durable-subscription fleet size.
+	Subscribers int
+	// Pairs is how many delete+reinsert mutation pairs the writer issues.
+	Pairs int
+	// WriteGap paces the writer (one mutation per gap); <= 0 selects
+	// 5ms. Pacing keeps the scenario in steady state, so the tail
+	// quantiles measure delivery latency rather than queue depth.
+	WriteGap time.Duration
+	// DBSize is the synthetic database size; <= 0 selects 1000.
+	DBSize int
+	// Dir is the durable store/cursor directory; empty selects a
+	// temporary directory (removed afterwards).
+	Dir string
+}
+
+// ServerLoadResult is the machine-readable outcome.
+type ServerLoadResult struct {
+	Subscribers int     `json:"subscribers"`
+	Pairs       int     `json:"mutation_pairs"`
+	Events      int64   `json:"events_delivered"`
+	DurationSec float64 `json:"duration_sec"`
+	// Push latency quantiles across every delivered event, ms.
+	PushP50Ms float64 `json:"subscriber_push_p50_ms"`
+	PushP99Ms float64 `json:"subscriber_push_p99_ms"`
+	PushMaxMs float64 `json:"subscriber_push_max_ms"`
+	// One-shot KNN latency sampled concurrently, ms.
+	QueryP50Ms float64 `json:"query_p50_ms"`
+	QueryP99Ms float64 `json:"query_p99_ms"`
+	QuerySent  int     `json:"queries_sent"`
+}
+
+// ServerLoad runs the scenario and aggregates latencies.
+func ServerLoad(cfg ServerLoadConfig) (ServerLoadResult, error) {
+	if cfg.Subscribers <= 0 {
+		cfg.Subscribers = 1000
+	}
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 100
+	}
+	if cfg.WriteGap <= 0 {
+		cfg.WriteGap = 5 * time.Millisecond
+	}
+	if cfg.DBSize <= 0 {
+		cfg.DBSize = 1000
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "udbload-*")
+		if err != nil {
+			return ServerLoadResult{}, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	db, err := workload.Synthetic(workload.SyntheticConfig{
+		N: cfg.DBSize, Samples: 8, MaxExtent: 0.02, Seed: 99})
+	if err != nil {
+		return ServerLoadResult{}, err
+	}
+	store, err := query.NewStore(db, core.Options{MaxIterations: 3})
+	if err != nil {
+		return ServerLoadResult{}, err
+	}
+	srv := server.New(store, server.Options{CursorPath: filepath.Join(dir, "cursor")})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServerLoadResult{}, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-serveErr
+	}()
+	addr := ln.Addr().String()
+
+	rng := rand.New(rand.NewSource(42))
+	v0 := store.Version()
+	finalVer := v0 + 2*uint64(cfg.Pairs)
+	q := uncertain.PointObject(-1, geom.Point{0.5, 0.5}) // query-sampler predicate
+
+	// Mutation issue times, indexed by version past v0; written by the
+	// writer before each call, read by subscriber goroutines on receipt.
+	sendNanos := make([]atomic.Int64, 2*cfg.Pairs)
+
+	// The subscriber fleet.
+	type subscriber struct {
+		cl  *client.Client
+		sub *client.Sub
+	}
+	subs := make([]subscriber, cfg.Subscribers)
+	for i := range subs {
+		cl, err := client.Dial(addr)
+		if err != nil {
+			return ServerLoadResult{}, fmt.Errorf("subscriber %d: %w", i, err)
+		}
+		sub, err := cl.Subscribe(client.SubOptions{
+			Kind: "KNN", K: K, Tau: Tau,
+			Q:    uncertain.PointObject(-(i + 1), geom.Point{rng.Float64(), rng.Float64()}),
+			Name: fmt.Sprintf("load-%d", i)})
+		if err != nil {
+			return ServerLoadResult{}, fmt.Errorf("subscriber %d: %w", i, err)
+		}
+		subs[i] = subscriber{cl: cl, sub: sub}
+		defer cl.Close()
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+	)
+	perSub := make([]int64, cfg.Subscribers)
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int, s subscriber) {
+			defer wg.Done()
+			local := make([]float64, 0, 2*cfg.Pairs)
+			var n int64
+			for ev := range s.sub.Events {
+				if ev.Kind == server.EvEnd {
+					break
+				}
+				if ev.Version <= v0 {
+					continue // initial snapshot, not a push
+				}
+				n++
+				if idx := int(ev.Version-v0) - 1; idx < len(sendNanos) {
+					if t0 := sendNanos[idx].Load(); t0 != 0 {
+						local = append(local, float64(time.Now().UnixNano()-t0)/1e6)
+					}
+				}
+			}
+			perSub[i] = n
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(i, subs[i])
+	}
+
+	// Concurrent one-shot query sampler.
+	var (
+		queryLats []float64
+		queryErr  error
+	)
+	queryStop := make(chan struct{})
+	queryDone := make(chan struct{})
+	go func() {
+		defer close(queryDone)
+		cl, err := client.Dial(addr)
+		if err != nil {
+			queryErr = err
+			return
+		}
+		defer cl.Close()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-queryStop:
+				return
+			case <-tick.C:
+				t0 := time.Now()
+				if _, err := cl.KNN(q, K, Tau); err != nil {
+					queryErr = err
+					return
+				}
+				queryLats = append(queryLats, float64(time.Since(t0).Nanoseconds())/1e6)
+			}
+		}
+	}()
+
+	// The paced writer.
+	start := time.Now()
+	writer, err := client.Dial(addr)
+	if err != nil {
+		return ServerLoadResult{}, err
+	}
+	defer writer.Close()
+	tick := time.NewTicker(cfg.WriteGap)
+	defer tick.Stop()
+	for p := 0; p < cfg.Pairs; p++ {
+		victim := db[rng.Intn(len(db))]
+		<-tick.C
+		sendNanos[2*p].Store(time.Now().UnixNano())
+		if found, err := writer.Delete(victim.ID); err != nil || !found {
+			return ServerLoadResult{}, fmt.Errorf("delete %d: found=%v err=%v", victim.ID, found, err)
+		}
+		<-tick.C
+		sendNanos[2*p+1].Store(time.Now().UnixNano())
+		if err := writer.Insert(victim); err != nil {
+			return ServerLoadResult{}, fmt.Errorf("reinsert %d: %w", victim.ID, err)
+		}
+	}
+
+	// Drain: every subscriber catches up to the final version, then
+	// unsubscribes; EvEnd releases its reader goroutine.
+	for i := range subs {
+		if _, err := subs[i].cl.WaitVersion(finalVer); err != nil {
+			return ServerLoadResult{}, fmt.Errorf("subscriber %d: waitversion: %w", i, err)
+		}
+		if err := subs[i].cl.Unsubscribe(subs[i].sub); err != nil {
+			return ServerLoadResult{}, fmt.Errorf("subscriber %d: unsubscribe: %w", i, err)
+		}
+	}
+	wg.Wait()
+	close(queryStop)
+	<-queryDone
+	if queryErr != nil {
+		return ServerLoadResult{}, fmt.Errorf("query sampler: %w", queryErr)
+	}
+	elapsed := time.Since(start)
+
+	// Sanity floors: each mutation pair touches the subscribers whose
+	// k-sets contain the victim, so across the whole run the fleet must
+	// have seen a healthy number of pushes and latency samples.
+	var events int64
+	for _, n := range perSub {
+		events += n
+	}
+	if events < int64(cfg.Pairs) || len(latencies) < cfg.Pairs {
+		return ServerLoadResult{}, fmt.Errorf(
+			"only %d events / %d latency samples over %d mutation pairs — pushes were lost",
+			events, len(latencies), cfg.Pairs)
+	}
+
+	res := ServerLoadResult{
+		Subscribers: cfg.Subscribers,
+		Pairs:       cfg.Pairs,
+		Events:      events,
+		DurationSec: elapsed.Seconds(),
+		PushP50Ms:   percentile(latencies, 0.50),
+		PushP99Ms:   percentile(latencies, 0.99),
+		PushMaxMs:   percentile(latencies, 1),
+		QueryP50Ms:  percentile(queryLats, 0.50),
+		QueryP99Ms:  percentile(queryLats, 0.99),
+		QuerySent:   len(queryLats),
+	}
+	return res, nil
+}
+
+// percentile returns the p-quantile (0..1) of xs in place; 0 when empty.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	i := int(math.Ceil(p*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

@@ -100,12 +100,16 @@ type Monitor struct {
 
 // item is one unit of worker input: a store change or a control request.
 type item struct {
-	change   *query.Change
-	sub      *Subscription
-	unsub    *Subscription
-	save     chan error // SaveCursor request
-	shutdown bool
-	done     chan struct{}
+	change    *query.Change
+	sub       *Subscription
+	unsub     *Subscription
+	save      chan error // SaveCursor request
+	forget    string     // Forget request (discriminated by forgetRes)
+	forgetRes chan error
+	hasName   string // HasCursorSub request (discriminated by hasRes)
+	hasRes    chan bool
+	shutdown  bool
+	done      chan struct{}
 }
 
 // Source is the store side a Monitor consumes: a mutable
@@ -245,7 +249,7 @@ func (m *Monitor) subscribeSub(name string, kind Kind, q *uncertain.Object, k in
 	// kill the subscription deterministically before it ever worked.
 	// Surface that as a subscribe error instead of a dead channel.
 	if err := s.Err(); err != nil {
-		if err == ErrCursorMismatch || err == errDuplicateName {
+		if err == ErrCursorMismatch || err == ErrDuplicateName {
 			return nil, err
 		}
 		return nil, fmt.Errorf("cq: initial result set overflowed the %d-event buffer (raise Options.Buffer or use DropOldest): %w", m.opts.buffer(), err)
@@ -253,7 +257,9 @@ func (m *Monitor) subscribeSub(name string, kind Kind, q *uncertain.Object, k in
 	return s, nil
 }
 
-var errDuplicateName = fmt.Errorf("cq: durable subscription name already in use")
+// ErrDuplicateName: a durable subscription was requested under a name
+// that a live durable subscription already holds.
+var ErrDuplicateName = fmt.Errorf("cq: durable subscription name already in use")
 
 // Unsubscribe cancels a subscription (see Subscription.Cancel).
 func (m *Monitor) Unsubscribe(s *Subscription) { s.Cancel() }
@@ -413,6 +419,10 @@ func (m *Monitor) run() {
 			close(it.done)
 		case it.save != nil:
 			it.save <- m.saveCursor()
+		case it.forgetRes != nil:
+			it.forgetRes <- m.forgetNamed(it.forget)
+		case it.hasRes != nil:
+			it.hasRes <- m.cursorHas(it.hasName)
 		case it.shutdown:
 			if m.opts.CursorPath != "" {
 				// Final cursor save: the next process resumes from the
@@ -438,7 +448,7 @@ func (m *Monitor) addSub(s *Subscription) {
 	if s.name != "" {
 		for _, other := range m.subs {
 			if other.name == s.name {
-				s.finish(errDuplicateName)
+				s.finish(ErrDuplicateName)
 				return
 			}
 		}
@@ -503,10 +513,87 @@ func (m *Monitor) saveCursor() error {
 		}
 	}
 	m.sinceSave = 0
+	// Refresh the in-memory cursor too: in-process re-subscribes (and
+	// dropSub's remember) work against the latest persisted view.
+	m.cursor = c
 	return wal.SaveCursor(m.opts.CursorPath, c)
 }
 
-// dropSub removes a subscription and closes its stream.
+// remember installs a named subscription's resume state into the
+// in-memory cursor (persisted at the next save). Worker-only.
+func (m *Monitor) remember(cs wal.CursorSub) {
+	if m.cursor == nil {
+		m.cursor = &wal.Cursor{}
+	}
+	for i := range m.cursor.Subs {
+		if m.cursor.Subs[i].Name == cs.Name {
+			m.cursor.Subs[i] = cs
+			return
+		}
+	}
+	m.cursor.Subs = append(m.cursor.Subs, cs)
+}
+
+// forgetNamed drops a name's cursor resume state. Worker-only.
+func (m *Monitor) forgetNamed(name string) error {
+	for _, s := range m.subs {
+		if s.name == name {
+			return fmt.Errorf("cq: cannot forget %q: subscription is live", name)
+		}
+	}
+	if m.cursor != nil {
+		for i := range m.cursor.Subs {
+			if m.cursor.Subs[i].Name == name {
+				m.cursor.Subs = append(m.cursor.Subs[:i], m.cursor.Subs[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// cursorHas reports whether the cursor holds resume state for name.
+// Worker-only.
+func (m *Monitor) cursorHas(name string) bool {
+	if m.cursor == nil {
+		return false
+	}
+	for i := range m.cursor.Subs {
+		if m.cursor.Subs[i].Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Forget removes name's durable resume state from the cursor (in
+// memory immediately, on disk at the next save): the next subscription
+// under that name starts from a full fresh result set instead of a
+// delta. It fails while a live subscription holds the name.
+func (m *Monitor) Forget(name string) error {
+	reply := make(chan error, 1)
+	if !m.enqueue(item{forget: name, forgetRes: reply}) {
+		return ErrMonitorClosed
+	}
+	return <-reply
+}
+
+// HasCursorSub reports whether the durable cursor currently holds
+// resume state for name — a subscription under that name would start
+// with a coalesced delta rather than a full result set.
+func (m *Monitor) HasCursorSub(name string) bool {
+	reply := make(chan bool, 1)
+	if !m.enqueue(item{hasName: name, hasRes: reply}) {
+		return false
+	}
+	return <-reply
+}
+
+// dropSub removes a subscription and closes its stream. A named
+// subscription's final result set is remembered in the in-memory
+// cursor first, so re-subscribing under the same name — in the same
+// process or after the next cursor save, in the next one — resumes
+// with the delta since this exact point rather than a stale snapshot.
 func (m *Monitor) dropSub(s *Subscription, err error) {
 	if _, ok := m.subs[s.id]; !ok {
 		return
@@ -517,6 +604,9 @@ func (m *Monitor) dropSub(s *Subscription, err error) {
 		m.regions.Delete(s.region, s)
 	} else {
 		delete(m.unbounded, s.id)
+	}
+	if s.name != "" && m.opts.CursorPath != "" {
+		m.remember(s.cursorState())
 	}
 	s.finish(err)
 }

@@ -44,8 +44,11 @@ type storeJournal struct {
 }
 
 // journalLocked journals one commit record before it is applied; a nil
-// journal (in-memory store) accepts everything. Requires s.mu held for
-// writing.
+// journal (in-memory store) accepts everything. A deferred
+// auto-checkpoint failure is surfaced here — the commit that observes
+// it is rejected (the store unchanged) and the error cleared, so the
+// caller learns about the degraded durability at the next mutation
+// instead of only at Close. Requires s.mu held for writing.
 func (s *Store) journalLocked(rec wal.Record) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
@@ -53,12 +56,17 @@ func (s *Store) journalLocked(rec wal.Record) error {
 	if s.journal == nil {
 		return nil
 	}
+	if err := s.journal.ckptErr; err != nil {
+		s.journal.ckptErr = nil
+		return fmt.Errorf("store: deferred auto-checkpoint failure: %w", err)
+	}
 	return s.journal.j.Append(rec)
 }
 
 // maybeCheckpointLocked runs the auto-checkpoint policy after a commit.
 // A checkpoint failure does not fail the commit (it is already durable
-// in the log); the error is deferred to Close. Requires s.mu held for
+// in the log); the error is deferred and surfaced by the next mutation
+// or Sync — or by Close, whichever comes first. Requires s.mu held for
 // writing.
 func (s *Store) maybeCheckpointLocked() {
 	sj := s.journal
@@ -108,12 +116,18 @@ func (s *Store) Checkpoint() error {
 }
 
 // Sync forces journaled commits to stable storage, regardless of the
-// sync policy. It is a no-op on an in-memory store.
+// sync policy. It also surfaces (and clears) a deferred auto-checkpoint
+// failure, so a caller that never mutates again still learns the
+// checkpoint did not land. It is a no-op on an in-memory store.
 func (s *Store) Sync() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.journal == nil || s.closed {
 		return nil
+	}
+	if err := s.journal.ckptErr; err != nil {
+		s.journal.ckptErr = nil
+		return fmt.Errorf("store: deferred auto-checkpoint failure: %w", err)
 	}
 	return s.journal.j.Sync()
 }

@@ -37,8 +37,22 @@ func shardPersist(popts PersistOptions, i int) PersistOptions {
 	return p
 }
 
+// surfaceCkptErrLocked reports (and clears) a deferred auto-checkpoint
+// failure; the mutation or Sync that observes it is rejected, so the
+// caller learns about the degraded durability right away instead of
+// only at Close. Requires s.mu held for writing.
+func (s *ShardedStore) surfaceCkptErrLocked() error {
+	if s.sj == nil || s.sj.ckptErr == nil {
+		return nil
+	}
+	err := s.sj.ckptErr
+	s.sj.ckptErr = nil
+	return fmt.Errorf("sharded store: deferred auto-checkpoint failure: %w", err)
+}
+
 // maybeCheckpointLocked runs the router's auto-checkpoint policy after
-// a commit; failures are deferred to Close, like Store's. Requires
+// a commit; failures are deferred and surfaced by the next mutation or
+// Sync — or by Close, whichever comes first — like Store's. Requires
 // s.mu held for writing.
 func (s *ShardedStore) maybeCheckpointLocked() {
 	sj := s.sj
@@ -105,10 +119,15 @@ func (s *ShardedStore) Checkpoint() error {
 	return s.checkpointLocked()
 }
 
-// Sync forces every shard's journaled commits to stable storage.
+// Sync forces every shard's journaled commits to stable storage. It
+// also surfaces (and clears) a deferred auto-checkpoint failure of the
+// router's coordinated checkpoint.
 func (s *ShardedStore) Sync() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.surfaceCkptErrLocked(); err != nil {
+		return err
+	}
 	for _, sh := range s.shards {
 		if err := sh.Sync(); err != nil {
 			return err

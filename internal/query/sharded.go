@@ -322,6 +322,9 @@ func (s *ShardedStore) Insert(o *uncertain.Object) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.surfaceCkptErrLocked(); err != nil {
+		return err
+	}
 	if _, dup := s.byID[o.ID]; dup {
 		return fmt.Errorf("sharded store: duplicate object ID %d", o.ID)
 	}
@@ -355,6 +358,9 @@ func (s *ShardedStore) Delete(id int) bool {
 func (s *ShardedStore) DeleteErr(id int) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.surfaceCkptErrLocked(); err != nil {
+		return false, err
+	}
 	o, ok := s.byID[id]
 	if !ok {
 		return false, nil
@@ -388,6 +394,9 @@ func (s *ShardedStore) Update(o *uncertain.Object) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.surfaceCkptErrLocked(); err != nil {
+		return err
+	}
 	old, ok := s.byID[o.ID]
 	if !ok {
 		return fmt.Errorf("sharded store: update of unknown object ID %d", o.ID)

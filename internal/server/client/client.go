@@ -1,0 +1,358 @@
+// Package client is the Go client for the probprune network protocol
+// (see internal/server and docs/PROTOCOL.md). It pipelines: any number
+// of goroutines may issue commands on one connection, replies are
+// matched to callers in FIFO wire order, and subscription push frames
+// are demultiplexed onto per-subscription event channels.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"probprune/internal/server"
+	"probprune/internal/uncertain"
+)
+
+// Error is a server error reply.
+type Error struct {
+	Code string // ERR, PROTO, BADARG, UNKNOWN, BUSY, GONE, CURSORMISMATCH, NODURABLE
+	Msg  string
+}
+
+func (e *Error) Error() string { return e.Code + " " + e.Msg }
+
+// IsCode reports whether err is a server error reply with the given
+// code.
+func IsCode(err error, code string) bool {
+	var se *Error
+	return errors.As(err, &se) && se.Code == code
+}
+
+// ErrClosed: the client connection is closed.
+var ErrClosed = errors.New("client: connection closed")
+
+// Client is one protocol connection. Safe for concurrent use.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serializes frame writes (and pending registration with them)
+	w   *server.Writer
+
+	pmu     sync.Mutex
+	pending []chan server.Frame // FIFO of callers awaiting replies
+
+	smu     sync.Mutex
+	subs    map[int64]*Sub
+	orphans map[int64][]server.EventMsg // pushes that beat their subscribe reply
+
+	emu  sync.Mutex
+	err  error
+	done chan struct{}
+}
+
+// Dial connects to a probprune server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:      nc,
+		w:       server.NewWriter(nc),
+		subs:    make(map[int64]*Sub),
+		orphans: make(map[int64][]server.EventMsg),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down. Named subscriptions park on the
+// server and can be resumed on a new connection.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}
+
+// Err returns the terminal connection error, nil while the client is
+// live.
+func (c *Client) Err() error {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	select {
+	case <-c.done:
+		return c.err
+	default:
+		return nil
+	}
+}
+
+// fail ends the client exactly once: the socket closes, pending
+// callers and subscriptions are released with err.
+func (c *Client) fail(err error) {
+	c.emu.Lock()
+	select {
+	case <-c.done:
+		c.emu.Unlock()
+		return
+	default:
+	}
+	c.err = err
+	close(c.done)
+	c.emu.Unlock()
+	c.nc.Close()
+	c.smu.Lock()
+	subs := c.subs
+	c.subs = make(map[int64]*Sub)
+	c.orphans = make(map[int64][]server.EventMsg)
+	c.smu.Unlock()
+	for _, s := range subs {
+		s.finish(err)
+	}
+}
+
+func (c *Client) readLoop() {
+	r := server.NewReader(c.nc)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if f.Type == server.TPush {
+			ev, err := server.DecodeEvent(f)
+			if err != nil {
+				c.fail(fmt.Errorf("client: bad push frame: %w", err))
+				return
+			}
+			c.route(ev)
+			continue
+		}
+		c.pmu.Lock()
+		if len(c.pending) == 0 {
+			c.pmu.Unlock()
+			c.fail(fmt.Errorf("client: unsolicited reply frame %q", f.Type))
+			return
+		}
+		ch := c.pending[0]
+		c.pending = c.pending[1:]
+		c.pmu.Unlock()
+		ch <- f
+	}
+}
+
+// route hands a push event to its subscription — or parks it for the
+// subscribe reply that has not been processed yet (the server may push
+// the first events in the same TCP segment as the reply).
+func (c *Client) route(ev server.EventMsg) {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	if s := c.subs[ev.Sub]; s != nil {
+		s.push(ev)
+		if ev.Kind == server.EvEnd {
+			delete(c.subs, ev.Sub)
+		}
+		return
+	}
+	c.orphans[ev.Sub] = append(c.orphans[ev.Sub], ev)
+}
+
+// call issues one command and waits for its reply. Error replies come
+// back as *Error.
+func (c *Client) call(args ...[]byte) (server.Frame, error) {
+	elems := make([]server.Frame, len(args))
+	for i, a := range args {
+		elems[i] = server.Frame{Type: server.TBulk, Bulk: a}
+	}
+	f := server.Frame{Type: server.TArray, Array: elems}
+	ch := make(chan server.Frame, 1)
+	c.wmu.Lock()
+	select {
+	case <-c.done:
+		c.wmu.Unlock()
+		return server.Frame{}, c.Err()
+	default:
+	}
+	c.pmu.Lock()
+	c.pending = append(c.pending, ch)
+	c.pmu.Unlock()
+	err := c.w.WriteFrame(f)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return server.Frame{}, err
+	}
+	select {
+	case r := <-ch:
+		if code, msg, ok := r.IsError(); ok {
+			return r, &Error{Code: code, Msg: msg}
+		}
+		return r, nil
+	case <-c.done:
+		return server.Frame{}, c.Err()
+	}
+}
+
+func itob(n int) []byte     { return strconv.AppendInt(nil, int64(n), 10) }
+func utob(n uint64) []byte  { return strconv.AppendUint(nil, n, 10) }
+func ftob(f float64) []byte { return strconv.AppendFloat(nil, f, 'g', -1, 64) }
+
+// Ping round-trips the connection.
+func (c *Client) Ping() error {
+	r, err := c.call([]byte("PING"))
+	if err != nil {
+		return err
+	}
+	if r.Type != server.TSimple || r.Str != "PONG" {
+		return fmt.Errorf("client: bad PING reply")
+	}
+	return nil
+}
+
+// Version returns the store's current mutation epoch.
+func (c *Client) Version() (uint64, error) {
+	r, err := c.call([]byte("VERSION"))
+	if err != nil {
+		return 0, err
+	}
+	return uint64(r.Int), expectInt(r)
+}
+
+// Len returns the number of stored objects.
+func (c *Client) Len() (int, error) {
+	r, err := c.call([]byte("LEN"))
+	if err != nil {
+		return 0, err
+	}
+	return int(r.Int), expectInt(r)
+}
+
+func expectInt(r server.Frame) error {
+	if r.Type != server.TInt {
+		return fmt.Errorf("client: want integer reply, got %q", r.Type)
+	}
+	return nil
+}
+
+// Get fetches one object by ID; ok reports presence.
+func (c *Client) Get(id int) (*uncertain.Object, bool, error) {
+	r, err := c.call([]byte("GET"), itob(id))
+	if err != nil {
+		return nil, false, err
+	}
+	if r.Type != server.TBulk {
+		return nil, false, fmt.Errorf("client: want bulk reply, got %q", r.Type)
+	}
+	if r.Null {
+		return nil, false, nil
+	}
+	o, err := server.DecodeObject(r.Bulk)
+	return o, err == nil, err
+}
+
+// Insert adds an object to the store.
+func (c *Client) Insert(o *uncertain.Object) error {
+	_, err := c.call([]byte("INSERT"), server.EncodeObject(o))
+	return err
+}
+
+// Update replaces the object with o's ID.
+func (c *Client) Update(o *uncertain.Object) error {
+	_, err := c.call([]byte("UPDATE"), server.EncodeObject(o))
+	return err
+}
+
+// Delete removes an object; found reports whether it existed.
+func (c *Client) Delete(id int) (bool, error) {
+	r, err := c.call([]byte("DELETE"), itob(id))
+	if err != nil {
+		return false, err
+	}
+	return r.Int != 0, expectInt(r)
+}
+
+// KNN runs a probabilistic threshold kNN query.
+func (c *Client) KNN(q *uncertain.Object, k int, tau float64) ([]server.Match, error) {
+	r, err := c.call([]byte("KNN"), itob(k), ftob(tau), server.EncodeObject(q))
+	if err != nil {
+		return nil, err
+	}
+	return server.DecodeMatches(r)
+}
+
+// RKNN runs a probabilistic threshold reverse kNN query.
+func (c *Client) RKNN(q *uncertain.Object, k int, tau float64) ([]server.Match, error) {
+	r, err := c.call([]byte("RKNN"), itob(k), ftob(tau), server.EncodeObject(q))
+	if err != nil {
+		return nil, err
+	}
+	return server.DecodeMatches(r)
+}
+
+// TopKNN runs a probabilistic top-m kNN query.
+func (c *Client) TopKNN(q *uncertain.Object, k, m int) ([]server.Match, error) {
+	r, err := c.call([]byte("TOPKNN"), itob(k), itob(m), server.EncodeObject(q))
+	if err != nil {
+		return nil, err
+	}
+	return server.DecodeMatches(r)
+}
+
+// InvRank runs an inverse-ranking query: bounds on b's rank
+// distribution with respect to reference point r.
+func (c *Client) InvRank(b, r *uncertain.Object) (server.RankDist, error) {
+	f, err := c.call([]byte("INVRANK"), server.EncodeObject(b), server.EncodeObject(r))
+	if err != nil {
+		return server.RankDist{}, err
+	}
+	return server.DecodeRankDist(f)
+}
+
+// BatchReq is one query of a BatchKNN submission.
+type BatchReq struct {
+	Q   *uncertain.Object
+	K   int
+	Tau float64
+}
+
+// BatchKNN runs many kNN queries against one store snapshot.
+func (c *Client) BatchKNN(reqs []BatchReq) ([][]server.Match, error) {
+	args := make([][]byte, 0, 2+3*len(reqs))
+	args = append(args, []byte("BATCH"), itob(len(reqs)))
+	for _, q := range reqs {
+		args = append(args, itob(q.K), ftob(q.Tau), server.EncodeObject(q.Q))
+	}
+	r, err := c.call(args...)
+	if err != nil {
+		return nil, err
+	}
+	if r.Type != server.TArray || r.Null {
+		return nil, fmt.Errorf("client: want array reply, got %q", r.Type)
+	}
+	out := make([][]server.Match, len(r.Array))
+	for i, el := range r.Array {
+		ms, err := server.DecodeMatches(el)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ms
+	}
+	return out, nil
+}
+
+// WaitVersion blocks until the server's subscription monitor processed
+// store version v — every subscription event up to v has been
+// generated. It returns the monitor's current version.
+func (c *Client) WaitVersion(v uint64) (uint64, error) {
+	r, err := c.call([]byte("WAITVERSION"), utob(v))
+	if err != nil {
+		return 0, err
+	}
+	return uint64(r.Int), expectInt(r)
+}

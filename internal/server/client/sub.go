@@ -1,0 +1,210 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+
+	"probprune/internal/server"
+	"probprune/internal/uncertain"
+)
+
+// SubOptions describes a subscription request.
+type SubOptions struct {
+	// Kind is "KNN" or "RKNN".
+	Kind string
+	K    int
+	Tau  float64
+	Q    *uncertain.Object
+	// Name makes the subscription durable: it survives disconnects
+	// (parked on the server) and server restarts (durable cursor), and
+	// is resumable with Resume. Requires a server with a cursor.
+	Name string
+	// Policy is "disconnect" (default; never gap — the subscription
+	// terminates if the server would have to drop an event) or
+	// "dropoldest" (shed oldest, count lost).
+	Policy string
+	// Fresh discards any durable resume state under Name first: the
+	// subscription starts with a full initial result set.
+	Fresh bool
+}
+
+// Sub is one live subscription. Consume Events until it closes; the
+// final event has Kind "end" and carries the termination reason. A
+// consumer that stops draining does not stall the connection — events
+// queue in memory — but an exact view requires draining promptly.
+type Sub struct {
+	// ID is the server-assigned subscription ID.
+	ID int64
+	// Mode says how to interpret the initial events: "full" (complete
+	// result set), "delta" (coalesced delta vs the durable cursor) or
+	// "continue" (exact suffix past the presented watermark).
+	Mode string
+	// Lost is the server's cumulative shed count at subscribe/resume
+	// time (dropoldest policy only).
+	Lost uint64
+	// Events is the ordered event stream.
+	Events <-chan server.EventMsg
+
+	c      *Client
+	events chan server.EventMsg
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inbox []server.EventMsg
+	fin   bool
+	err   error
+}
+
+func newSub(c *Client, id int64, mode string, lost uint64) *Sub {
+	s := &Sub{ID: id, Mode: mode, Lost: lost, c: c, events: make(chan server.EventMsg, 64)}
+	s.Events = s.events
+	s.cond = sync.NewCond(&s.mu)
+	go s.pump()
+	return s
+}
+
+// push enqueues an event from the reader goroutine; never blocks.
+func (s *Sub) push(ev server.EventMsg) {
+	s.mu.Lock()
+	s.inbox = append(s.inbox, ev)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// finish ends the stream (connection failure): buffered events still
+// deliver, then Events closes. Err reports why afterwards.
+func (s *Sub) finish(err error) {
+	s.mu.Lock()
+	if !s.fin {
+		s.fin = true
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Err returns the connection error that ended the stream, nil when it
+// ended with a server "end" event (or is still live).
+func (s *Sub) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fin {
+		return s.err
+	}
+	return nil
+}
+
+// pump moves inbox events onto the consumer channel in order.
+func (s *Sub) pump() {
+	for {
+		s.mu.Lock()
+		for len(s.inbox) == 0 && !s.fin {
+			s.cond.Wait()
+		}
+		if len(s.inbox) == 0 {
+			s.mu.Unlock()
+			close(s.events)
+			return
+		}
+		ev := s.inbox[0]
+		s.inbox = s.inbox[1:]
+		s.mu.Unlock()
+		select {
+		case s.events <- ev:
+		default:
+			// Buffer full. Block — but if the client tears down while
+			// the consumer has stopped reading, give up on the stream.
+			// (The done case must not race deliverable events: a select
+			// with two ready channels picks randomly, and dropping a
+			// received terminal event would break stream contracts.)
+			select {
+			case s.events <- ev:
+			case <-s.c.done:
+				close(s.events)
+				return
+			}
+		}
+		if ev.Kind == server.EvEnd {
+			close(s.events)
+			return
+		}
+	}
+}
+
+func subArgs(cmd string, o SubOptions) [][]byte {
+	args := [][]byte{[]byte(cmd)}
+	if cmd == "SUBSCRIBE" {
+		args = append(args, []byte(o.Kind), itob(o.K), ftob(o.Tau), server.EncodeObject(o.Q))
+		if o.Name != "" {
+			args = append(args, []byte("NAME"), []byte(o.Name))
+		}
+	} else {
+		args = append(args, []byte(o.Kind), itob(o.K), ftob(o.Tau), server.EncodeObject(o.Q))
+	}
+	if o.Policy != "" {
+		args = append(args, []byte("POLICY"), []byte(o.Policy))
+	}
+	if o.Fresh {
+		args = append(args, []byte("FRESH"))
+	}
+	return args
+}
+
+// register installs the sub and flushes pushes that arrived before the
+// reply was processed, preserving order.
+func (c *Client) register(id int64, mode string, lost uint64) *Sub {
+	s := newSub(c, id, mode, lost)
+	c.smu.Lock()
+	for _, ev := range c.orphans[id] {
+		s.push(ev)
+		if ev.Kind == server.EvEnd {
+			// Stream already over; don't register for more.
+			delete(c.orphans, id)
+			c.smu.Unlock()
+			return s
+		}
+	}
+	delete(c.orphans, id)
+	c.subs[id] = s
+	c.smu.Unlock()
+	return s
+}
+
+// Subscribe opens a standing query subscription. The initial result
+// set (or resume delta — see Sub.Mode) streams as the first events.
+func (c *Client) Subscribe(o SubOptions) (*Sub, error) {
+	r, err := c.call(subArgs("SUBSCRIBE", o)...)
+	if err != nil {
+		return nil, err
+	}
+	if r.Type != server.TArray || len(r.Array) != 2 || r.Array[0].Type != server.TInt || r.Array[1].Type != server.TBulk {
+		return nil, fmt.Errorf("client: malformed SUBSCRIBE reply")
+	}
+	return c.register(r.Array[0].Int, string(r.Array[1].Bulk), 0), nil
+}
+
+// Resume reattaches to the named durable subscription, presenting the
+// watermark (version, objectID) of the last event this client fully
+// processed. The predicate must match the original subscription.
+// Sub.Mode reports what the stream contains: "continue" for an exact
+// suffix, "delta"/"full" after a server restart.
+func (c *Client) Resume(name string, version uint64, objectID int, o SubOptions) (*Sub, error) {
+	args := [][]byte{[]byte("RESUME"), []byte(name), utob(version), itob(objectID)}
+	args = append(args, subArgs("", o)[1:]...)
+	r, err := c.call(args...)
+	if err != nil {
+		return nil, err
+	}
+	if r.Type != server.TArray || len(r.Array) != 3 || r.Array[0].Type != server.TInt ||
+		r.Array[1].Type != server.TBulk || r.Array[2].Type != server.TInt {
+		return nil, fmt.Errorf("client: malformed RESUME reply")
+	}
+	return c.register(r.Array[0].Int, string(r.Array[1].Bulk), uint64(r.Array[2].Int)), nil
+}
+
+// Unsubscribe ends a subscription. The stream still delivers every
+// event generated before the cancellation, then the "end" event.
+func (c *Client) Unsubscribe(s *Sub) error {
+	_, err := c.call([]byte("UNSUBSCRIBE"), itob(int(s.ID)))
+	return err
+}

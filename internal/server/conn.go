@@ -1,0 +1,596 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probprune/internal/cq"
+	"probprune/internal/query"
+	"probprune/internal/uncertain"
+)
+
+// Error reply codes. -PROTO additionally means the server is about to
+// close the connection, because the stream can no longer be framed.
+const (
+	codeErr            = "ERR"
+	codeProto          = "PROTO"
+	codeUnknown        = "UNKNOWN"
+	codeBadArg         = "BADARG"
+	codeBusy           = "BUSY"
+	codeGone           = "GONE"
+	codeCursorMismatch = "CURSORMISMATCH"
+	codeNoDurable      = "NODURABLE"
+)
+
+// conn is one client connection: a reader goroutine decodes and
+// dispatches commands strictly in order (pipelining is just reading
+// ahead), a writer goroutine drains the frame queue onto the socket.
+// Command replies enter the queue from the dispatch loop, subscription
+// events from session delivery goroutines; the queue gives the
+// connection one total output order, and the client separates the two
+// streams by frame type (pushes are '>').
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	outq   chan Frame
+	queued atomic.Int64 // frames enqueued but not yet flushed to the socket
+	closed chan struct{}
+	once   sync.Once
+
+	mu   sync.Mutex
+	subs map[int64]*subState // sessions attached to this connection
+}
+
+func newConn(srv *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:    srv,
+		nc:     nc,
+		outq:   make(chan Frame, srv.opts.outQueue()),
+		closed: make(chan struct{}),
+		subs:   make(map[int64]*subState),
+	}
+}
+
+// send enqueues a frame, blocking until there is room. It aborts (and
+// reports false) when the connection closes or abort is closed.
+func (c *conn) send(f Frame, abort <-chan struct{}) bool {
+	c.queued.Add(1)
+	select {
+	case c.outq <- f:
+		return true
+	case <-c.closed:
+		c.queued.Add(-1)
+		return false
+	case <-abort:
+		c.queued.Add(-1)
+		return false
+	}
+}
+
+// reply enqueues a command reply (aborts only on connection close).
+func (c *conn) reply(f Frame) bool {
+	c.queued.Add(1)
+	select {
+	case c.outq <- f:
+		return true
+	case <-c.closed:
+		c.queued.Add(-1)
+		return false
+	}
+}
+
+// trySend enqueues without blocking; best-effort.
+func (c *conn) trySend(f Frame) bool {
+	c.queued.Add(1)
+	select {
+	case c.outq <- f:
+		return true
+	default:
+		c.queued.Add(-1)
+		return false
+	}
+}
+
+func (c *conn) addSub(st *subState) {
+	c.mu.Lock()
+	c.subs[st.id] = st
+	c.mu.Unlock()
+}
+
+func (c *conn) dropSub(st *subState) {
+	c.mu.Lock()
+	delete(c.subs, st.id)
+	c.mu.Unlock()
+}
+
+func (c *conn) findSub(id int64) *subState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subs[id]
+}
+
+// close shuts the connection down exactly once: the socket closes, the
+// writer drains out, and every attached session detaches (named ones
+// park for RESUME, ephemeral ones terminate).
+func (c *conn) close() {
+	c.once.Do(func() {
+		close(c.closed)
+		c.nc.Close()
+		c.mu.Lock()
+		subs := make([]*subState, 0, len(c.subs))
+		for _, st := range c.subs {
+			subs = append(subs, st)
+		}
+		c.subs = make(map[int64]*subState)
+		c.mu.Unlock()
+		for _, st := range subs {
+			st.detach(c)
+		}
+		c.srv.dropConn(c)
+	})
+}
+
+// writeLoop owns the socket's write side.
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	w := NewWriter(c.nc)
+	unflushed := 0
+	for {
+		select {
+		case f := <-c.outq:
+			if err := w.WriteFrame(f); err != nil {
+				c.close()
+				return
+			}
+			unflushed++
+			// Flush only when the queue drained: pipelined replies and
+			// event bursts batch into large writes. queued counts down
+			// only here, so Close can tell when a tail really hit the
+			// socket rather than just the queue.
+			if len(c.outq) == 0 {
+				if err := w.Flush(); err != nil {
+					c.close()
+					return
+				}
+				c.queued.Add(-int64(unflushed))
+				unflushed = 0
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// readLoop owns the socket's read side: decode, dispatch, reply, in
+// strict order.
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	defer c.close()
+	r := NewReader(c.nc)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			if errors.Is(err, ErrProto) {
+				c.srv.logf("server: protocol violation from %s: %v", c.nc.RemoteAddr(), err)
+				c.reply(errf(codeProto, "%v", err))
+				// Give the writer a moment to flush the diagnosis.
+				time.Sleep(10 * time.Millisecond)
+			}
+			return
+		}
+		args, ok := commandArgs(f)
+		if !ok {
+			c.reply(errf(codeProto, "commands must be arrays of bulk strings"))
+			time.Sleep(10 * time.Millisecond)
+			return
+		}
+		if len(args) == 0 {
+			continue
+		}
+		c.dispatch(args)
+		select {
+		case <-c.closed:
+			return
+		default:
+		}
+	}
+}
+
+// commandArgs flattens a decoded command frame into its byte-slice
+// arguments.
+func commandArgs(f Frame) ([][]byte, bool) {
+	if f.Type != TArray || f.Null {
+		return nil, false
+	}
+	args := make([][]byte, len(f.Array))
+	for i, el := range f.Array {
+		if el.Type != TBulk || el.Null {
+			return nil, false
+		}
+		args[i] = el.Bulk
+	}
+	return args, true
+}
+
+// Argument parsing helpers. They return ok=false after replying.
+
+func argInt(b []byte) (int, error) {
+	n, err := strconv.Atoi(string(b))
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", b)
+	}
+	return n, nil
+}
+
+func argUint(b []byte) (uint64, error) {
+	n, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad unsigned integer %q", b)
+	}
+	return n, nil
+}
+
+func argFloat(b []byte) (float64, error) {
+	return parseFloat(string(b))
+}
+
+func argKind(b []byte) (cq.Kind, error) {
+	switch {
+	case bytes.EqualFold(b, []byte("KNN")):
+		return cq.KNN, nil
+	case bytes.EqualFold(b, []byte("RKNN")):
+		return cq.RKNN, nil
+	}
+	return 0, fmt.Errorf("bad subscription kind %q (want KNN or RKNN)", b)
+}
+
+func argPolicy(b []byte) (Policy, error) {
+	switch {
+	case bytes.EqualFold(b, []byte("disconnect")):
+		return PolicyDisconnect, nil
+	case bytes.EqualFold(b, []byte("dropoldest")):
+		return PolicyDropOldest, nil
+	}
+	return 0, fmt.Errorf("bad policy %q (want disconnect or dropoldest)", b)
+}
+
+// dispatch executes one command and enqueues its reply.
+func (c *conn) dispatch(args [][]byte) {
+	cmd := string(bytes.ToUpper(args[0]))
+	rest := args[1:]
+	var f Frame
+	switch cmd {
+	case "PING":
+		if len(rest) == 1 {
+			f = bulk(bytes.Clone(rest[0]))
+		} else {
+			f = simple("PONG")
+		}
+	case "VERSION":
+		f = intf(int64(c.srv.backend.Version()))
+	case "LEN":
+		f = intf(int64(c.srv.backend.Len()))
+	case "GET":
+		f = c.cmdGet(rest)
+	case "INSERT":
+		f = c.cmdMutate(rest, c.srv.backend.Insert)
+	case "UPDATE":
+		f = c.cmdMutate(rest, c.srv.backend.Update)
+	case "DELETE":
+		f = c.cmdDelete(rest)
+	case "KNN":
+		f = c.cmdThresholdQuery(rest, c.srv.backend.KNNCtx)
+	case "RKNN":
+		f = c.cmdThresholdQuery(rest, c.srv.backend.RKNNCtx)
+	case "TOPKNN":
+		f = c.cmdTopKNN(rest)
+	case "INVRANK":
+		f = c.cmdInvRank(rest)
+	case "BATCH":
+		f = c.cmdBatch(rest)
+	case "WAITVERSION":
+		f = c.cmdWaitVersion(rest)
+	case "SUBSCRIBE":
+		f = c.cmdSubscribe(rest)
+	case "RESUME":
+		f = c.cmdResume(rest)
+	case "UNSUBSCRIBE":
+		f = c.cmdUnsubscribe(rest)
+	default:
+		f = errf(codeUnknown, "unknown command %q", cmd)
+	}
+	if f.Type != 0 { // zero Frame: the handler already replied
+		c.reply(f)
+	}
+}
+
+func (c *conn) cmdGet(rest [][]byte) Frame {
+	if len(rest) != 1 {
+		return errf(codeBadArg, "GET <id>")
+	}
+	id, err := argInt(rest[0])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	o, ok := c.srv.backend.Get(id)
+	if !ok {
+		return Frame{Type: TBulk, Null: true}
+	}
+	return bulk(EncodeObject(o))
+}
+
+func (c *conn) cmdMutate(rest [][]byte, op func(*uncertain.Object) error) Frame {
+	if len(rest) != 1 {
+		return errf(codeBadArg, "INSERT|UPDATE <object>")
+	}
+	o, err := DecodeObject(rest[0])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	if err := op(o); err != nil {
+		return errf(codeErr, "%v", err)
+	}
+	return simple("OK")
+}
+
+func (c *conn) cmdDelete(rest [][]byte) Frame {
+	if len(rest) != 1 {
+		return errf(codeBadArg, "DELETE <id>")
+	}
+	id, err := argInt(rest[0])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	found, err := c.srv.backend.DeleteErr(id)
+	if err != nil {
+		return errf(codeErr, "%v", err)
+	}
+	return intf(boolInt(found))
+}
+
+func (c *conn) cmdThresholdQuery(rest [][]byte, run func(context.Context, *uncertain.Object, int, float64) ([]query.Match, error)) Frame {
+	if len(rest) != 3 {
+		return errf(codeBadArg, "KNN|RKNN <k> <tau> <object>")
+	}
+	k, err := argInt(rest[0])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	tau, err := argFloat(rest[1])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	q, err := DecodeObject(rest[2])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	ms, err := run(c.srv.ctx, q, k, tau)
+	if err != nil {
+		return errf(codeErr, "%v", err)
+	}
+	return EncodeMatches(ms)
+}
+
+func (c *conn) cmdTopKNN(rest [][]byte) Frame {
+	if len(rest) != 3 {
+		return errf(codeBadArg, "TOPKNN <k> <m> <object>")
+	}
+	k, err := argInt(rest[0])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	m, err := argInt(rest[1])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	q, err := DecodeObject(rest[2])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	ms, err := c.srv.backend.TopKNNCtx(c.srv.ctx, q, k, m)
+	if err != nil {
+		return errf(codeErr, "%v", err)
+	}
+	return EncodeMatches(ms)
+}
+
+func (c *conn) cmdInvRank(rest [][]byte) Frame {
+	if len(rest) != 2 {
+		return errf(codeBadArg, "INVRANK <object-b> <object-r>")
+	}
+	b, err := DecodeObject(rest[0])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	r, err := DecodeObject(rest[1])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	return EncodeRankDist(c.srv.backend.InverseRank(b, r))
+}
+
+// cmdBatch routes a whole pipeline of kNN queries onto the store's
+// one-snapshot BatchKNN path: BATCH <n> then n×(<k> <tau> <object>).
+func (c *conn) cmdBatch(rest [][]byte) Frame {
+	if len(rest) < 1 {
+		return errf(codeBadArg, "BATCH <n> (<k> <tau> <object>)...")
+	}
+	n, err := argInt(rest[0])
+	if err != nil || n < 0 {
+		return errf(codeBadArg, "bad batch size %q", rest[0])
+	}
+	if len(rest) != 1+3*n {
+		return errf(codeBadArg, "BATCH %d wants %d arguments, got %d", n, 1+3*n, len(rest))
+	}
+	reqs := make([]query.KNNRequest, n)
+	for i := 0; i < n; i++ {
+		k, err := argInt(rest[1+3*i])
+		if err != nil {
+			return errf(codeBadArg, "query %d: %v", i, err)
+		}
+		tau, err := argFloat(rest[2+3*i])
+		if err != nil {
+			return errf(codeBadArg, "query %d: %v", i, err)
+		}
+		q, err := DecodeObject(rest[3+3*i])
+		if err != nil {
+			return errf(codeBadArg, "query %d: %v", i, err)
+		}
+		reqs[i] = query.KNNRequest{Q: q, K: k, Tau: tau}
+	}
+	results, err := c.srv.backend.BatchKNN(c.srv.ctx, reqs)
+	if err != nil {
+		return errf(codeErr, "%v", err)
+	}
+	elems := make([]Frame, len(results))
+	for i, ms := range results {
+		elems[i] = EncodeMatches(ms)
+	}
+	return array(elems...)
+}
+
+func (c *conn) cmdWaitVersion(rest [][]byte) Frame {
+	if len(rest) != 1 {
+		return errf(codeBadArg, "WAITVERSION <version>")
+	}
+	v, err := argUint(rest[0])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	ctx, cancel := context.WithTimeout(c.srv.ctx, 30*time.Second)
+	defer cancel()
+	if err := c.srv.mon.WaitVersion(ctx, v); err != nil {
+		return errf(codeErr, "%v", err)
+	}
+	return intf(int64(c.srv.mon.Version()))
+}
+
+// subSpec is a parsed subscription predicate plus session options.
+type subSpec struct {
+	kind   cq.Kind
+	k      int
+	tau    float64
+	q      *uncertain.Object
+	name   string
+	policy Policy
+	fresh  bool
+}
+
+// parseSubSpec parses <kind> <k> <tau> <object> [NAME n] [POLICY p]
+// [FRESH] starting at rest[0].
+func parseSubSpec(rest [][]byte) (subSpec, error) {
+	var sp subSpec
+	if len(rest) < 4 {
+		return sp, fmt.Errorf("want <KNN|RKNN> <k> <tau> <object>")
+	}
+	var err error
+	if sp.kind, err = argKind(rest[0]); err != nil {
+		return sp, err
+	}
+	if sp.k, err = argInt(rest[1]); err != nil {
+		return sp, err
+	}
+	if sp.tau, err = argFloat(rest[2]); err != nil {
+		return sp, err
+	}
+	if sp.q, err = DecodeObject(rest[3]); err != nil {
+		return sp, err
+	}
+	rest = rest[4:]
+	for len(rest) > 0 {
+		switch {
+		case bytes.EqualFold(rest[0], []byte("NAME")) && len(rest) >= 2:
+			sp.name = string(rest[1])
+			if sp.name == "" {
+				return sp, fmt.Errorf("empty NAME")
+			}
+			rest = rest[2:]
+		case bytes.EqualFold(rest[0], []byte("POLICY")) && len(rest) >= 2:
+			if sp.policy, err = argPolicy(rest[1]); err != nil {
+				return sp, err
+			}
+			rest = rest[2:]
+		case bytes.EqualFold(rest[0], []byte("FRESH")):
+			sp.fresh = true
+			rest = rest[1:]
+		default:
+			return sp, fmt.Errorf("bad subscription option %q", rest[0])
+		}
+	}
+	return sp, nil
+}
+
+func (c *conn) cmdSubscribe(rest [][]byte) Frame {
+	sp, err := parseSubSpec(rest)
+	if err != nil {
+		return errf(codeBadArg, "SUBSCRIBE: %v", err)
+	}
+	st, mode, ef := c.srv.subscribe(c, sp)
+	if ef != nil {
+		return *ef
+	}
+	// Reply while delivery is held: the client sees [id, mode] strictly
+	// before the subscription's first push frame.
+	c.reply(array(intf(st.id), bulkStr(mode)))
+	c.srv.release(st)
+	return Frame{} // already replied
+}
+
+func (c *conn) cmdResume(rest [][]byte) Frame {
+	if len(rest) < 7 {
+		return errf(codeBadArg, "RESUME <name> <version> <objid> <KNN|RKNN> <k> <tau> <object>")
+	}
+	name := string(rest[0])
+	wv, err := argUint(rest[1])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	wid, err := argInt(rest[2])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	sp, err := parseSubSpec(rest[3:])
+	if err != nil {
+		return errf(codeBadArg, "RESUME: %v", err)
+	}
+	sp.name = name
+	st, mode, lost, ef := c.srv.resume(c, sp, watermark{v: wv, id: wid})
+	if ef != nil {
+		return *ef
+	}
+	c.reply(array(intf(st.id), bulkStr(mode), intf(int64(lost))))
+	c.srv.release(st)
+	return Frame{}
+}
+
+func (c *conn) cmdUnsubscribe(rest [][]byte) Frame {
+	if len(rest) != 1 {
+		return errf(codeBadArg, "UNSUBSCRIBE <subid>")
+	}
+	id, err := argInt(rest[0])
+	if err != nil {
+		return errf(codeBadArg, "%v", err)
+	}
+	st := c.findSub(int64(id))
+	if st == nil {
+		return errf(codeErr, "no subscription %d on this connection", id)
+	}
+	st.unsubscribe()
+	return intf(1)
+}
+
+// predicateEqual compares a session's standing predicate against a
+// RESUME request: the query object is part of the predicate and is
+// compared by value, exactly as the durable cursor does.
+func (st *subState) predicateEqual(sp subSpec) bool {
+	return st.kind == sp.kind && st.k == sp.k && st.tau == sp.tau && reflect.DeepEqual(st.q, sp.q)
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzSeeds are shared by both fuzzers: well-formed frames, torn
+// frames, limit overruns and plain garbage — the adversarial inputs a
+// public TCP port actually receives.
+var fuzzSeeds = [][]byte{
+	[]byte("+OK\r\n"),
+	[]byte("-ERR something broke\r\n"),
+	[]byte(":12345\r\n"),
+	[]byte(":-1\r\n"),
+	[]byte("$5\r\nhello\r\n"),
+	[]byte("$0\r\n\r\n"),
+	[]byte("$-1\r\n"),
+	[]byte("*-1\r\n"),
+	[]byte("*0\r\n"),
+	[]byte("*3\r\n$3\r\nKNN\r\n:5\r\n$3\r\n0.5\r\n"),
+	[]byte(">3\r\n:1\r\n$7\r\nentered\r\n:42\r\n"),
+	[]byte("*2\r\n*2\r\n:1\r\n:2\r\n*0\r\n"),
+	[]byte("PING\r\n"),
+	[]byte("KNN 5 0.5 1 2 1 0 0.25 0.75\r\n"),
+	[]byte("\r\n  \r\nPING\r\n"),
+	[]byte("$5\r\nhel"),           // torn bulk
+	[]byte("*3\r\n:1\r\n"),        // torn array
+	[]byte(":12"),                 // torn int line
+	[]byte("$99999999999999\r\n"), // oversize bulk header
+	[]byte("*70000\r\n"),          // oversize array header
+	[]byte("$3\r\nabcXY"),         // bulk without CRLF terminator
+	[]byte("*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n:1\r\n"),
+	[]byte(":abc\r\n"),
+	[]byte("$-7\r\n"),
+	[]byte{0x00, 0xff, 0x0d, 0x0a},
+	[]byte("+OK\r\n:1\r\n$1\r\nx\r\nGARBAGE NO NEWLINE"),
+}
+
+// FuzzProtoDecode feeds arbitrary byte streams — pipelined garbage,
+// torn frames, oversize headers — through the frame reader. It must
+// never panic; every error must be either a protocol violation or a
+// clean (unexpected) EOF, and any frame it does hand out must survive
+// an encode→decode round trip.
+func FuzzProtoDecode(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i <= len(data); i++ {
+			fr, err := r.ReadFrame()
+			if err != nil {
+				if !errors.Is(err, ErrProto) && err != io.EOF && err != io.ErrUnexpectedEOF {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			if err := w.WriteFrame(fr); err != nil {
+				t.Fatalf("decoded frame %+v does not re-encode: %v", fr, err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			back, err := NewReader(&buf).ReadFrame()
+			if err != nil {
+				t.Fatalf("re-encoded frame %q does not decode: %v", buf.Bytes(), err)
+			}
+			if !fr.Equal(back) {
+				t.Fatalf("round trip changed %+v into %+v", fr, back)
+			}
+		}
+		// Each successful ReadFrame consumes at least one input byte, so
+		// reaching here means the loop bound was wrong, not the reader.
+		t.Fatal("reader produced more frames than input bytes")
+	})
+}
+
+// FuzzProtoRoundTrip checks encode canonicality: whatever decodes must
+// re-encode to a byte stream that decodes to an equal frame AND whose
+// own re-encoding is byte-identical (a canonical form — two encodes of
+// the same frame can never differ, which the equivalence tier's
+// byte-level comparisons rely on).
+func FuzzProtoRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	encode := func(t *testing.T, fr Frame) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteFrame(fr); err != nil {
+			t.Fatalf("encode %+v: %v", fr, err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := NewReader(bytes.NewReader(data)).ReadFrame()
+		if err != nil {
+			return // undecodable input is FuzzProtoDecode's territory
+		}
+		first := encode(t, fr)
+		back, err := NewReader(bytes.NewReader(first)).ReadFrame()
+		if err != nil {
+			t.Fatalf("canonical encoding %q does not decode: %v", first, err)
+		}
+		if !fr.Equal(back) {
+			t.Fatalf("round trip changed %+v into %+v", fr, back)
+		}
+		second := encode(t, back)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("encoding not canonical: %q then %q", first, second)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, f Frame) Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(f); err != nil {
+		t.Fatalf("write %+v: %v", f, err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewReader(&buf).ReadFrame()
+	if err != nil {
+		t.Fatalf("read back %q: %v", buf.String(), err)
+	}
+	return g
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		simple("OK"),
+		simple("PONG"),
+		errf(codeBadArg, "bad tau %q", "x"),
+		intf(0),
+		intf(-42),
+		intf(1 << 50),
+		bulk(nil),
+		bulk([]byte{}),
+		bulkStr("hello world"),
+		bulk([]byte{0, 1, 2, '\r', '\n', 0xff}),
+		{Type: TBulk, Null: true},
+		{Type: TArray, Null: true},
+		array(),
+		array(intf(1), bulkStr("two"), simple("three")),
+		array(array(intf(1)), array(array(bulkStr("deep")))),
+		push(intf(7), bulkStr("entered"), intf(3)),
+	}
+	for _, f := range frames {
+		g := roundTrip(t, f)
+		if !f.Equal(g) {
+			t.Errorf("round trip changed %+v into %+v", f, g)
+		}
+	}
+}
+
+func TestFrameEqualDistinguishes(t *testing.T) {
+	pairs := [][2]Frame{
+		{simple("a"), simple("b")},
+		{simple("a"), bulkStr("a")},
+		{intf(1), intf(2)},
+		{bulk([]byte("a")), bulk([]byte("b"))},
+		{bulk(nil), {Type: TBulk, Null: true}},
+		{array(), {Type: TArray, Null: true}},
+		{array(intf(1)), array(intf(1), intf(1))},
+		{array(intf(1)), push(intf(1))},
+	}
+	for _, p := range pairs {
+		if p[0].Equal(p[1]) {
+			t.Errorf("%+v compares equal to %+v", p[0], p[1])
+		}
+	}
+}
+
+func TestInlineCommands(t *testing.T) {
+	r := NewReader(strings.NewReader("PING\r\n\r\n  \r\nKNN 3 0.5 payload\nQUIT\r\n"))
+	want := [][]string{{"PING"}, {"KNN", "3", "0.5", "payload"}, {"QUIT"}}
+	for _, fields := range want {
+		f, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != TArray || len(f.Array) != len(fields) {
+			t.Fatalf("inline decoded to %+v, want fields %v", f, fields)
+		}
+		for i, s := range fields {
+			if string(f.Array[i].Bulk) != s {
+				t.Fatalf("field %d = %q, want %q", i, f.Array[i].Bulk, s)
+			}
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("trailing read: %v, want EOF", err)
+	}
+}
+
+func TestPipelinedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	fs := []Frame{simple("OK"), intf(9), array(bulkStr("a"), bulkStr("b"))}
+	for _, f := range fs {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for _, f := range fs {
+		g, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Equal(g) {
+			t.Fatalf("pipelined read %+v, want %+v", g, f)
+		}
+	}
+}
+
+func TestProtocolViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"bad int", ":notanumber\r\n"},
+		{"bad bulk length", "$abc\r\n"},
+		{"negative bulk length", "$-2\r\n"},
+		{"oversize bulk", "$1048577\r\n"},
+		{"oversize array", "*65537\r\n"},
+		{"bulk missing CRLF", "$3\r\nabcXY"},
+		{"nested inline", "*1\r\nGARBAGE\r\n"},
+		{"deep nesting", strings.Repeat("*1\r\n", 20) + ":1\r\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewReader(strings.NewReader(tc.input)).ReadFrame()
+			if !errors.Is(err, ErrProto) {
+				t.Fatalf("read %q: %v, want ErrProto", tc.input, err)
+			}
+		})
+	}
+	t.Run("oversize line", func(t *testing.T) {
+		_, err := NewReader(strings.NewReader("+" + strings.Repeat("x", MaxLine+10) + "\r\n")).ReadFrame()
+		if !errors.Is(err, ErrProto) {
+			t.Fatalf("oversize line: %v, want ErrProto", err)
+		}
+	})
+}
+
+func TestTornFrames(t *testing.T) {
+	// Every proper prefix of a valid multi-frame encoding must report a
+	// clean unexpected-EOF (or block, which a string reader turns into
+	// EOF at the top level), never panic or fabricate a frame.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, f := range []Frame{array(bulkStr("SUBSCRIBE"), bulkStr("KNN")), intf(12), bulkStr("xyz")} {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		for {
+			_, err := r.ReadFrame()
+			if err == nil {
+				continue // a complete earlier frame
+			}
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				t.Fatalf("cut at %d: %v", cut, err)
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"probprune/internal/cq"
+	"probprune/internal/query"
+	"probprune/internal/uncertain"
+)
+
+// Backend is the store surface the server serves. Both *query.Store and
+// *query.ShardedStore satisfy it — the server adds a wire, never its
+// own query semantics, so everything it answers is bit-identical to
+// calling the backend in process (the equivalence test tier enforces
+// this across both backends).
+type Backend interface {
+	cq.Source // Watch + Version, for the subscription monitor
+
+	Insert(o *uncertain.Object) error
+	Update(o *uncertain.Object) error
+	DeleteErr(id int) (bool, error)
+	Get(id int) (*uncertain.Object, bool)
+	Len() int
+
+	KNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]query.Match, error)
+	RKNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]query.Match, error)
+	TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) ([]query.Match, error)
+	InverseRank(b, r *uncertain.Object) *query.RankDistribution
+	BatchKNN(ctx context.Context, reqs []query.KNNRequest) ([][]query.Match, error)
+}
+
+// Options configures a Server.
+type Options struct {
+	// CursorPath enables durable (named) subscriptions: it becomes the
+	// subscription monitor's cursor file (see cq.Options.CursorPath).
+	// Empty disables NAME/RESUME-after-restart; anonymous subscriptions
+	// still work.
+	CursorPath string
+	// CursorEvery auto-saves the durable cursor after that many
+	// processed changes; <= 0 selects 512.
+	CursorEvery int
+	// SubBuffer is the monitor-level per-subscription event buffer;
+	// <= 0 selects 4096. The server drains it promptly into each
+	// session's retained ring, so this only bounds scheduling jitter.
+	SubBuffer int
+	// Retain is the per-session retained event ring: the resume window
+	// of a parked subscription and the backpressure bound of an
+	// attached one. <= 0 selects 8192.
+	Retain int
+	// OutQueue is the per-connection outbound frame queue; <= 0
+	// selects 1024.
+	OutQueue int
+	// DrainTimeout bounds how long Close waits for subscription
+	// sessions to deliver their tails before force-closing
+	// connections; <= 0 selects 5s.
+	DrainTimeout time.Duration
+	// Logf, when set, receives server diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) cursorEvery() int {
+	if o.CursorEvery <= 0 {
+		return 512
+	}
+	return o.CursorEvery
+}
+
+func (o Options) subBuffer() int {
+	if o.SubBuffer <= 0 {
+		return 4096
+	}
+	return o.SubBuffer
+}
+
+func (o Options) retain() int {
+	if o.Retain <= 0 {
+		return 8192
+	}
+	return o.Retain
+}
+
+func (o Options) outQueue() int {
+	if o.OutQueue <= 0 {
+		return 1024
+	}
+	return o.OutQueue
+}
+
+func (o Options) drainTimeout() time.Duration {
+	if o.DrainTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return o.DrainTimeout
+}
+
+// Modes a SUBSCRIBE/RESUME reply reports, telling the client how to
+// interpret the initial events:
+const (
+	// ModeFull: the initial ObjectEntered events are the complete
+	// current result set.
+	ModeFull = "full"
+	// ModeDelta: the initial events are the coalesced delta against the
+	// durable cursor's persisted result set (resume across a server
+	// restart) — exact if the client had drained the stream up to the
+	// last cursor save.
+	ModeDelta = "delta"
+	// ModeContinue: an exact continuation — the events that follow are
+	// precisely the stream suffix past the watermark the client
+	// presented. Nothing is missing, nothing repeats.
+	ModeContinue = "continue"
+)
+
+// Server serves the protocol of this package over a Backend. Construct
+// with New, start with Serve or ListenAndServe, stop with Close.
+//
+// One cq.Monitor (and thus one maintenance worker) is shared by all
+// connections; subscription sessions live in the server's registry so
+// they survive the connections that created them (see subs.go).
+type Server struct {
+	opts    Options
+	backend Backend
+	mon     *cq.Monitor
+
+	ctx    context.Context // server lifetime: cancels in-flight queries on Close
+	cancel context.CancelFunc
+
+	wg sync.WaitGroup // connection loops + session pumps/deliveries
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	sessions map[int64]*subState
+	named    map[string]*subState
+	nextSub  int64
+	closed   bool
+}
+
+// New wraps backend in a server. The subscription monitor attaches
+// immediately (mutations from now on publish snapshots); the server
+// owns it until Close.
+func New(backend Backend, opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:     opts,
+		backend:  backend,
+		ctx:      ctx,
+		cancel:   cancel,
+		conns:    make(map[*conn]struct{}),
+		sessions: make(map[int64]*subState),
+		named:    make(map[string]*subState),
+	}
+	s.mon = cq.NewMonitor(backend, cq.Options{
+		Buffer:      opts.subBuffer(),
+		Policy:      cq.DisconnectSlow, // sessions drain promptly; never gap silently
+		CursorPath:  opts.CursorPath,
+		CursorEvery: opts.cursorEvery(),
+	})
+	return s
+}
+
+// ListenAndServe listens on addr (TCP) and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after
+// Close, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Monitor exposes the server's subscription monitor (stats, SaveCursor).
+func (s *Server) Monitor() *cq.Monitor { return s.mon }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Close shuts the server down gracefully: stop accepting, close the
+// monitor (every committed change is still processed and delivered),
+// let sessions push their tails and terminal EvEnd frames, then drop
+// the connections. Sessions that cannot drain within DrainTimeout
+// (stalled peers) are cut off.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Ends every cq stream after draining committed changes; pumps see
+	// the close, sessions deliver what remains and terminate.
+	s.mon.Close()
+	deadline := time.Now().Add(s.opts.drainTimeout())
+	for {
+		s.mu.Lock()
+		n := len(s.sessions)
+		s.mu.Unlock()
+		if n == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// A retired session only proves its terminal frame reached the
+	// connection's queue; wait for the writers to flush the tails onto
+	// the sockets before cutting them.
+	for {
+		s.mu.Lock()
+		var pending int64
+		for c := range s.conns {
+			pending += c.queued.Load()
+		}
+		s.mu.Unlock()
+		if pending == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.cancel()
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// retire removes a terminated session from the registry.
+func (s *Server) retire(st *subState) {
+	s.mu.Lock()
+	delete(s.sessions, st.id)
+	if st.name != "" && s.named[st.name] == st {
+		delete(s.named, st.name)
+	}
+	s.mu.Unlock()
+}
+
+func efp(f Frame) *Frame { return &f }
+
+// subscribeErrFrame maps cq subscribe errors to protocol error replies.
+func subscribeErrFrame(err error) Frame {
+	switch {
+	case errors.Is(err, cq.ErrCursorMismatch):
+		return errf(codeCursorMismatch, "%v", err)
+	case errors.Is(err, cq.ErrDuplicateName):
+		return errf(codeBusy, "%v", err)
+	default:
+		return errf(codeErr, "%v", err)
+	}
+}
+
+func (s *Server) subscribeCQ(sp subSpec) (*cq.Subscription, error) {
+	if sp.name != "" {
+		if sp.kind == cq.RKNN {
+			return s.mon.SubscribeRKNNDurable(sp.name, sp.q, sp.k, sp.tau)
+		}
+		return s.mon.SubscribeKNNDurable(sp.name, sp.q, sp.k, sp.tau)
+	}
+	if sp.kind == cq.RKNN {
+		return s.mon.SubscribeRKNN(sp.q, sp.k, sp.tau)
+	}
+	return s.mon.SubscribeKNN(sp.q, sp.k, sp.tau)
+}
+
+// newSessionLocked registers a new session, claimed by c (hold is set:
+// delivery stays silent until the dispatch goroutine has enqueued the
+// command reply and calls release). Caller holds s.mu.
+func (s *Server) newSessionLocked(c *conn, sp subSpec, sub *cq.Subscription) *subState {
+	s.nextSub++
+	st := &subState{
+		srv:      s,
+		id:       s.nextSub,
+		name:     sp.name,
+		kind:     sp.kind,
+		k:        sp.k,
+		tau:      sp.tau,
+		q:        sp.q,
+		policy:   sp.policy,
+		retain:   s.opts.retain(),
+		sub:      sub,
+		attached: c,
+		hold:     true,
+		kick:     make(chan struct{}, 1),
+		dead:     make(chan struct{}),
+	}
+	s.sessions[st.id] = st
+	if st.name != "" {
+		s.named[st.name] = st
+	}
+	c.addSub(st)
+	s.wg.Add(2)
+	go st.pump()
+	go st.delivery()
+	return st
+}
+
+// subscribe creates a subscription session for c. On success the
+// session is claimed by c with delivery held; the caller replies and
+// then calls release. The *Frame return, when non-nil, is the error
+// reply instead.
+func (s *Server) subscribe(c *conn, sp subSpec) (*subState, string, *Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "", efp(errf(codeErr, "server shutting down"))
+	}
+	mode := ModeFull
+	if sp.name != "" {
+		if s.opts.CursorPath == "" {
+			return nil, "", efp(errf(codeNoDurable, "durable subscriptions need a server cursor (run udbserver with -dir)"))
+		}
+		if st := s.named[sp.name]; st != nil && !st.isTerminated() {
+			return nil, "", efp(errf(codeBusy, "subscription %q is live; RESUME it or UNSUBSCRIBE first", sp.name))
+		}
+		if sp.fresh {
+			if err := s.mon.Forget(sp.name); err != nil {
+				return nil, "", efp(errf(codeErr, "%v", err))
+			}
+		} else if s.mon.HasCursorSub(sp.name) {
+			mode = ModeDelta
+		}
+	}
+	sub, err := s.subscribeCQ(sp)
+	if err != nil {
+		return nil, "", efp(subscribeErrFrame(err))
+	}
+	return s.newSessionLocked(c, sp, sub), mode, nil
+}
+
+// resume reattaches c to the named subscription at the client's
+// watermark. Three outcomes (see docs/PROTOCOL.md):
+//
+//   - the session is live in this server: exact continuation from the
+//     retained ring (ModeContinue), or -GONE if the resume point was
+//     evicted under PolicyDisconnect;
+//   - the session is gone but the durable cursor knows the name
+//     (server restarted): a fresh cq subscription delivers the
+//     coalesced delta since the cursor (ModeDelta);
+//   - neither: a full fresh subscription (ModeFull).
+func (s *Server) resume(c *conn, sp subSpec, w watermark) (*subState, string, uint64, *Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "", 0, efp(errf(codeErr, "server shutting down"))
+	}
+	if st := s.named[sp.name]; st != nil && !st.isTerminated() {
+		st.mu.Lock()
+		if st.attached != nil {
+			st.mu.Unlock()
+			return nil, "", 0, efp(errf(codeBusy, "subscription %q is attached to another connection", sp.name))
+		}
+		if !st.predicateEqual(sp) {
+			st.mu.Unlock()
+			return nil, "", 0, efp(errf(codeCursorMismatch, "predicate differs from the live subscription %q", sp.name))
+		}
+		from, lost, ok := st.resumeFromLocked(w)
+		if !ok {
+			st.mu.Unlock()
+			return nil, "", 0, efp(errf(codeGone, "resume point evicted from the retained ring; SUBSCRIBE ... FRESH for a full snapshot"))
+		}
+		st.attachLocked(c, from)
+		st.hold = true
+		st.mu.Unlock()
+		c.addSub(st)
+		return st, ModeContinue, lost, nil
+	}
+	if s.opts.CursorPath == "" {
+		return nil, "", 0, efp(errf(codeNoDurable, "no session %q and the server has no durable cursor", sp.name))
+	}
+	mode := ModeFull
+	if s.mon.HasCursorSub(sp.name) {
+		mode = ModeDelta
+	}
+	sub, err := s.subscribeCQ(sp)
+	if err != nil {
+		return nil, "", 0, efp(subscribeErrFrame(err))
+	}
+	return s.newSessionLocked(c, sp, sub), mode, 0, nil
+}
+
+// release lifts the delivery hold set by subscribe/resume, after the
+// dispatch goroutine enqueued the command reply — this is what orders
+// the [id, mode] reply strictly before the session's first push frame.
+func (s *Server) release(st *subState) {
+	st.mu.Lock()
+	st.hold = false
+	st.mu.Unlock()
+	st.kickDelivery()
+}
