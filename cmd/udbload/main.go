@@ -68,4 +68,8 @@ func main() {
 	fmt.Printf("udbload: %d subscribers, %d events in %.1fs — push p50 %.3fms p99 %.3fms max %.3fms; query p50 %.3fms p99 %.3fms (%s)\n",
 		res.Subscribers, res.Events, res.DurationSec,
 		res.PushP50Ms, res.PushP99Ms, res.PushMaxMs, res.QueryP50Ms, res.QueryP99Ms, *out)
+	st := res.ServerStats
+	fmt.Printf("udbload: server stats — pushed=%d shed=%d cq runs=%d saved=%d, knn served=%d (p99 %.3fms)\n",
+		st["server.pushed"], st["server.shed"], st["cq.runs"], st["cq.saved"],
+		st["server.cmd.knn.calls"], float64(st["server.cmd.knn.latency.p99_ns"])/1e6)
 }

@@ -24,14 +24,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"probprune/internal/core"
 	"probprune/internal/query"
@@ -52,15 +56,33 @@ func main() {
 		dataset    = flag.String("db", "", "preload a udbgen dataset file (volatile or fresh durable store)")
 		iterations = flag.Int("iterations", 3, "max refinement iterations per query")
 		retain     = flag.Int("retain", 0, "per-subscription retained-event ring (resume window); 0: default 8192")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics (JSON) and /debug/pprof on this address (empty: off)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 	)
 	flag.Parse()
-	if err := run(*addr, *dir, *shards, *sync, *ckptEvery, *synthetic, *dataset, *iterations, *retain); err != nil {
+	if err := run(*addr, *dir, *shards, *sync, *ckptEvery, *synthetic, *dataset, *iterations, *retain, *debugAddr, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "udbserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, shards int, sync string, ckptEvery, synthetic int, dataset string, iterations, retain int) error {
+// newLogger builds the server's structured logger from -log-level.
+func newLogger(level string) (*slog.Logger, error) {
+	if level == "off" {
+		return slog.New(slog.DiscardHandler), nil
+	}
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, error or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+func run(addr, dir string, shards int, sync string, ckptEvery, synthetic int, dataset string, iterations, retain int, debugAddr, logLevel string) error {
+	logger, err := newLogger(logLevel)
+	if err != nil {
+		return err
+	}
 	opts := core.Options{MaxIterations: iterations}
 	db, err := seedDatabase(synthetic, dataset)
 	if err != nil {
@@ -128,6 +150,7 @@ func run(addr, dir string, shards int, sync string, ckptEvery, synthetic int, da
 		CursorPath: cursor,
 		Retain:     retain,
 		Logf:       log.Printf,
+		Logger:     logger,
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -135,6 +158,21 @@ func run(addr, dir string, shards int, sync string, ckptEvery, synthetic int, da
 	}
 	log.Printf("udbserver: listening on %s (%d objects, shards=%d, durable=%v)",
 		ln.Addr(), backend.Len(), shards, dir != "")
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: srv.DebugHandler()}
+		log.Printf("udbserver: debug endpoint on http://%s/metrics (pprof under /debug/pprof/)", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("udbserver: debug server: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -146,6 +184,11 @@ func run(addr, dir string, shards int, sync string, ckptEvery, synthetic int, da
 		log.Printf("udbserver: %v — draining subscriptions and shutting down", s)
 	case err := <-serveErr:
 		return err
+	}
+	if debugSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		debugSrv.Shutdown(ctx)
+		cancel()
 	}
 	if err := srv.Close(); err != nil {
 		return err

@@ -67,6 +67,10 @@ type ServerLoadResult struct {
 	QueryP50Ms float64 `json:"query_p50_ms"`
 	QueryP99Ms float64 `json:"query_p99_ms"`
 	QuerySent  int     `json:"queries_sent"`
+	// ServerStats is the server's STATS metric map, snapshotted after
+	// the drain — command counters, push-plane totals, cq maintenance
+	// economy, query-engine and (when durable) WAL metrics.
+	ServerStats map[string]int64 `json:"server_stats"`
 }
 
 // ServerLoad runs the scenario and aggregates latencies.
@@ -252,6 +256,11 @@ func ServerLoad(cfg ServerLoadConfig) (ServerLoadResult, error) {
 	}
 	elapsed := time.Since(start)
 
+	serverStats, err := writer.Stats()
+	if err != nil {
+		return ServerLoadResult{}, fmt.Errorf("stats snapshot: %w", err)
+	}
+
 	// Sanity floors: each mutation pair touches the subscribers whose
 	// k-sets contain the victim, so across the whole run the fleet must
 	// have seen a healthy number of pushes and latency samples.
@@ -276,6 +285,7 @@ func ServerLoad(cfg ServerLoadConfig) (ServerLoadResult, error) {
 		QueryP50Ms:  percentile(queryLats, 0.50),
 		QueryP99Ms:  percentile(queryLats, 0.99),
 		QuerySent:   len(queryLats),
+		ServerStats: serverStats,
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"probprune/internal/uncertain"
 )
@@ -124,6 +125,20 @@ type DecompCache struct {
 	mu      sync.Mutex
 	m       map[*uncertain.Object]*RefDecomp
 	version uint64
+
+	// Hit/miss traffic through Get, counted on the receiving cache (an
+	// overlay counts its own traffic even when the hit resolved in the
+	// parent chain) — the per-query cache economy the observability
+	// layer surfaces.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Stats returns the cache's cumulative Get traffic: hits (an entry
+// already existed here or in an ancestor) and misses (a decomposition
+// was created).
+func (c *DecompCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // NewDecompCache builds an empty cache whose decompositions use the
@@ -138,6 +153,7 @@ func NewDecompCache(maxHeight int) *DecompCache {
 func (c *DecompCache) Get(obj *uncertain.Object) *RefDecomp {
 	for p := c.parent; p != nil; p = p.parent {
 		if d, ok := p.lookup(obj); ok {
+			c.hits.Add(1)
 			return d
 		}
 	}
@@ -145,11 +161,16 @@ func (c *DecompCache) Get(obj *uncertain.Object) *RefDecomp {
 	defer c.mu.Unlock()
 	d, ok := c.m[obj]
 	if !ok || d == nil {
+		// A lazy pin (nil placeholder from Add) still counts as a miss:
+		// the decomposition work happens now.
 		d = NewRefDecomp(obj, c.maxHeight)
 		if c.m == nil {
 			c.m = make(map[*uncertain.Object]*RefDecomp)
 		}
 		c.m[obj] = d
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
 	}
 	return d
 }

@@ -95,7 +95,7 @@ type Monitor struct {
 	nextID    atomic.Int64
 	subCount  atomic.Int64
 
-	changes, woken, runs, setupRuns, events, lost, dropped atomic.Uint64
+	changes, woken, runs, setupRuns, saved, events, lost, dropped atomic.Uint64
 }
 
 // item is one unit of worker input: a store change or a control request.
@@ -369,6 +369,7 @@ func (m *Monitor) Stats() Stats {
 		Woken:     m.woken.Load(),
 		Runs:      m.runs.Load(),
 		SetupRuns: m.setupRuns.Load(),
+		Saved:     m.saved.Load(),
 		Events:    m.events.Load(),
 		Lost:      m.lost.Load(),
 		Dropped:   m.dropped.Load(),

@@ -155,6 +155,12 @@ type Stats struct {
 	// SetupRuns is the number of per-candidate evaluations spent on
 	// initial subscription evaluation (not maintenance).
 	SetupRuns uint64
+	// Saved is the number of (change, candidate) pairs a woken
+	// subscription decided WITHOUT an IDCA re-run — the persisted
+	// verdict stood. Runs vs. Saved is the incremental-maintenance
+	// economy: a from-scratch re-evaluation would have executed a run
+	// for every one of these.
+	Saved uint64
 	// Events is the number of events delivered to subscribers.
 	Events uint64
 	// Lost is the number of events discarded by the DropOldest policy.
@@ -166,5 +172,5 @@ type Stats struct {
 
 // SubStats are the per-subscription counters of Stats.
 type SubStats struct {
-	Woken, Runs, SetupRuns, Events, Lost uint64
+	Woken, Runs, SetupRuns, Saved, Events, Lost uint64
 }

@@ -83,7 +83,7 @@ type Subscription struct {
 	end bool
 	err error
 
-	woken, runs, setupRuns, emitted, lost atomic.Uint64
+	woken, runs, setupRuns, saved, emitted, lost atomic.Uint64
 }
 
 // Events returns the subscription's ordered event stream. The channel
@@ -121,6 +121,7 @@ func (s *Subscription) Stats() SubStats {
 		Woken:     s.woken.Load(),
 		Runs:      s.runs.Load(),
 		SetupRuns: s.setupRuns.Load(),
+		Saved:     s.saved.Load(),
 		Events:    s.emitted.Load(),
 		Lost:      s.lost.Load(),
 	}
@@ -322,6 +323,7 @@ func (s *Subscription) applyKNN(e *query.Engine, ch query.Change) []Event {
 			rerun = s.roleChanged(e, ch, b.MBR, s.q.MBR)
 		}
 		if !rerun {
+			s.countSaved()
 			continue
 		}
 		nm := query.Match{Object: b, Decided: true}
@@ -371,6 +373,7 @@ func (s *Subscription) applyRKNN(e *query.Engine, ch query.Change) []Event {
 			rerun = s.roleChanged(e, ch, s.q.MBR, b.MBR)
 		}
 		if !rerun {
+			s.countSaved()
 			continue
 		}
 		nm := query.Match{Object: b, Decided: true}
@@ -488,6 +491,13 @@ func (s *Subscription) computeRegion(e *query.Engine) (geom.Rect, bool) {
 func (s *Subscription) countRun() {
 	s.runs.Add(1)
 	s.m.runs.Add(1)
+}
+
+// countSaved counts one candidate whose persisted verdict stood without
+// an IDCA re-run — the work incremental maintenance avoided.
+func (s *Subscription) countSaved() {
+	s.saved.Add(1)
+	s.m.saved.Add(1)
 }
 
 // mutatedID returns the database ID a change concerns.

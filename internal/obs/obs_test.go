@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("fresh counter = %d", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(10)
+	if got := g.Load(); got != 11 {
+		t.Fatalf("gauge = %d, want 11", got)
+	}
+	g.Set(-3)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{999 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{2*time.Microsecond - 1, 1},
+		{2 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{1000 * time.Hour, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+	if got := h.Snapshot().Mean(); got != 0 {
+		t.Fatalf("empty mean = %v", got)
+	}
+	// 90 fast observations, 10 slow: p50 lands in the fast bucket's
+	// range, p99 in the slow one's.
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(-time.Second) // clamps to zero, lands in bucket 0
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d, want 101", s.Count)
+	}
+	if h.Count() != 101 {
+		t.Fatalf("Count() = %d", h.Count())
+	}
+	p50 := s.Quantile(0.50)
+	if p50 < 10*time.Microsecond || p50 > 32*time.Microsecond {
+		t.Errorf("p50 = %v, want within the 10µs bucket's bound", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 10*time.Millisecond || p99 > 32*time.Millisecond {
+		t.Errorf("p99 = %v, want within the 10ms bucket's bound", p99)
+	}
+	if s.MaxNanos != int64(10*time.Millisecond) {
+		t.Errorf("max = %d, want %d", s.MaxNanos, int64(10*time.Millisecond))
+	}
+	// Quantiles clamp p and never exceed the observed max.
+	if q := s.Quantile(2); q != time.Duration(s.MaxNanos) {
+		t.Errorf("Quantile(2) = %v, want max %v", q, time.Duration(s.MaxNanos))
+	}
+	if q := s.Quantile(-1); q <= 0 {
+		t.Errorf("Quantile(-1) = %v, want > 0", q)
+	}
+	if m := s.Mean(); m <= 0 || m > 10*time.Millisecond {
+		t.Errorf("mean = %v out of range", m)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(10000 * time.Hour) // beyond the ladder: last bucket
+	s := h.Snapshot()
+	if s.Buckets[HistBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Buckets[HistBuckets-1])
+	}
+	if got := s.Quantile(0.5); got != time.Duration(s.MaxNanos) {
+		t.Fatalf("overflow quantile = %v, want max %v", got, time.Duration(s.MaxNanos))
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	a.Observe(2 * time.Millisecond)
+	b.Observe(time.Second)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", sa.Count)
+	}
+	if sa.MaxNanos != int64(time.Second) {
+		t.Fatalf("merged max = %d, want 1s", sa.MaxNanos)
+	}
+	wantSum := int64(3*time.Millisecond) + int64(time.Second)
+	if sa.SumNanos != wantSum {
+		t.Fatalf("merged sum = %d, want %d", sa.SumNanos, wantSum)
+	}
+	if q := sa.Quantile(1); q < time.Second {
+		t.Fatalf("merged p100 = %v, want >= 1s", q)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	g := r.Gauge("a.gauge")
+	if r.Gauge("a.gauge") != g {
+		t.Fatal("Gauge not idempotent")
+	}
+	h := r.Histogram("a.lat")
+	if r.Histogram("a.lat") != h {
+		t.Fatal("Histogram not idempotent")
+	}
+	c.Add(7)
+	g.Set(-2)
+	h.Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if snap["a.count"] != 7 || snap["a.gauge"] != -2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap["a.lat.count"] != 1 || snap["a.lat.max_ns"] != int64(time.Millisecond) {
+		t.Fatalf("histogram snapshot = %v", snap)
+	}
+	for _, k := range []string{"a.lat.sum_ns", "a.lat.p50_ns", "a.lat.p95_ns", "a.lat.p99_ns"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("missing key %s", k)
+		}
+	}
+	keys := SortedKeys(snap)
+	if len(keys) != len(snap) {
+		t.Fatalf("SortedKeys lost entries: %d vs %d", len(keys), len(snap))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted: %q >= %q", keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.AddCandidates(5)
+	tr.CountPreselected()
+	tr.CountRefined(3)
+	tr.CountUndecided()
+	tr.AddCacheStats(1, 2)
+	tr.AddPrepare(time.Millisecond)
+	tr.AddEval(time.Millisecond)
+	if s := tr.Snapshot(); s != (TraceSnapshot{}) {
+		t.Fatalf("nil trace snapshot = %+v", s)
+	}
+}
+
+func TestTraceRecordsAndString(t *testing.T) {
+	tr := &Trace{}
+	tr.AddCandidates(10)
+	tr.AddCandidates(0) // no-op
+	tr.CountPreselected()
+	tr.CountRefined(4)
+	tr.CountRefined(0) // refined with zero iterations still counts the run
+	tr.CountUndecided()
+	tr.AddCacheStats(3, 2)
+	tr.AddPrepare(2 * time.Millisecond)
+	tr.AddEval(5 * time.Millisecond)
+	tr.AddPrepare(-time.Second) // no-op
+	s := tr.Snapshot()
+	want := TraceSnapshot{
+		Candidates: 10, Preselected: 1, Refined: 2, Undecided: 1,
+		Iterations: 4, CacheHits: 3, CacheMisses: 2,
+		Prepare: 2 * time.Millisecond, Eval: 5 * time.Millisecond,
+	}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+	str := s.String()
+	for _, frag := range []string{"candidates=10", "preselected=1", "refined=2", "iterations=4", "cache_hits=3"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("String() = %q missing %q", str, frag)
+		}
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(background) = %v, want nil", got)
+	}
+	tr := &Trace{}
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatalf("TraceFrom = %v, want %v", got, tr)
+	}
+}
+
+// TestObsConcurrency hammers every primitive from many goroutines; its
+// assertions are exact because all record paths are atomic. CI runs it
+// under -race as a dedicated step.
+func TestObsConcurrency(t *testing.T) {
+	const workers, per = 8, 1000
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	tr := &Trace{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				tr.AddCandidates(1)
+				tr.CountRefined(1)
+				tr.AddCacheStats(1, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Load(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	s := tr.Snapshot()
+	if s.Candidates != workers*per || s.Refined != workers*per || s.CacheHits != workers*per {
+		t.Errorf("trace = %+v", s)
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Trace collects the anatomy of one query: how many candidates the
+// engine visited, how the pruning stages decided them (preselected away
+// by the domination filter vs. refined by IDCA runs), how many
+// refinement iterations and decomposition-cache hits the runs cost, and
+// how the wall time split between preparing the query and evaluating
+// candidates.
+//
+// A caller opts in per query by threading a Trace through the context
+// (WithTrace); the engine extracts it with TraceFrom and records into
+// it as it runs. All record methods are atomic (candidate evaluation is
+// concurrent) and nil-safe — the engine calls them unconditionally, and
+// a query without a trace pays a nil check and nothing else, keeping
+// the trace-disabled path allocation-free.
+type Trace struct {
+	candidates   atomic.Uint64
+	preselected  atomic.Uint64
+	refined      atomic.Uint64
+	undecided    atomic.Uint64
+	iterations   atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	prepareNanos atomic.Int64
+	evalNanos    atomic.Int64
+}
+
+// AddCandidates records n candidates entering the filter stage.
+func (t *Trace) AddCandidates(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.candidates.Add(uint64(n))
+}
+
+// CountPreselected records one candidate decided by preselection alone
+// (no IDCA run).
+func (t *Trace) CountPreselected() {
+	if t == nil {
+		return
+	}
+	t.preselected.Add(1)
+}
+
+// CountRefined records one candidate that needed an IDCA run, with the
+// refinement iterations it spent.
+func (t *Trace) CountRefined(iterations int) {
+	if t == nil {
+		return
+	}
+	t.refined.Add(1)
+	if iterations > 0 {
+		t.iterations.Add(uint64(iterations))
+	}
+}
+
+// CountUndecided records one refined candidate whose bounds did not
+// decide the predicate within the iteration budget.
+func (t *Trace) CountUndecided() {
+	if t == nil {
+		return
+	}
+	t.undecided.Add(1)
+}
+
+// AddCacheStats records decomposition-cache traffic (the per-query
+// overlay's hit/miss counts).
+func (t *Trace) AddCacheStats(hits, misses uint64) {
+	if t == nil {
+		return
+	}
+	t.cacheHits.Add(hits)
+	t.cacheMisses.Add(misses)
+}
+
+// AddPrepare records query-preparation wall time (candidate selection,
+// preselection thresholds).
+func (t *Trace) AddPrepare(d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.prepareNanos.Add(int64(d))
+}
+
+// AddEval records candidate-evaluation wall time.
+func (t *Trace) AddEval(d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.evalNanos.Add(int64(d))
+}
+
+// TraceSnapshot is a plain copy of a Trace's counters.
+type TraceSnapshot struct {
+	// Candidates entered the filter stage; every one is either
+	// Preselected or Refined.
+	Candidates  uint64
+	Preselected uint64
+	Refined     uint64
+	// Undecided counts Refined candidates whose bounds ran out of
+	// iteration budget before deciding the predicate.
+	Undecided uint64
+	// Iterations is the total refinement iterations across all runs.
+	Iterations uint64
+	// CacheHits/CacheMisses are the query's decomposition-cache traffic.
+	CacheHits   uint64
+	CacheMisses uint64
+	// Prepare/Eval split the query wall time by phase.
+	Prepare time.Duration
+	Eval    time.Duration
+}
+
+// Snapshot returns the trace's current counters (zero for a nil trace).
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	return TraceSnapshot{
+		Candidates:  t.candidates.Load(),
+		Preselected: t.preselected.Load(),
+		Refined:     t.refined.Load(),
+		Undecided:   t.undecided.Load(),
+		Iterations:  t.iterations.Load(),
+		CacheHits:   t.cacheHits.Load(),
+		CacheMisses: t.cacheMisses.Load(),
+		Prepare:     time.Duration(t.prepareNanos.Load()),
+		Eval:        time.Duration(t.evalNanos.Load()),
+	}
+}
+
+// String renders the snapshot as one log-friendly line.
+func (s TraceSnapshot) String() string {
+	return fmt.Sprintf(
+		"candidates=%d preselected=%d refined=%d undecided=%d iterations=%d cache_hits=%d cache_misses=%d prepare=%v eval=%v",
+		s.Candidates, s.Preselected, s.Refined, s.Undecided, s.Iterations,
+		s.CacheHits, s.CacheMisses, s.Prepare, s.Eval)
+}
+
+// traceKey is the context key of WithTrace. A zero-size key type makes
+// TraceFrom allocation-free on contexts without a trace.
+type traceKey struct{}
+
+// WithTrace returns a context carrying t: queries run under it record
+// their anatomy into t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom extracts the trace from ctx, nil when none was attached.
+// The nil result is directly usable — every Trace method accepts a nil
+// receiver.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -247,6 +247,7 @@ func OpenShardedStore(popts PersistOptions, sopts ShardedOptions, opts core.Opti
 		byID:   make(map[int]*uncertain.Object),
 		home:   make(map[int]int),
 		cache:  core.NewDecompCache(opts.MaxHeight),
+		obs:    NewMetrics(),
 		sj:     &shardedJournal{popts: popts},
 	}
 	// Recover every shard in parallel, collecting the logical records
@@ -290,6 +291,10 @@ func OpenShardedStore(popts PersistOptions, sopts ShardedOptions, opts core.Opti
 			s.closeShards()
 			return nil, err
 		}
+	}
+	// Shards share the router's metric set, mirroring NewShardedStore.
+	for _, sh := range s.shards {
+		sh.obs = s.obs
 	}
 	if err := s.assemble(m, events, viaMoveIn); err != nil {
 		s.closeShards()

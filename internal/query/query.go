@@ -25,10 +25,12 @@ import (
 	"context"
 	"math"
 	"sort"
+	"time"
 
 	"probprune/internal/core"
 	"probprune/internal/geom"
 	"probprune/internal/gf"
+	"probprune/internal/obs"
 	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
 )
@@ -62,6 +64,12 @@ type Engine struct {
 	// component (a Store manages its own cache and rejects a preset one)
 	// see exactly what they configured.
 	defaultCache *core.DecompCache
+
+	// Obs, when non-nil, receives per-query latency histograms and the
+	// filter-economy counters (see metrics.go). NewEngine and the stores
+	// install one; snapshot engines share their store's, so counts
+	// accumulate across snapshots. A nil Obs records nothing.
+	Obs *Metrics
 }
 
 // NewEngine builds an engine and its R-tree index over db (an STR bulk
@@ -76,7 +84,7 @@ type Engine struct {
 // Callers that mutate DB afterwards should construct the Engine struct
 // directly or manage their own cache.
 func NewEngine(db uncertain.Database, opts core.Options) *Engine {
-	e := &Engine{DB: db, Index: bulkIndex(db), Opts: opts}
+	e := &Engine{DB: db, Index: bulkIndex(db), Opts: opts, Obs: NewMetrics()}
 	if opts.SharedDecomps == nil {
 		e.defaultCache = core.NewDecompCache(opts.MaxHeight)
 		for _, o := range db {
@@ -182,10 +190,21 @@ func (e *Engine) KNN(q *uncertain.Object, k int, tau float64) []Match {
 // evaluated concurrently on Options.Parallelism workers; the result is
 // identical to the sequential evaluation, in database order.
 func (e *Engine) KNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]Match, error) {
-	j := e.newKNNJob(q, k, tau, e.queryCache())
+	tr := obs.TraceFrom(ctx)
+	start := time.Now()
+	cache := e.queryCache()
+	j := e.newKNNJob(q, k, tau, cache)
+	j.tr = tr
+	tr.AddCandidates(len(j.cands))
+	e.Obs.countCandidates(len(j.cands))
+	tr.AddPrepare(time.Since(start))
+	evalStart := time.Now()
 	if err := forEach(ctx, e.parallelism(), len(j.cands), j.eval); err != nil {
 		return nil, err
 	}
+	tr.AddEval(time.Since(evalStart))
+	recordCache(e.Obs, tr, cache)
+	e.Obs.observe(kindKNN, start, tr)
 	return j.matches, nil
 }
 
@@ -203,6 +222,9 @@ type knnJob struct {
 	cache   *core.DecompCache
 	cands   []*uncertain.Object
 	matches []Match
+	// tr, when non-nil, receives this query's per-candidate verdicts
+	// alongside the engine counters.
+	tr *obs.Trace
 }
 
 // newKNNJob prepares a kNN query against the engine: candidate
@@ -230,7 +252,9 @@ func (e *Engine) newKNNJob(q *uncertain.Object, k int, tau float64, cache *core.
 // eval evaluates candidate i into its result slot; calls for distinct i
 // are safe to run concurrently.
 func (j *knnJob) eval(i int) {
-	j.matches[i] = j.e.evalKNNCandidate(j.q, j.cands[i], j.k, j.tau, j.thresh, j.norm, j.cache)
+	m, pruned := j.e.evalKNNCandidate(j.q, j.cands[i], j.k, j.tau, j.thresh, j.norm, j.cache)
+	j.matches[i] = m
+	countMatch(j.e.Obs, j.tr, m, pruned)
 }
 
 // evalKNNCandidate runs the threshold-kNN predicate for one candidate:
@@ -238,10 +262,13 @@ func (j *knnJob) eval(i int) {
 // threshold stop criterion. It is the single evaluation path shared by
 // KNNCtx, BatchKNN and the incremental maintainers of package cq, so a
 // candidate re-evaluated in isolation yields a Match bit-identical to
-// the one a full query over the same database state would report.
-func (e *Engine) evalKNNCandidate(q, b *uncertain.Object, k int, tau, thresh float64, norm geom.Norm, cache *core.DecompCache) Match {
+// the one a full query over the same database state would report. The
+// second return reports whether preselection decided the candidate
+// without an IDCA run — the filter-verdict classification the
+// observability counters record.
+func (e *Engine) evalKNNCandidate(q, b *uncertain.Object, k int, tau, thresh float64, norm geom.Norm, cache *core.DecompCache) (Match, bool) {
 	if knnPrunable(b, q, thresh, norm) {
-		return Match{Object: b, Decided: true}
+		return Match{Object: b, Decided: true}, true
 	}
 	opts := e.runOpts()
 	opts.KMax = k
@@ -255,7 +282,7 @@ func (e *Engine) evalKNNCandidate(q, b *uncertain.Object, k int, tau, thresh flo
 		IsResult:   iv.LB >= tau,
 		Decided:    iv.LB >= tau || iv.UB < tau,
 		Iterations: len(res.Iterations),
-	}
+	}, false
 }
 
 // EvalKNNCandidate evaluates the threshold-kNN predicate for candidate
@@ -269,7 +296,9 @@ func (e *Engine) EvalKNNCandidate(q, b *uncertain.Object, k int, tau, thresh flo
 	if cache == nil {
 		cache = e.queryCache()
 	}
-	return e.evalKNNCandidate(q, b, k, tau, thresh, e.normOrDefault(), cache)
+	m, pruned := e.evalKNNCandidate(q, b, k, tau, thresh, e.normOrDefault(), cache)
+	countMatch(e.Obs, nil, m, pruned)
+	return m
 }
 
 // RKNN answers the probabilistic threshold reverse kNN query of
@@ -289,18 +318,29 @@ func (e *Engine) RKNNCtx(ctx context.Context, q *uncertain.Object, k int, tau fl
 	if k < 1 {
 		return nil, nil
 	}
+	tr := obs.TraceFrom(ctx)
+	start := time.Now()
 	norm := e.normOrDefault()
 	cands := e.candidates(q)
 	// The query object is the target of every run; the cache shares its
 	// decomposition (and the influence objects') across candidates.
 	cache := e.queryCache()
+	tr.AddCandidates(len(cands))
+	e.Obs.countCandidates(len(cands))
+	tr.AddPrepare(time.Since(start))
 	matches := make([]Match, len(cands))
+	evalStart := time.Now()
 	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
-		matches[i] = e.evalRKNNCandidate(q, cands[i], k, tau, norm, cache)
+		m, pruned := e.evalRKNNCandidate(q, cands[i], k, tau, norm, cache)
+		matches[i] = m
+		countMatch(e.Obs, tr, m, pruned)
 	})
 	if err != nil {
 		return nil, err
 	}
+	tr.AddEval(time.Since(evalStart))
+	recordCache(e.Obs, tr, cache)
+	e.Obs.observe(kindRKNN, start, tr)
 	return matches, nil
 }
 
@@ -308,10 +348,11 @@ func (e *Engine) RKNNCtx(ctx context.Context, q *uncertain.Object, k int, tau fl
 // candidate: the cheap impossibility preselection, then an IDCA run
 // with q as the target and the candidate as the reference. Like
 // evalKNNCandidate it is the single evaluation path shared by RKNNCtx
-// and the incremental maintainers.
-func (e *Engine) evalRKNNCandidate(q, b *uncertain.Object, k int, tau float64, norm geom.Norm, cache *core.DecompCache) Match {
+// and the incremental maintainers, and like it the second return
+// reports a preselection-only verdict.
+func (e *Engine) evalRKNNCandidate(q, b *uncertain.Object, k int, tau float64, norm geom.Norm, cache *core.DecompCache) (Match, bool) {
 	if tau > 0 && e.rknnPrunable(q, b, k, norm) {
-		return Match{Object: b, Decided: true}
+		return Match{Object: b, Decided: true}, true
 	}
 	opts := e.runOpts()
 	opts.KMax = k
@@ -327,7 +368,7 @@ func (e *Engine) evalRKNNCandidate(q, b *uncertain.Object, k int, tau float64, n
 		IsResult:   iv.LB >= tau,
 		Decided:    iv.LB >= tau || iv.UB < tau,
 		Iterations: len(res.Iterations),
-	}
+	}, false
 }
 
 // EvalRKNNCandidate evaluates the threshold-RkNN predicate for
@@ -338,7 +379,9 @@ func (e *Engine) EvalRKNNCandidate(q, b *uncertain.Object, k int, tau float64, c
 	if cache == nil {
 		cache = e.queryCache()
 	}
-	return e.evalRKNNCandidate(q, b, k, tau, e.normOrDefault(), cache)
+	m, pruned := e.evalRKNNCandidate(q, b, k, tau, e.normOrDefault(), cache)
+	countMatch(e.Obs, nil, m, pruned)
+	return m
 }
 
 // RankDistribution is the probabilistic inverse ranking result for one
@@ -371,10 +414,14 @@ func (rd *RankDistribution) Bound(i int) gf.Interval {
 // Options.Parallelism at the pair level inside that run (results are
 // deterministic for a fixed value, like core.Run).
 func (e *Engine) InverseRank(b, r *uncertain.Object) *RankDistribution {
+	start := time.Now()
 	opts := e.runOpts()
 	opts.Parallelism = e.Opts.Parallelism
-	opts.SharedDecomps = e.queryCache()
+	cache := e.queryCache()
+	opts.SharedDecomps = cache
 	res := e.run(b, r, opts)
+	recordCache(e.Obs, nil, cache)
+	e.Obs.observe(kindInverseRank, start, nil)
 	ranks := make([]gf.Interval, len(res.Bounds))
 	copy(ranks, res.Bounds)
 	return &RankDistribution{
@@ -441,19 +488,32 @@ func (e *Engine) RankByExpectedRank(q *uncertain.Object) []Ranked {
 // stable sort runs over per-candidate bounds computed independently of
 // worker count and completion order.
 func (e *Engine) RankByExpectedRankCtx(ctx context.Context, q *uncertain.Object) ([]Ranked, error) {
+	tr := obs.TraceFrom(ctx)
+	start := time.Now()
 	cands := e.candidates(q)
 	cache := e.queryCache()
+	tr.AddCandidates(len(cands))
+	e.Obs.countCandidates(len(cands))
+	tr.AddPrepare(time.Since(start))
 	out := make([]Ranked, len(cands))
+	evalStart := time.Now()
 	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
 		opts := e.runOpts()
 		opts.SharedDecomps = cache
 		res := e.run(cands[i], q, opts)
+		// Expected-rank ranking refines every candidate — there is no
+		// threshold to preselect against.
+		tr.CountRefined(len(res.Iterations))
+		e.Obs.countRefined(len(res.Iterations))
 		lo, hi := ExpectedRankBounds(res)
 		out[i] = Ranked{Object: cands[i], ExpectedRankLB: lo, ExpectedRankUB: hi}
 	})
 	if err != nil {
 		return nil, err
 	}
+	tr.AddEval(time.Since(evalStart))
+	recordCache(e.Obs, tr, cache)
+	e.Obs.observe(kindExpectedRank, start, tr)
 	sort.SliceStable(out, func(i, j int) bool {
 		mi := out[i].ExpectedRankLB + out[i].ExpectedRankUB
 		mj := out[j].ExpectedRankLB + out[j].ExpectedRankUB

@@ -69,6 +69,11 @@ type ShardedStore struct {
 	version uint64
 	snap    *ShardedSnapshot
 
+	// obs is the router-level query metric set, shared with every shard
+	// store so direct shard queries and scatter-gather queries land in
+	// one place. Immutable after construction.
+	obs *Metrics
+
 	// sj, when non-nil, makes the store durable: shards journal every
 	// commit under the router epoch and sj coordinates manifest writes
 	// and checkpoints (see OpenShardedStore). closed rejects mutations
@@ -160,6 +165,7 @@ func NewShardedStore(db uncertain.Database, sopts ShardedOptions, opts core.Opti
 		byID:   make(map[int]*uncertain.Object, len(db)),
 		home:   make(map[int]int, len(db)),
 		cache:  core.NewDecompCache(opts.MaxHeight),
+		obs:    NewMetrics(),
 	}
 	parts := make([]uncertain.Database, n)
 	for _, o := range db {
@@ -193,6 +199,12 @@ func NewShardedStore(db uncertain.Database, sopts ShardedOptions, opts core.Opti
 		if err != nil {
 			return nil, err
 		}
+	}
+	// The shards share the router's metric set (replacing the private
+	// one NewStore built) so every query path lands in one place. No
+	// shard snapshot has been published yet, so the swap is safe.
+	for _, sh := range s.shards {
+		sh.obs = s.obs
 	}
 	return s, nil
 }
@@ -536,6 +548,7 @@ func (s *ShardedStore) snapshotLocked() *ShardedSnapshot {
 			version: s.version,
 			opts:    s.opts,
 			cache:   s.cache,
+			obs:     s.obs,
 		}
 	}
 	return s.snap
@@ -552,6 +565,7 @@ type ShardedSnapshot struct {
 	version uint64
 	opts    core.Options
 	cache   *core.DecompCache
+	obs     *Metrics
 
 	engineOnce sync.Once
 	engine     *Engine
@@ -597,9 +611,32 @@ func (sn *ShardedSnapshot) Engine() *Engine {
 	sn.engineOnce.Do(func() {
 		opts := sn.opts
 		opts.SharedDecomps = sn.cache
-		sn.engine = &Engine{DB: sn.db, Opts: opts, plane: &shardPlane{shards: sn.shards}}
+		sn.engine = &Engine{DB: sn.db, Opts: opts, plane: &shardPlane{shards: sn.shards}, Obs: sn.obs}
 	})
 	return sn.engine
+}
+
+// Metrics returns the router-level query metric set, shared by every
+// shard and every sharded snapshot engine.
+func (s *ShardedStore) Metrics() *Metrics { return s.obs }
+
+// WALStats returns the journal metrics of a durable sharded store,
+// merged across all shard journals; ok is false on an in-memory store.
+func (s *ShardedStore) WALStats() (wal.MetricsSnapshot, bool) {
+	s.mu.RLock()
+	durable := s.sj != nil
+	shards := s.shards
+	s.mu.RUnlock()
+	if !durable {
+		return wal.MetricsSnapshot{}, false
+	}
+	var out wal.MetricsSnapshot
+	for _, sh := range shards {
+		if ms, ok := sh.WALStats(); ok {
+			out.Merge(ms)
+		}
+	}
+	return out, true
 }
 
 // BatchKNN is ShardedStore.BatchKNN pinned to this snapshot.

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"probprune/internal/core"
 	"probprune/internal/geom"
+	"probprune/internal/obs"
 	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
 	"probprune/internal/wal"
@@ -52,6 +54,11 @@ type Store struct {
 	version uint64
 	snap    *Snapshot // published snapshot; nil after a mutation
 
+	// obs is the store's query metric set; every snapshot engine the
+	// store publishes records into it, so counts accumulate across
+	// snapshots and mutations. Immutable after construction.
+	obs *Metrics
+
 	// journal, when non-nil, makes the store durable: every commit is
 	// journaled before it is applied (see OpenStore). closed rejects
 	// mutations after Close — they could no longer be journaled.
@@ -76,6 +83,7 @@ func NewStore(db uncertain.Database, opts core.Options) (*Store, error) {
 		db:    make(uncertain.Database, 0, len(db)),
 		byID:  make(map[int]*uncertain.Object, len(db)),
 		cache: core.NewDecompCache(opts.MaxHeight),
+		obs:   NewMetrics(),
 	}
 	for _, o := range db {
 		if o == nil {
@@ -414,9 +422,28 @@ func (s *Store) snapshotLocked() *Snapshot {
 			cache:   s.cache,
 			version: s.version,
 			opts:    s.opts,
+			obs:     s.obs,
 		}
 	}
 	return s.snap
+}
+
+// Metrics returns the store's query metric set: per-kind latency
+// histograms and filter-economy counters accumulated across every
+// snapshot engine the store has published. See Metrics.Snapshot for the
+// flat map the server surfaces.
+func (s *Store) Metrics() *Metrics { return s.obs }
+
+// WALStats returns a snapshot of the journal metrics of a durable
+// store (append/fsync/checkpoint counts and latencies); ok is false on
+// an in-memory store.
+func (s *Store) WALStats() (wal.MetricsSnapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.journal == nil {
+		return wal.MetricsSnapshot{}, false
+	}
+	return s.journal.j.MetricsSnapshot(), true
 }
 
 // Snapshot is one immutable database state published by a Store. All
@@ -428,6 +455,7 @@ type Snapshot struct {
 	cache   *core.DecompCache
 	version uint64
 	opts    core.Options
+	obs     *Metrics
 
 	engineOnce sync.Once
 	engine     *Engine
@@ -482,7 +510,7 @@ func (sn *Snapshot) Engine() *Engine {
 	sn.engineOnce.Do(func() {
 		opts := sn.opts
 		opts.SharedDecomps = sn.cache
-		sn.engine = &Engine{DB: sn.db, Index: sn.index, Opts: opts}
+		sn.engine = &Engine{DB: sn.db, Index: sn.index, Opts: opts, Obs: sn.obs}
 	})
 	return sn.engine
 }
@@ -605,6 +633,8 @@ func (sn *Snapshot) BatchKNN(ctx context.Context, reqs []KNNRequest) ([][]Match,
 // ShardedSnapshot: the engine already carries the snapshot binding (and
 // the scatter-gather plane, for sharded snapshots).
 func batchKNN(e *Engine, ctx context.Context, reqs []KNNRequest) ([][]Match, error) {
+	tr := obs.TraceFrom(ctx)
+	start := time.Now()
 	// One cache overlay for the whole batch: influence objects come from
 	// the persistent store cache, repeated query objects are decomposed
 	// once per batch. Preparation (candidate scan + preselection
@@ -619,8 +649,13 @@ func batchKNN(e *Engine, ctx context.Context, reqs []KNNRequest) ([][]Match, err
 	}
 	total := 0
 	for _, j := range jobs {
+		j.tr = tr
 		total += len(j.cands)
 	}
+	tr.AddCandidates(total)
+	e.Obs.countCandidates(total)
+	tr.AddPrepare(time.Since(start))
+	evalStart := time.Now()
 	// Flatten every request's candidates into one index space and run
 	// them on a single pool: small queries do not serialize behind big
 	// ones, and the pool never idles while work remains.
@@ -635,6 +670,9 @@ func batchKNN(e *Engine, ctx context.Context, reqs []KNNRequest) ([][]Match, err
 	if err := forEach(ctx, e.parallelism(), len(flat), func(i int) { flat[i]() }); err != nil {
 		return nil, err
 	}
+	tr.AddEval(time.Since(evalStart))
+	recordCache(e.Obs, tr, cache)
+	e.Obs.observe(kindBatchKNN, start, tr)
 	out := make([][]Match, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.matches

@@ -4,10 +4,12 @@ import (
 	"context"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"probprune/internal/core"
 	"probprune/internal/geom"
 	"probprune/internal/gf"
+	"probprune/internal/obs"
 	"probprune/internal/uncertain"
 )
 
@@ -44,6 +46,8 @@ func (e *Engine) TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) (
 	if k < 1 || m < 1 {
 		return nil, nil
 	}
+	tr := obs.TraceFrom(ctx)
+	start := time.Now()
 	type cand struct {
 		obj     *uncertain.Object
 		session *core.Session
@@ -56,15 +60,25 @@ func (e *Engine) TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) (
 	thresh := e.knnThreshold(q, k, norm)
 	var objs []*uncertain.Object
 	for _, b := range e.DB {
-		if b == q || knnPrunable(b, q, thresh, norm) {
+		if b == q {
+			continue
+		}
+		tr.AddCandidates(1)
+		e.Obs.countCandidates(1)
+		if knnPrunable(b, q, thresh, norm) {
+			tr.CountPreselected()
+			e.Obs.countPreselected()
 			continue
 		}
 		objs = append(objs, b)
 	}
 	if len(objs) == 0 {
+		e.Obs.observe(kindTopK, start, tr)
 		return nil, nil
 	}
 	cache := e.queryCache()
+	tr.AddPrepare(time.Since(start))
+	evalStart := time.Now()
 	cands := make([]*cand, len(objs))
 	err := forEach(ctx, e.parallelism(), len(objs), func(i int) {
 		opts := e.runOpts()
@@ -170,6 +184,13 @@ func (e *Engine) TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) (
 			Iterations: len(c.session.Result().Iterations),
 		})
 	}
+	tr.AddEval(time.Since(evalStart))
+	for _, c := range cands {
+		tr.CountRefined(len(c.session.Result().Iterations))
+		e.Obs.countRefined(len(c.session.Result().Iterations))
+	}
+	recordCache(e.Obs, tr, cache)
+	e.Obs.observe(kindTopK, start, tr)
 	return out, nil
 }
 

@@ -2,8 +2,10 @@ package query
 
 import (
 	"context"
+	"time"
 
 	"probprune/internal/gf"
+	"probprune/internal/obs"
 	"probprune/internal/uncertain"
 )
 
@@ -45,6 +47,8 @@ func (e *Engine) UKRanksCtx(ctx context.Context, q *uncertain.Object, k int) ([]
 	if k < 1 {
 		return nil, nil
 	}
+	tr := obs.TraceFrom(ctx)
+	start := time.Now()
 	type entry struct {
 		obj    *uncertain.Object
 		bounds []gf.Interval // bounds[i] = P(Rank = i+1)
@@ -52,13 +56,19 @@ func (e *Engine) UKRanksCtx(ctx context.Context, q *uncertain.Object, k int) ([]
 	}
 	cands := e.candidates(q)
 	cache := e.queryCache()
+	tr.AddCandidates(len(cands))
+	e.Obs.countCandidates(len(cands))
+	tr.AddPrepare(time.Since(start))
 	entries := make([]entry, len(cands))
+	evalStart := time.Now()
 	err := forEach(ctx, e.parallelism(), len(cands), func(i int) {
 		b := cands[i]
 		opts := e.runOpts()
 		opts.KMax = k // ranks beyond k are irrelevant
 		opts.SharedDecomps = cache
 		res := e.run(b, q, opts)
+		tr.CountRefined(len(res.Iterations))
+		e.Obs.countRefined(len(res.Iterations))
 		entries[i] = entry{
 			obj:    b,
 			bounds: res.Bounds,
@@ -68,6 +78,9 @@ func (e *Engine) UKRanksCtx(ctx context.Context, q *uncertain.Object, k int) ([]
 	if err != nil {
 		return nil, err
 	}
+	tr.AddEval(time.Since(evalStart))
+	recordCache(e.Obs, tr, cache)
+	defer e.Obs.observe(kindUKRanks, start, tr)
 	probAt := func(en entry, rank int) gf.Interval {
 		i := rank - 1 - en.offset // count index
 		if i < 0 || i >= len(en.bounds) {

@@ -356,3 +356,25 @@ func (c *Client) WaitVersion(v uint64) (uint64, error) {
 	}
 	return uint64(r.Int), expectInt(r)
 }
+
+// Stats fetches the server's metric map (the STATS command). The wire
+// reply is a flat array of alternating bulk-string keys and integer
+// values in ascending key order; Stats folds it back into a map.
+func (c *Client) Stats() (map[string]int64, error) {
+	r, err := c.call([]byte("STATS"))
+	if err != nil {
+		return nil, err
+	}
+	if r.Type != server.TArray || r.Null || len(r.Array)%2 != 0 {
+		return nil, fmt.Errorf("client: malformed STATS reply")
+	}
+	out := make(map[string]int64, len(r.Array)/2)
+	for i := 0; i < len(r.Array); i += 2 {
+		k, v := r.Array[i], r.Array[i+1]
+		if k.Type != server.TBulk || k.Null || v.Type != server.TInt {
+			return nil, fmt.Errorf("client: malformed STATS entry %d", i/2)
+		}
+		out[string(k.Bulk)] = v.Int
+	}
+	return out, nil
+}

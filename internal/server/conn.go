@@ -40,6 +40,7 @@ const (
 type conn struct {
 	srv *Server
 	nc  net.Conn
+	id  int64 // server-unique, for log correlation
 
 	outq   chan Frame
 	queued atomic.Int64 // frames enqueued but not yet flushed to the socket
@@ -54,6 +55,7 @@ func newConn(srv *Server, nc net.Conn) *conn {
 	return &conn{
 		srv:    srv,
 		nc:     nc,
+		id:     srv.nextConnID.Add(1),
 		outq:   make(chan Frame, srv.opts.outQueue()),
 		closed: make(chan struct{}),
 		subs:   make(map[int64]*subState),
@@ -180,7 +182,9 @@ func (c *conn) readLoop() {
 		f, err := r.ReadFrame()
 		if err != nil {
 			if errors.Is(err, ErrProto) {
+				c.srv.metrics.protoErrors.Inc()
 				c.srv.logf("server: protocol violation from %s: %v", c.nc.RemoteAddr(), err)
+				c.srv.log.Warn("protocol violation", "conn", c.id, "err", err)
 				c.reply(errf(codeProto, "%v", err))
 				// Give the writer a moment to flush the diagnosis.
 				time.Sleep(10 * time.Millisecond)
@@ -189,6 +193,8 @@ func (c *conn) readLoop() {
 		}
 		args, ok := commandArgs(f)
 		if !ok {
+			c.srv.metrics.protoErrors.Inc()
+			c.srv.log.Warn("protocol violation", "conn", c.id, "err", "command is not an array of bulk strings")
 			c.reply(errf(codeProto, "commands must be arrays of bulk strings"))
 			time.Sleep(10 * time.Millisecond)
 			return
@@ -267,6 +273,7 @@ func argPolicy(b []byte) (Policy, error) {
 func (c *conn) dispatch(args [][]byte) {
 	cmd := string(bytes.ToUpper(args[0]))
 	rest := args[1:]
+	start := time.Now()
 	var f Frame
 	switch cmd {
 	case "PING":
@@ -305,8 +312,16 @@ func (c *conn) dispatch(args [][]byte) {
 		f = c.cmdResume(rest)
 	case "UNSUBSCRIBE":
 		f = c.cmdUnsubscribe(rest)
+	case "STATS":
+		f = c.cmdStats(rest)
 	default:
 		f = errf(codeUnknown, "unknown command %q", cmd)
+	}
+	cm := c.srv.metrics.cmd(cmd)
+	cm.calls.Inc()
+	cm.latency.Observe(time.Since(start))
+	if f.Type == TError {
+		cm.errors.Inc()
 	}
 	if f.Type != 0 { // zero Frame: the handler already replied
 		c.reply(f)
@@ -538,6 +553,7 @@ func (c *conn) cmdSubscribe(rest [][]byte) Frame {
 	if ef != nil {
 		return *ef
 	}
+	c.srv.log.Info("subscribe", "conn", c.id, "sub", st.id, "name", st.name, "mode", mode)
 	// Reply while delivery is held: the client sees [id, mode] strictly
 	// before the subscription's first push frame.
 	c.reply(array(intf(st.id), bulkStr(mode)))
@@ -567,6 +583,7 @@ func (c *conn) cmdResume(rest [][]byte) Frame {
 	if ef != nil {
 		return *ef
 	}
+	c.srv.log.Info("resume", "conn", c.id, "sub", st.id, "name", name, "mode", mode, "lost", lost)
 	c.reply(array(intf(st.id), bulkStr(mode), intf(int64(lost))))
 	c.srv.release(st)
 	return Frame{}

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves the server's observability surface over HTTP,
+// for the opt-in udbserver -debug-addr listener:
+//
+//	/metrics      the StatsMap as a JSON object (keys sorted)
+//	/debug/pprof  the standard net/http/pprof profiles
+//
+// It is intentionally separate from the data-plane protocol: the debug
+// listener binds its own (typically loopback) address and can stay off
+// in production.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.StatsMap()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

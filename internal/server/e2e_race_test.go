@@ -2,8 +2,11 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"reflect"
 	"sync"
@@ -224,6 +227,40 @@ func TestServerE2ERace(t *testing.T) {
 			}
 		}(qc)
 	}
+
+	// The debug endpoint serves /metrics concurrently with the load —
+	// under -race this shakes StatsMap against dispatch, delivery and
+	// the session registry.
+	dbg := httptest.NewServer(srv.DebugHandler())
+	defer dbg.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-writerDone:
+				return
+			default:
+			}
+			resp, err := http.Get(dbg.URL + "/metrics")
+			if err != nil {
+				fail("debug: %v", err)
+				return
+			}
+			var m map[string]int64
+			err = json.NewDecoder(resp.Body).Decode(&m)
+			resp.Body.Close()
+			if err != nil {
+				fail("debug: decode: %v", err)
+				return
+			}
+			if _, ok := m["server.conns.open"]; !ok {
+				fail("debug: metrics missing server.conns.open")
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
 
 	// The writer: delete/reinsert pairs of existing objects, so the
 	// store always returns to its initial state and the final pair —

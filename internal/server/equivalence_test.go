@@ -328,4 +328,25 @@ func runEquivalence(t *testing.T, seed int64) {
 				cd.name, gotRKNN, wantRKNN)
 		}
 	}
+
+	// Observability sweep: every command the trace exercised left
+	// non-zero dispatch counters, and the query engine counted work.
+	for _, cd := range cands {
+		st, err := cd.cl.Stats()
+		if err != nil {
+			t.Fatalf("%s: stats: %v", cd.name, err)
+		}
+		for _, key := range []string{
+			"server.cmd.knn.calls", "server.cmd.rknn.calls",
+			"server.cmd.topknn.calls", "server.cmd.invrank.calls",
+			"server.cmd.batch.calls", "server.cmd.get.calls",
+			"server.cmd.subscribe.calls", "server.cmd.unsubscribe.calls",
+			"server.pushed", "query.candidates", "query.knn.latency.count",
+			"cq.events",
+		} {
+			if st[key] == 0 {
+				t.Errorf("%s: STATS %s == 0 after a full equivalence run", cd.name, key)
+			}
+		}
+	}
 }

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"strings"
+
+	"probprune/internal/obs"
+	"probprune/internal/query"
+	"probprune/internal/wal"
+)
+
+// commandNames is every command dispatch knows. The metric set is built
+// once at server construction so the dispatch hot path is a map read
+// plus atomic updates — no allocation, no lock.
+var commandNames = []string{
+	"PING", "VERSION", "LEN", "GET", "INSERT", "UPDATE", "DELETE",
+	"KNN", "RKNN", "TOPKNN", "INVRANK", "BATCH", "WAITVERSION",
+	"SUBSCRIBE", "RESUME", "UNSUBSCRIBE", "STATS",
+}
+
+// cmdMetrics are one command's dispatch counters.
+type cmdMetrics struct {
+	calls   obs.Counter
+	errors  obs.Counter // error-frame replies (codeBadArg, codeErr, ...)
+	latency obs.Histogram
+}
+
+// srvMetrics are the server-side counters: connection lifecycle,
+// per-command dispatch, and the push plane. Everything is atomic and
+// allocation-free on the record side; StatsMap flattens it on demand.
+type srvMetrics struct {
+	connsAccepted obs.Counter
+	connsOpen     obs.Gauge
+	protoErrors   obs.Counter // framing/command-shape violations that end a connection
+	pushed        obs.Counter // event frames enqueued to subscriber connections
+	shed          obs.Counter // events discarded by PolicyDropOldest rings
+	slowKills     obs.Counter // subscriptions terminated by PolicyDisconnect backpressure
+	cmds          map[string]*cmdMetrics
+	unknown       *cmdMetrics // every unrecognized command shares one bucket
+}
+
+func newSrvMetrics() *srvMetrics {
+	m := &srvMetrics{
+		cmds:    make(map[string]*cmdMetrics, len(commandNames)),
+		unknown: &cmdMetrics{},
+	}
+	for _, name := range commandNames {
+		m.cmds[name] = &cmdMetrics{}
+	}
+	return m
+}
+
+// cmd returns the metric bucket for an already-uppercased command name.
+func (m *srvMetrics) cmd(name string) *cmdMetrics {
+	if cm := m.cmds[name]; cm != nil {
+		return cm
+	}
+	return m.unknown
+}
+
+// addTo flattens the server-side metrics under the "server." prefix.
+func (m *srvMetrics) addTo(out map[string]int64) {
+	out["server.conns.accepted"] = int64(m.connsAccepted.Load())
+	out["server.conns.open"] = m.connsOpen.Load()
+	out["server.proto_errors"] = int64(m.protoErrors.Load())
+	out["server.pushed"] = int64(m.pushed.Load())
+	out["server.shed"] = int64(m.shed.Load())
+	out["server.slow_kills"] = int64(m.slowKills.Load())
+	for name, cm := range m.cmds {
+		prefix := "server.cmd." + strings.ToLower(name)
+		out[prefix+".calls"] = int64(cm.calls.Load())
+		out[prefix+".errors"] = int64(cm.errors.Load())
+		obs.AddHist(out, prefix+".latency", cm.latency.Snapshot())
+	}
+	out["server.cmd.unknown.calls"] = int64(m.unknown.calls.Load())
+}
+
+// StatsMap assembles the full metric map the STATS command and the
+// debug endpoint serve: server-side counters, session-registry gauges,
+// cq maintenance stats, and — when the backend exposes them — query
+// engine metrics and WAL durability metrics.
+func (s *Server) StatsMap() map[string]int64 {
+	out := make(map[string]int64, 256)
+	s.metrics.addTo(out)
+
+	s.mu.Lock()
+	var parked, backlog int64
+	sessions := int64(len(s.sessions))
+	for _, st := range s.sessions {
+		st.mu.Lock()
+		if st.attached == nil {
+			parked++
+		}
+		backlog += int64(len(st.ring) - st.delivered)
+		st.mu.Unlock()
+	}
+	s.mu.Unlock()
+	out["server.sessions"] = sessions
+	out["server.sessions.parked"] = parked
+	out["server.push.backlog"] = backlog
+
+	cs := s.mon.Stats()
+	out["cq.changes"] = int64(cs.Changes)
+	out["cq.woken"] = int64(cs.Woken)
+	out["cq.runs"] = int64(cs.Runs)
+	out["cq.setup_runs"] = int64(cs.SetupRuns)
+	out["cq.saved"] = int64(cs.Saved)
+	out["cq.events"] = int64(cs.Events)
+	out["cq.lost"] = int64(cs.Lost)
+	out["cq.dropped"] = int64(cs.Dropped)
+
+	if b, ok := s.backend.(interface{ Metrics() *query.Metrics }); ok {
+		if qm := b.Metrics(); qm != nil {
+			for k, v := range qm.Snapshot() {
+				out[k] = v
+			}
+		}
+	}
+	if b, ok := s.backend.(interface {
+		WALStats() (wal.MetricsSnapshot, bool)
+	}); ok {
+		if ws, have := b.WALStats(); have {
+			ws.AddTo(out)
+		}
+	}
+	return out
+}
+
+// cmdStats serves STATS: the full metric map as a flat array of
+// alternating bulk-string keys and integer values, in ascending key
+// order. A flat array keeps the reply inside the existing frame
+// vocabulary — no new frame type for clients or fuzzers to learn.
+func (c *conn) cmdStats(rest [][]byte) Frame {
+	if len(rest) != 0 {
+		return errf(codeBadArg, "STATS takes no arguments")
+	}
+	m := c.srv.StatsMap()
+	keys := obs.SortedKeys(m)
+	elems := make([]Frame, 0, 2*len(keys))
+	for _, k := range keys {
+		elems = append(elems, bulkStr(k), intf(m[k]))
+	}
+	return array(elems...)
+}

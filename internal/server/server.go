@@ -3,8 +3,10 @@ package server
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probprune/internal/cq"
@@ -60,6 +62,10 @@ type Options struct {
 	DrainTimeout time.Duration
 	// Logf, when set, receives server diagnostics.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured lifecycle logging: connect,
+	// disconnect, park, resume and protocol errors, each tagged with the
+	// connection ID. Nil discards.
+	Logger *slog.Logger
 }
 
 func (o Options) cursorEvery() int {
@@ -124,6 +130,10 @@ type Server struct {
 	opts    Options
 	backend Backend
 	mon     *cq.Monitor
+	metrics *srvMetrics
+	log     *slog.Logger
+
+	nextConnID atomic.Int64
 
 	ctx    context.Context // server lifetime: cancels in-flight queries on Close
 	cancel context.CancelFunc
@@ -144,9 +154,15 @@ type Server struct {
 // owns it until Close.
 func New(backend Backend, opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		opts:     opts,
 		backend:  backend,
+		metrics:  newSrvMetrics(),
+		log:      log,
 		ctx:      ctx,
 		cancel:   cancel,
 		conns:    make(map[*conn]struct{}),
@@ -202,6 +218,9 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
+		s.metrics.connsAccepted.Inc()
+		s.metrics.connsOpen.Inc()
+		s.log.Info("connection accepted", "conn", c.id, "remote", nc.RemoteAddr().String())
 		s.wg.Add(2)
 		go c.readLoop()
 		go c.writeLoop()
@@ -290,6 +309,8 @@ func (s *Server) dropConn(c *conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
 	s.mu.Unlock()
+	s.metrics.connsOpen.Dec()
+	s.log.Info("connection closed", "conn", c.id)
 }
 
 // retire removes a terminated session from the registry.

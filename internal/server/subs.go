@@ -165,10 +165,12 @@ func (st *subState) append(ev EventMsg) {
 		case st.policy == PolicyDropOldest:
 			st.evictFrontLocked()
 			st.lost++
+			st.srv.metrics.shed.Inc()
 		default:
 			// PolicyDisconnect with an entirely unconsumed ring: the
 			// subscriber (parked, or attached but stalled) is further
 			// behind than the server retains. Terminate rather than gap.
+			st.srv.metrics.slowKills.Inc()
 			st.terminateLocked(EndSlow)
 		}
 	}
@@ -211,14 +213,20 @@ func (st *subState) attachLocked(c *conn, from int) {
 // park (events keep accruing in the ring, RESUME reattaches), ephemeral
 // ones terminate.
 func (st *subState) detach(c *conn) {
+	parked := false
 	st.mu.Lock()
 	if st.attached == c {
 		st.attached = nil
 		if st.name == "" {
 			st.terminateLocked(EndUnsubscribed)
+		} else {
+			parked = !st.terminated
 		}
 	}
 	st.mu.Unlock()
+	if parked {
+		st.srv.log.Info("park", "conn", c.id, "sub", st.id, "name", st.name)
+	}
 	st.kickDelivery()
 }
 
@@ -276,7 +284,9 @@ func (st *subState) delivery() {
 			ev := st.ring[st.delivered]
 			st.delivered++
 			st.mu.Unlock()
-			c.send(encodeEvent(ev), st.dead)
+			if c.send(encodeEvent(ev), st.dead) {
+				st.srv.metrics.pushed.Inc()
+			}
 			st.mu.Lock()
 		}
 		// Parked sessions whose stream ended retire without a peer to

@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"probprune/internal/obs"
+)
+
+// journalMetrics are one journal's cumulative durability metrics. The
+// zero value is ready to use (obs primitives are zero-value atomic), so
+// every Journal carries one without constructor changes; record paths
+// run under j.mu on the commit path and never allocate.
+type journalMetrics struct {
+	appends     obs.Counter
+	appendBytes obs.Counter
+	appendLat   obs.Histogram
+	fsyncs      obs.Counter
+	fsyncLat    obs.Histogram
+	rotations   obs.Counter
+	checkpoints obs.Counter
+	ckptLat     obs.Histogram
+}
+
+// MetricsSnapshot is a point-in-time copy of a journal's metrics. It is
+// mergeable: a sharded store sums its per-shard journals into one
+// (latency histograms merge bucket-wise, like obs.HistSnapshot).
+type MetricsSnapshot struct {
+	// Appends counts journaled records; AppendBytes their framed bytes
+	// on disk; AppendLat the wall time of one append (including the
+	// fsync under SyncAlways).
+	Appends     uint64
+	AppendBytes uint64
+	AppendLat   obs.HistSnapshot
+	// Fsyncs counts explicit fsyncs of the segment file (SyncAlways
+	// appends, Sync calls, the SyncBackground flusher).
+	Fsyncs   uint64
+	FsyncLat obs.HistSnapshot
+	// Rotations counts segment rollovers (size threshold and
+	// checkpoint-installed ones alike).
+	Rotations uint64
+	// Checkpoints counts installed checkpoints; CheckpointLat the wall
+	// time of WriteCheckpoint (encode, fsync, rename, truncation).
+	Checkpoints   uint64
+	CheckpointLat obs.HistSnapshot
+}
+
+// Merge adds o into s.
+func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
+	s.Appends += o.Appends
+	s.AppendBytes += o.AppendBytes
+	s.AppendLat.Merge(o.AppendLat)
+	s.Fsyncs += o.Fsyncs
+	s.FsyncLat.Merge(o.FsyncLat)
+	s.Rotations += o.Rotations
+	s.Checkpoints += o.Checkpoints
+	s.CheckpointLat.Merge(o.CheckpointLat)
+}
+
+// AddTo flattens the snapshot into a metric map under the "wal."
+// prefix, the shape the STATS command and debug endpoint serve.
+func (s MetricsSnapshot) AddTo(out map[string]int64) {
+	out["wal.appends"] = int64(s.Appends)
+	out["wal.append_bytes"] = int64(s.AppendBytes)
+	obs.AddHist(out, "wal.append.latency", s.AppendLat)
+	out["wal.fsyncs"] = int64(s.Fsyncs)
+	obs.AddHist(out, "wal.fsync.latency", s.FsyncLat)
+	out["wal.rotations"] = int64(s.Rotations)
+	out["wal.checkpoints"] = int64(s.Checkpoints)
+	obs.AddHist(out, "wal.checkpoint.latency", s.CheckpointLat)
+}
+
+// MetricsSnapshot returns the journal's current metrics.
+func (j *Journal) MetricsSnapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Appends:       j.metrics.appends.Load(),
+		AppendBytes:   j.metrics.appendBytes.Load(),
+		AppendLat:     j.metrics.appendLat.Snapshot(),
+		Fsyncs:        j.metrics.fsyncs.Load(),
+		FsyncLat:      j.metrics.fsyncLat.Snapshot(),
+		Rotations:     j.metrics.rotations.Load(),
+		Checkpoints:   j.metrics.checkpoints.Load(),
+		CheckpointLat: j.metrics.ckptLat.Snapshot(),
+	}
+}

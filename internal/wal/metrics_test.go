@@ -1,0 +1,101 @@
+package wal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestJournalMetrics: the durability counters track appends, bytes,
+// fsyncs, rotations and checkpoints through a journal's life.
+func TestJournalMetrics(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 512, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := j.MetricsSnapshot(); s.Appends != 0 || s.Rotations != 0 {
+		t.Fatalf("fresh journal has non-zero metrics: %+v", s)
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := j.Append(testRecord(t, rng, uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := j.MetricsSnapshot()
+	if s.Appends != n {
+		t.Fatalf("Appends = %d, want %d", s.Appends, n)
+	}
+	if s.AppendBytes == 0 {
+		t.Fatal("AppendBytes = 0 after appends")
+	}
+	if s.AppendLat.Count != n {
+		t.Fatalf("AppendLat.Count = %d, want %d", s.AppendLat.Count, n)
+	}
+	if s.Fsyncs < n {
+		t.Fatalf("Fsyncs = %d under SyncAlways, want >= %d", s.Fsyncs, n)
+	}
+	if s.Rotations == 0 {
+		t.Fatal("Rotations = 0 with a 512-byte segment cap over 100 records")
+	}
+	if s.Checkpoints != 0 {
+		t.Fatalf("Checkpoints = %d before any checkpoint", s.Checkpoints)
+	}
+
+	db := mustSynthetic(t, 10, 4)
+	if err := j.WriteCheckpoint(&Checkpoint{Version: n, Objects: db}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := j.MetricsSnapshot()
+	if s2.Checkpoints != 1 {
+		t.Fatalf("Checkpoints = %d after one checkpoint", s2.Checkpoints)
+	}
+	if s2.CheckpointLat.Count != 1 {
+		t.Fatalf("CheckpointLat.Count = %d, want 1", s2.CheckpointLat.Count)
+	}
+	if s2.Rotations != s.Rotations+1 {
+		t.Fatalf("Rotations = %d after checkpoint, want %d", s2.Rotations, s.Rotations+1)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Merge and the flat map view.
+	merged := s
+	merged.Merge(s2)
+	if merged.Appends != s.Appends+s2.Appends {
+		t.Fatalf("Merge: Appends = %d, want %d", merged.Appends, s.Appends+s2.Appends)
+	}
+	out := make(map[string]int64)
+	s2.AddTo(out)
+	for _, key := range []string{
+		"wal.appends", "wal.append_bytes", "wal.append.latency.count",
+		"wal.fsyncs", "wal.fsync.latency.p99_ns", "wal.rotations",
+		"wal.checkpoints", "wal.checkpoint.latency.count",
+	} {
+		if _, ok := out[key]; !ok {
+			t.Errorf("AddTo missing key %s", key)
+		}
+	}
+	if out["wal.appends"] != int64(n) {
+		t.Fatalf("wal.appends = %d, want %d", out["wal.appends"], n)
+	}
+
+	// Replay on reopen records nothing: metrics measure the write path.
+	j2, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := j2.MetricsSnapshot(); s.Appends != 0 || s.Rotations != 0 || s.Checkpoints != 0 {
+		t.Fatalf("reopened journal has non-zero write metrics: %+v", s)
+	}
+}

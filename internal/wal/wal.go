@@ -143,6 +143,10 @@ type Journal struct {
 	syncErr   error
 	buf       []byte // scratch encode buffer
 	replayEnd uint64 // version of the last replayed record
+
+	// metrics are the journal's cumulative durability metrics (see
+	// metrics.go); the zero value records from the first append.
+	metrics journalMetrics
 }
 
 func segName(i uint64) string  { return fmt.Sprintf("wal-%08d.log", i) }
@@ -381,6 +385,7 @@ func (j *Journal) openSegmentLocked(i uint64) error {
 // the whole frame or a torn tail that replay cuts off — never an
 // interleaved state.
 func (j *Journal) Append(rec Record) error {
+	start := time.Now()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -396,6 +401,7 @@ func (j *Journal) Append(rec Record) error {
 		if err := j.openSegmentLocked(j.seg + 1); err != nil {
 			return err
 		}
+		j.metrics.rotations.Inc()
 	}
 	j.buf = j.buf[:0]
 	payload, err := appendRecord(j.buf[:0], rec)
@@ -424,10 +430,13 @@ func (j *Journal) Append(rec Record) error {
 	j.size += int64(len(frame))
 	j.appended++
 	if j.opts.Sync == SyncAlways {
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("wal: %w", err)
+		if err := j.fsyncLocked(); err != nil {
+			return err
 		}
 	}
+	j.metrics.appends.Inc()
+	j.metrics.appendBytes.Add(uint64(len(frame)))
+	j.metrics.appendLat.Observe(time.Since(start))
 	return nil
 }
 
@@ -451,9 +460,18 @@ func (j *Journal) syncLocked() error {
 	if j.closed || j.f == nil {
 		return nil
 	}
+	return j.fsyncLocked()
+}
+
+// fsyncLocked fsyncs the current segment, counting the call and its
+// latency. Requires j.mu held and j.f open.
+func (j *Journal) fsyncLocked() error {
+	start := time.Now()
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	j.metrics.fsyncs.Inc()
+	j.metrics.fsyncLat.Observe(time.Since(start))
 	return nil
 }
 
@@ -480,6 +498,7 @@ func (j *Journal) syncLoop() {
 // a fresh segment, and the segments the checkpoint absorbed are
 // deleted. After it returns, recovery is checkpoint + (empty) tail.
 func (j *Journal) WriteCheckpoint(ck *Checkpoint) error {
+	start := time.Now()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -494,6 +513,7 @@ func (j *Journal) WriteCheckpoint(ck *Checkpoint) error {
 	if err := j.openSegmentLocked(j.seg + 1); err != nil {
 		return err
 	}
+	j.metrics.rotations.Inc()
 	ck.firstSegment = j.seg
 	next := j.ckIndex + 1
 	if err := saveCheckpointFile(filepath.Join(j.dir, ckptName(next)), ck); err != nil {
@@ -512,7 +532,12 @@ func (j *Journal) WriteCheckpoint(ck *Checkpoint) error {
 			os.Remove(filepath.Join(j.dir, segName(i)))
 		}
 	}
-	return syncDir(j.dir)
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
+	j.metrics.checkpoints.Inc()
+	j.metrics.ckptLat.Observe(time.Since(start))
+	return nil
 }
 
 // Close flushes and releases the journal. The directory remains fully
