@@ -1,8 +1,10 @@
 // Benchmarks for the durability layer, wrapping the shared
 // internal/benchscen scenario bodies (cmd/bench writes the same
-// measurements to the committed BENCH_PR5.json): journaled update
-// throughput, and recovery cost cold (whole database replayed from the
-// log) versus from a checkpoint plus empty tail.
+// measurements to the committed BENCH_PR*.json): journaled update
+// throughput, recovery cost cold (whole database replayed from the
+// log) versus from a checkpoint plus empty tail, SyncAlways ingest
+// with and without group commit, and commit latency while background
+// checkpoints run.
 package probprune_test
 
 import (
@@ -21,4 +23,16 @@ func BenchmarkRecoveryCold(b *testing.B) {
 
 func BenchmarkRecoveryCheckpoint(b *testing.B) {
 	benchscen.RecoveryCheckpoint(b, benchscen.MustDB(1000))
+}
+
+func BenchmarkDurableIngestSerial(b *testing.B) {
+	benchscen.DurableIngestSerial(b, benchscen.MustDB(1000))
+}
+
+func BenchmarkDurableIngestGroupCommit(b *testing.B) {
+	benchscen.DurableIngestGroupCommit(b, benchscen.MustDB(1000))
+}
+
+func BenchmarkCheckpointUnderLoad(b *testing.B) {
+	benchscen.CheckpointUnderLoad(b, benchscen.MustDB(1000))
 }

@@ -6,8 +6,16 @@
 // the continuous-query maintenance pair (incremental maintenance vs.
 // re-running every standing query per mutation), the sharded serving
 // pair (write-interleaved BatchKNN mix and store build at 1 vs 8
-// shards), and the durability trio: journaled update throughput
-// (WALIngest) and recovery cold vs from a checkpoint.
+// shards), and the durability scenarios: journaled update throughput
+// (WALIngest), recovery cold vs from a checkpoint, the SyncAlways
+// ingest pair (one committer paying a full fsync per commit vs
+// concurrent committers sharing group-commit fsyncs), and commit
+// latency while background checkpoints run.
+//
+// The report carries assertions: group-commit ingest must beat the
+// per-commit-fsync baseline by >= 3x, and the p99 commit latency under
+// checkpoint load must stay far below a synchronous full-database
+// encode. A failed assertion fails the run.
 //
 // Every scenario is measured twice: a serial pass pinned to
 // GOMAXPROCS=1 (the apples-to-apples baseline against earlier reports,
@@ -87,6 +95,9 @@ func scenarios() []scenario {
 		{"WALIngest", benchscen.WALIngest},
 		{"RecoveryCold", benchscen.RecoveryCold},
 		{"RecoveryCheckpoint", benchscen.RecoveryCheckpoint},
+		{"DurableIngestSerial", benchscen.DurableIngestSerial},
+		{"DurableIngestGroupCommit", benchscen.DurableIngestGroupCommit},
+		{"CheckpointUnderLoad", benchscen.CheckpointUnderLoad},
 	}
 }
 
@@ -125,7 +136,7 @@ func find(rs []benchResult, name string) benchResult {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output file")
+	out := flag.String("o", "BENCH_PR9.json", "output file")
 	quick := flag.Bool("quick", false, "smoke mode: small database, cheap CI run (numbers not comparable with full runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering both benchmark passes to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the passes to this file")
@@ -149,7 +160,7 @@ func main() {
 
 	db := benchscen.MustDB(dbSize)
 	rep := report{
-		PR:         6,
+		PR:         9,
 		Go:         runtime.Version(),
 		GOMAXPROCS: 1,
 		NumCPU:     runtime.NumCPU(),
@@ -194,6 +205,14 @@ func main() {
 	if ckpt.NsPerOp > 0 {
 		rep.Derived["recovery_checkpoint_speedup"] = cold.NsPerOp / ckpt.NsPerOp
 	}
+	serialFsync := find(rep.Benchmarks, "DurableIngestSerial")
+	groupCommit := find(rep.Benchmarks, "DurableIngestGroupCommit")
+	ckLoad := find(rep.Benchmarks, "CheckpointUnderLoad")
+	if groupCommit.NsPerOp > 0 {
+		rep.Derived["group_commit_speedup"] = serialFsync.NsPerOp / groupCommit.NsPerOp
+	}
+	rep.Derived["checkpoint_load_p99_commit_ns"] = ckLoad.Metrics["p99-commit-ns"]
+	rep.Derived["checkpoint_load_max_commit_ns"] = ckLoad.Metrics["max-commit-ns"]
 	// Serial-vs-parallel speedup per scenario (same binary, same data,
 	// only GOMAXPROCS differs).
 	for _, s := range rep.Benchmarks {
@@ -202,6 +221,30 @@ func main() {
 		}
 	}
 	fmt.Printf("derived: %v\n", rep.Derived)
+
+	// Report assertions: the durability work must actually be off the
+	// write path, not just present.
+	failed := false
+	assert := func(name string, ok bool, detail string) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("assert %-44s %s  (%s)\n", name, status, detail)
+	}
+	assert("group_commit_speedup >= 3",
+		rep.Derived["group_commit_speedup"] >= 3,
+		fmt.Sprintf("serial %.0f ns/op, grouped %.0f ns/op, speedup %.2fx",
+			serialFsync.NsPerOp, groupCommit.NsPerOp, rep.Derived["group_commit_speedup"]))
+	// A synchronous checkpoint at CheckpointEvery=64 would put a full
+	// database encode (milliseconds) inside >1% of commits; with the
+	// install off the write path the p99 stays in commit territory.
+	assert("checkpoint_load_p99_commit_ns < 2ms",
+		rep.Derived["checkpoint_load_p99_commit_ns"] > 0 &&
+			rep.Derived["checkpoint_load_p99_commit_ns"] < 2e6,
+		fmt.Sprintf("p99 %.0f ns, max %.0f ns",
+			rep.Derived["checkpoint_load_p99_commit_ns"], rep.Derived["checkpoint_load_max_commit_ns"]))
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -223,4 +266,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if failed {
+		log.Fatal("bench-report assertions failed")
+	}
 }

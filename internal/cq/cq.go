@@ -82,9 +82,15 @@ type Monitor struct {
 	subs      map[int64]*Subscription
 	regions   *rtree.Tree[*Subscription] // bounded influence regions
 	unbounded map[int64]*Subscription    // subscriptions that wake on every change
-	cursor    *wal.Cursor                // loaded durable cursor (nil without one)
-	cursorErr error                      // cursor load failure, surfaced on durable subscribes
+	cursor    *wal.Cursor                // in-memory durable cursor view (nil without one)
+	clog      *wal.CursorLog             // append-only cursor log behind CursorPath
+	cursorErr error                      // cursor open failure, surfaced on durable subscribes
 	sinceSave int                        // changes processed since the last cursor save
+	dirty     map[string]bool            // names whose result set changed since the last successful save
+	deleted   map[string]bool            // names forgotten since the last successful save
+	forceFull bool                       // next save rewrites the base (after a failed save)
+	saveErr   error                      // deferred auto-save failure, surfaced by SaveCursor/Close
+	closeErr  error                      // final save/close failure, returned by Close
 
 	wmu       sync.Mutex
 	processed uint64
@@ -96,6 +102,7 @@ type Monitor struct {
 	subCount  atomic.Int64
 
 	changes, woken, runs, setupRuns, saved, events, lost, dropped atomic.Uint64
+	cursorSaves, cursorSaveFails                                  atomic.Uint64
 }
 
 // item is one unit of worker input: a store change or a control request.
@@ -148,7 +155,7 @@ func NewMonitor(store Source, opts Options) *Monitor {
 	}
 	m.qcond = sync.NewCond(&m.qmu)
 	if opts.CursorPath != "" {
-		m.cursor, m.cursorErr = wal.LoadCursor(opts.CursorPath)
+		m.clog, m.cursor, m.cursorErr = wal.OpenCursorLog(opts.CursorPath)
 	}
 	snap, stop := store.Watch(func(ch query.Change) {
 		c := ch
@@ -273,14 +280,16 @@ func (m *Monitor) Close() error {
 	if m.closed {
 		m.qmu.Unlock()
 		<-m.done
-		return nil
+		return m.closeErr
 	}
 	m.closed = true
 	m.queue = append(m.queue, item{shutdown: true})
 	m.qcond.Signal()
 	m.qmu.Unlock()
 	<-m.done
-	return nil
+	// The worker wrote closeErr before closing done; the channel
+	// receive orders the read after it.
+	return m.closeErr
 }
 
 // Version returns the latest store version the monitor has fully
@@ -364,16 +373,23 @@ func (m *Monitor) QueueLen() int {
 
 // Stats returns the monitor-wide cumulative counters.
 func (m *Monitor) Stats() Stats {
-	return Stats{
-		Changes:   m.changes.Load(),
-		Woken:     m.woken.Load(),
-		Runs:      m.runs.Load(),
-		SetupRuns: m.setupRuns.Load(),
-		Saved:     m.saved.Load(),
-		Events:    m.events.Load(),
-		Lost:      m.lost.Load(),
-		Dropped:   m.dropped.Load(),
+	st := Stats{
+		Changes:            m.changes.Load(),
+		Woken:              m.woken.Load(),
+		Runs:               m.runs.Load(),
+		SetupRuns:          m.setupRuns.Load(),
+		Saved:              m.saved.Load(),
+		Events:             m.events.Load(),
+		Lost:               m.lost.Load(),
+		Dropped:            m.dropped.Load(),
+		CursorSaves:        m.cursorSaves.Load(),
+		CursorSaveFailures: m.cursorSaveFails.Load(),
 	}
+	if m.clog != nil {
+		st.CursorDeltaBytes = m.clog.DeltaBytes()
+		st.CursorCompactions = m.clog.Compactions()
+	}
+	return st
 }
 
 // enqueue hands an item to the worker; it reports false when the
@@ -427,8 +443,17 @@ func (m *Monitor) run() {
 		case it.shutdown:
 			if m.opts.CursorPath != "" {
 				// Final cursor save: the next process resumes from the
-				// exact position this one delivered through.
-				m.saveCursor()
+				// exact position this one delivered through. Its failure
+				// (or a deferred auto-save failure) reaches the caller
+				// through Close.
+				if err := m.saveCursor(); err != nil && m.closeErr == nil {
+					m.closeErr = err
+				}
+				if m.clog != nil {
+					if err := m.clog.Close(); err != nil && m.closeErr == nil {
+						m.closeErr = err
+					}
+				}
 			}
 			for _, s := range m.subs {
 				s.finish(ErrMonitorClosed)
@@ -475,20 +500,48 @@ func (m *Monitor) addSub(s *Subscription) {
 	s.resume = nil
 	m.subs[s.id] = s
 	m.subCount.Add(1)
+	if s.name != "" {
+		m.markDirty(s.name)
+	}
 	m.place(s, false)
 	m.deliver(s, evs)
 }
 
-// saveCursor persists the durable cursor: the processed watermark plus
-// every named subscription's current result set. Names loaded from the
-// previous cursor that have not been re-subscribed yet are carried
-// through unchanged — an auto-save firing before the application
-// re-attaches its subscriptions must not erase their resume state.
-// Worker-only.
+// saveCursor persists the durable cursor and accounts for the outcome.
+// A failure deferred from an earlier auto-save is surfaced here first —
+// auto-saves are not "best effort", their errors are only postponed to
+// the next explicit save point. Worker-only.
 func (m *Monitor) saveCursor() error {
 	if m.opts.CursorPath == "" {
 		return fmt.Errorf("cq: no Options.CursorPath configured")
 	}
+	deferred := m.saveErr
+	m.saveErr = nil
+	err := m.writeCursor()
+	if err != nil {
+		m.cursorSaveFails.Add(1)
+	} else {
+		m.cursorSaves.Add(1)
+	}
+	if deferred != nil {
+		return fmt.Errorf("cq: deferred cursor auto-save failure: %w", deferred)
+	}
+	return err
+}
+
+// writeCursor rebuilds the durable cursor — the processed watermark
+// plus every named subscription's current result set — and persists it
+// through the cursor log. Names loaded from the previous cursor that
+// have not been re-subscribed yet are carried through unchanged — an
+// auto-save firing before the application re-attaches its
+// subscriptions must not erase their resume state.
+//
+// The save appends a delta carrying only the subscriptions that woke
+// since the last successful save (plus forgotten names), and rewrites
+// the full base when the log wants compaction — or after a failed
+// save, when the on-disk log can no longer be assumed to hold what the
+// delta bookkeeping builds on. Worker-only.
+func (m *Monitor) writeCursor() error {
 	m.wmu.Lock()
 	c := &wal.Cursor{Version: m.processed, VV: m.vv}
 	m.wmu.Unlock()
@@ -517,7 +570,57 @@ func (m *Monitor) saveCursor() error {
 	// Refresh the in-memory cursor too: in-process re-subscribes (and
 	// dropSub's remember) work against the latest persisted view.
 	m.cursor = c
-	return wal.SaveCursor(m.opts.CursorPath, c)
+	if m.clog == nil {
+		// The cursor log never opened (m.cursorErr). Fall back to an
+		// atomic full rewrite in the legacy format: it self-heals the
+		// file, and the next open migrates it back into a log.
+		return wal.SaveCursor(m.opts.CursorPath, c)
+	}
+	if m.forceFull || m.clog.ShouldCompact() {
+		if err := m.clog.WriteFull(c); err != nil {
+			m.forceFull = true
+			return err
+		}
+	} else {
+		d := &wal.CursorDelta{Version: c.Version, VV: c.VV}
+		inBase := make(map[string]bool, len(c.Subs))
+		for i := range c.Subs {
+			inBase[c.Subs[i].Name] = true
+			if m.dirty[c.Subs[i].Name] {
+				d.Upserts = append(d.Upserts, c.Subs[i])
+			}
+		}
+		// A forgotten name that was re-subscribed is upserted above;
+		// deltas apply upserts before deletes, so it must not also be
+		// deleted.
+		for name := range m.deleted {
+			if !inBase[name] {
+				d.Deletes = append(d.Deletes, name)
+			}
+		}
+		sort.Strings(d.Deletes)
+		if err := m.clog.AppendDelta(d); err != nil {
+			m.forceFull = true
+			return err
+		}
+	}
+	m.forceFull = false
+	m.dirty = nil
+	m.deleted = nil
+	return nil
+}
+
+// markDirty records that name's persisted resume state is stale: the
+// next cursor save must carry it in the delta. Worker-only.
+func (m *Monitor) markDirty(name string) {
+	if m.opts.CursorPath == "" {
+		return
+	}
+	if m.dirty == nil {
+		m.dirty = make(map[string]bool)
+	}
+	m.dirty[name] = true
+	delete(m.deleted, name)
 }
 
 // remember installs a named subscription's resume state into the
@@ -549,6 +652,13 @@ func (m *Monitor) forgetNamed(name string) error {
 				break
 			}
 		}
+	}
+	if m.opts.CursorPath != "" {
+		delete(m.dirty, name)
+		if m.deleted == nil {
+			m.deleted = make(map[string]bool)
+		}
+		m.deleted[name] = true
 	}
 	return nil
 }
@@ -608,6 +718,7 @@ func (m *Monitor) dropSub(s *Subscription, err error) {
 	}
 	if s.name != "" && m.opts.CursorPath != "" {
 		m.remember(s.cursorState())
+		m.markDirty(s.name)
 	}
 	s.finish(err)
 }
@@ -655,6 +766,11 @@ func (m *Monitor) applyChange(ch query.Change) {
 		s.woken.Add(1)
 		m.woken.Add(1)
 		evs := s.apply(ch)
+		if s.name != "" {
+			// Waking can refine candidate bounds without emitting an
+			// event, so the persisted entry is stale either way.
+			m.markDirty(s.name)
+		}
 		m.place(s, true)
 		m.deliver(s, evs)
 	}
@@ -662,7 +778,17 @@ func (m *Monitor) applyChange(ch query.Change) {
 	m.advance(ch.Version, versionVector(ch.Snap))
 	if m.opts.CursorPath != "" && m.opts.CursorEvery > 0 {
 		if m.sinceSave++; m.sinceSave >= m.opts.CursorEvery {
-			m.saveCursor() // best effort; SaveCursor surfaces errors
+			// An auto-save failure is deferred, not dropped: the next
+			// SaveCursor or Close reports it, and the dirty bookkeeping
+			// is retained so nothing is lost from the next attempt.
+			if err := m.writeCursor(); err != nil {
+				m.cursorSaveFails.Add(1)
+				if m.saveErr == nil {
+					m.saveErr = err
+				}
+			} else {
+				m.cursorSaves.Add(1)
+			}
 		}
 	}
 }

@@ -106,8 +106,14 @@ type Options struct {
 	// from the last delivered version, not from genesis.
 	CursorPath string
 	// CursorEvery auto-saves the cursor after that many processed
-	// changes; 0 saves only on SaveCursor and Close. The save is
-	// atomic (write + rename) and fsynced.
+	// changes; 0 saves only on SaveCursor and Close. Saves append a
+	// delta — only the subscriptions that woke since the last save —
+	// to a cursor log, and the log compacts into a fresh base (atomic
+	// write + rename, fsynced) once the deltas outgrow it. Delta
+	// appends are not fsynced: an OS crash can cost the last few saves
+	// (a slightly larger resume delta), never a corrupt cursor.
+	// Auto-save failures are deferred and surfaced by the next
+	// SaveCursor or Close, and counted in Stats.
 	CursorEvery int
 }
 
@@ -168,6 +174,16 @@ type Stats struct {
 	// Dropped is the number of subscriptions cancelled by the
 	// DisconnectSlow policy.
 	Dropped uint64
+	// CursorSaves counts successful cursor saves (delta appends and
+	// full rewrites alike); CursorSaveFailures the failed ones. A
+	// failed auto-save is deferred and surfaced by the next SaveCursor
+	// or Close, never silently dropped.
+	CursorSaves, CursorSaveFailures uint64
+	// CursorDeltaBytes is the cumulative size of appended cursor
+	// deltas; CursorCompactions the number of base rewrites triggered
+	// by delta growth. Together they describe the write volume the
+	// append-only cursor log pays compared to a full rewrite per save.
+	CursorDeltaBytes, CursorCompactions uint64
 }
 
 // SubStats are the per-subscription counters of Stats.

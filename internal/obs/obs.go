@@ -100,6 +100,35 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// valueBucketIndex maps a dimensionless value to its bucket: bucket 0
+// holds 0, bucket i holds [2^(i-1), 2^i), overflow lands in the last.
+func valueBucketIndex(v uint64) int {
+	idx := bits.Len64(v)
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	return idx
+}
+
+// ObserveValue records one dimensionless value (a batch size, a byte
+// count) into the same doubling-ladder buckets, without the microsecond
+// scaling of Observe. A histogram must be fed through exactly one of
+// Observe and ObserveValue — the bucket boundaries differ — and a
+// value-fed one is summarized with QuantileValue/AddHistValue instead
+// of Quantile/AddHist.
+func (h *Histogram) ObserveValue(v uint64) {
+	n := int64(v)
+	h.count.Add(1)
+	h.sum.Add(n)
+	for {
+		cur := h.max.Load()
+		if n <= cur || h.max.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	h.buckets[valueBucketIndex(v)].Add(1)
+}
+
 // Snapshot returns a consistent-enough copy of the histogram state for
 // quantile estimation and merging. (Counts are read bucket by bucket;
 // concurrent Observes may straddle the reads, skewing a quantile by at
@@ -167,6 +196,42 @@ func (s HistSnapshot) Quantile(p float64) time.Duration {
 		}
 	}
 	return time.Duration(s.MaxNanos)
+}
+
+// QuantileValue estimates the p-quantile of a value-fed histogram (one
+// recorded through ObserveValue) as the upper bound of the bucket
+// holding the rank, clamped to the observed maximum.
+func (s HistSnapshot) QuantileValue(p float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			if i == HistBuckets-1 {
+				return uint64(s.MaxNanos)
+			}
+			ub := uint64(1) << uint(i)
+			if m := uint64(s.MaxNanos); m > 0 && ub > m {
+				return m
+			}
+			return ub
+		}
+	}
+	return uint64(s.MaxNanos)
 }
 
 // Mean returns the arithmetic mean of the observations, zero when
@@ -284,6 +349,18 @@ func AddHist(out map[string]int64, name string, s HistSnapshot) {
 	out[name+".p95_ns"] = int64(s.Quantile(0.95))
 	out[name+".p99_ns"] = int64(s.Quantile(0.99))
 	out[name+".max_ns"] = s.MaxNanos
+}
+
+// AddHistValue expands a value-fed histogram snapshot (ObserveValue)
+// into a flat metric map: count, sum, mean and value quantiles — no
+// nanosecond suffixes, the values are dimensionless.
+func AddHistValue(out map[string]int64, name string, s HistSnapshot) {
+	out[name+".count"] = int64(s.Count)
+	out[name+".sum"] = s.SumNanos
+	out[name+".p50"] = int64(s.QuantileValue(0.50))
+	out[name+".p95"] = int64(s.QuantileValue(0.95))
+	out[name+".p99"] = int64(s.QuantileValue(0.99))
+	out[name+".max"] = s.MaxNanos
 }
 
 // SortedKeys returns the keys of a flat metric map in lexical order —

@@ -18,7 +18,9 @@ import (
 // silently deferred all the way to Close. The failure is injected by
 // planting a directory at the exact path the next checkpoint file
 // would take: the write-then-rename install cannot replace a directory
-// and fails, while the journal log itself keeps working.
+// and fails, while the journal log itself keeps working. Installs run
+// on the background scheduler, so the tests drain it before asserting
+// the deferred error is observable.
 
 // blockCheckpoint plants the blocker for checkpoint index idx in dir.
 func blockCheckpoint(t *testing.T, dir string, idx int) string {
@@ -59,6 +61,7 @@ func TestAutoCheckpointFailureSurfacedStore(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	s.drainCheckpoints() // let the background install fail
 	lenBefore, verBefore := s.Len(), s.Version()
 
 	// The next commit surfaces the deferred failure and is rejected.
@@ -70,24 +73,31 @@ func TestAutoCheckpointFailureSurfacedStore(t *testing.T) {
 	if _, ok := s.Get(obj(3).ID); ok {
 		t.Fatal("rejected insert is visible")
 	}
-	// Surfaced once: the store accepts commits again.
-	if err := s.Insert(obj(3)); err != nil {
-		t.Fatalf("insert after surfacing: %v", err)
+	// Surfaced once: the store accepts commits again. The policy re-arms
+	// after CheckpointEvery further commits (the pin reset the counter)
+	// and re-trips the still-failing install; Sync is the other
+	// surfacing point.
+	for i := 3; i < 6; i++ {
+		if err := s.Insert(obj(i)); err != nil {
+			t.Fatalf("insert after surfacing: %v", err)
+		}
 	}
-	// That commit re-tripped the still-failing checkpoint; Sync is the
-	// other surfacing point.
+	s.drainCheckpoints()
 	wantCkptErr(t, s.Sync(), "sync after failed checkpoint")
 	if err := s.Sync(); err != nil {
 		t.Fatalf("second sync reports a cleared error: %v", err)
 	}
 
-	// Unblock and recover: the next commit's auto-checkpoint succeeds,
-	// and the store is clean through Sync and Close.
+	// Unblock and recover: an explicit checkpoint succeeds, and the
+	// store is clean through further commits, Sync and Close.
 	if err := os.Remove(blocker); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Insert(obj(4)); err != nil {
-		t.Fatalf("insert after surfacing: %v", err)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after unblocking: %v", err)
+	}
+	if err := s.Insert(obj(6)); err != nil {
+		t.Fatalf("insert after unblocking: %v", err)
 	}
 	if err := s.Sync(); err != nil {
 		t.Fatalf("sync after unblocking: %v", err)
@@ -133,6 +143,7 @@ func TestAutoCheckpointFailureSurfacedSharded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	s.drainCheckpoints() // let the background install fail
 	lenBefore, verBefore := s.Len(), s.Version()
 	wantCkptErr(t, s.Insert(obj(3)), "sharded insert after failed checkpoint")
 	if s.Len() != lenBefore || s.Version() != verBefore {
@@ -149,6 +160,7 @@ func TestAutoCheckpointFailureSurfacedSharded(t *testing.T) {
 	if found, err := s.DeleteErr(obj(0).ID); err != nil || !found {
 		t.Fatalf("delete after surfacing: found=%v err=%v", found, err)
 	}
+	s.drainCheckpoints()
 	wantCkptErr(t, s.Sync(), "sharded sync after second failed checkpoint")
 
 	if err := os.Remove(blocker); err != nil {

@@ -1,0 +1,97 @@
+package query
+
+import (
+	"sync"
+
+	"probprune/internal/obs"
+)
+
+// ckptScheduler runs checkpoint installs in the background, off the
+// store lock. It holds at most one pending install: a newer pin
+// submitted while another install runs replaces a not-yet-started one
+// (the replaced pin's install would be skipped as superseded anyway),
+// so a burst of auto-checkpoints coalesces into the newest state
+// instead of queueing stale encodes. drain blocks until the queue is
+// empty — the synchronization point Sync and Close use to make
+// deferred checkpoint errors deterministic.
+type ckptScheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending func() error // newest not-yet-started install; the closure owns its pinned state
+	busy    bool         // an install goroutine is live (running or between jobs)
+	onErr   func(error)  // receives install failures (deferred-error sink)
+	gate    func()       // test hook: runs before each install, outside mu
+	queue   *obs.Gauge   // optional: pending + running installs (0..2)
+	merged  *obs.Counter // optional: pins coalesced away before installing
+}
+
+func newCkptScheduler(onErr func(error)) *ckptScheduler {
+	c := &ckptScheduler{onErr: onErr}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// submit schedules install to run in the background, replacing any
+// pending one.
+func (c *ckptScheduler) submit(install func() error) {
+	c.mu.Lock()
+	if c.pending != nil && c.merged != nil {
+		c.merged.Inc()
+	}
+	c.pending = install
+	spawn := !c.busy
+	c.busy = true
+	c.publishLocked()
+	c.mu.Unlock()
+	if spawn {
+		go c.run()
+	}
+}
+
+// run drains pending installs until none remain, then exits; submit
+// spawns a new run when needed. Install failures go to onErr.
+func (c *ckptScheduler) run() {
+	c.mu.Lock()
+	for c.pending != nil {
+		job := c.pending
+		c.pending = nil
+		gate := c.gate
+		c.publishLocked()
+		c.mu.Unlock()
+		if gate != nil {
+			gate()
+		}
+		if err := job(); err != nil {
+			c.onErr(err)
+		}
+		c.mu.Lock()
+	}
+	c.busy = false
+	c.publishLocked()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// drain blocks until no install is pending or running.
+func (c *ckptScheduler) drain() {
+	c.mu.Lock()
+	for c.busy || c.pending != nil {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// publishLocked updates the depth gauge. Requires c.mu held.
+func (c *ckptScheduler) publishLocked() {
+	if c.queue == nil {
+		return
+	}
+	n := int64(0)
+	if c.busy {
+		n++
+	}
+	if c.pending != nil {
+		n++
+	}
+	c.queue.Set(n)
+}

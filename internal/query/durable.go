@@ -1,7 +1,9 @@
 package query
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"probprune/internal/core"
@@ -36,38 +38,114 @@ func (p PersistOptions) wal() wal.Options {
 	return wal.Options{Sync: p.Sync, SyncEvery: p.SyncEvery, SegmentBytes: p.SegmentBytes}
 }
 
-// storeJournal is the durability state a durable Store carries.
+// storeJournal is the durability state a durable Store carries. The
+// commit path appends under s.mu and waits for (group) durability only
+// after releasing it; checkpoints are pinned under s.mu — an O(1)
+// journal rotation plus a copy-on-write reference of the state — and
+// encoded/installed by the background scheduler, so neither fsyncs nor
+// checkpoint serialization ever stall concurrent committers.
 type storeJournal struct {
 	j               *wal.Journal
 	checkpointEvery int
-	ckptErr         error // first deferred auto-checkpoint failure
+
+	// installMu serializes checkpoint installs (the background
+	// scheduler and synchronous Checkpoint calls). The journal skips
+	// stale pins, so serialized installs converge on the newest
+	// checkpoint in any arrival order.
+	installMu sync.Mutex
+
+	sched *ckptScheduler
+
+	emu     sync.Mutex // guards ckptErr (the scheduler writes it off s.mu)
+	ckptErr error      // first deferred auto-checkpoint failure
 }
 
-// journalLocked journals one commit record before it is applied; a nil
-// journal (in-memory store) accepts everything. A deferred
+func newStoreJournal(j *wal.Journal, checkpointEvery int, m *Metrics) *storeJournal {
+	sj := &storeJournal{j: j, checkpointEvery: checkpointEvery}
+	sj.sched = newCkptScheduler(sj.noteCkptErr)
+	if m != nil {
+		sj.sched.queue = m.ckptQueue
+		sj.sched.merged = m.ckptMerged
+	}
+	return sj
+}
+
+// noteCkptErr records a deferred checkpoint failure (keeping the first).
+func (sj *storeJournal) noteCkptErr(err error) {
+	sj.emu.Lock()
+	if sj.ckptErr == nil {
+		sj.ckptErr = err
+	}
+	sj.emu.Unlock()
+}
+
+// takeCkptErr returns and clears the deferred checkpoint failure.
+func (sj *storeJournal) takeCkptErr() error {
+	sj.emu.Lock()
+	err := sj.ckptErr
+	sj.ckptErr = nil
+	sj.emu.Unlock()
+	return err
+}
+
+// waitDurable blocks until the journaled commit seq is covered by a
+// group fsync (SyncAlways only; a no-op under the other policies).
+// Called AFTER s.mu is released, so concurrent committers share one
+// fsync while the store keeps accepting appends. Nil-safe: an
+// in-memory store passes sj == nil and seq == 0.
+func (sj *storeJournal) waitDurable(seq uint64) error {
+	if sj == nil || seq == 0 {
+		return nil
+	}
+	return sj.j.WaitDurable(seq)
+}
+
+// install writes one pinned checkpoint, treating a superseded pin as
+// success (a newer checkpoint already covers its state).
+func (sj *storeJournal) install(job *ckptJob) error {
+	sj.installMu.Lock()
+	defer sj.installMu.Unlock()
+	err := sj.j.InstallCheckpoint(job.pin, job.ck)
+	if errors.Is(err, wal.ErrCheckpointSuperseded) {
+		return nil
+	}
+	return err
+}
+
+// ckptJob is one pinned store checkpoint awaiting its background
+// encode + install.
+type ckptJob struct {
+	pin wal.CheckpointPin
+	ck  *wal.Checkpoint
+}
+
+// journalLocked journals one commit record before it is applied and
+// returns its append sequence for the post-lock durability wait; a nil
+// journal (in-memory store) accepts everything with seq 0. A deferred
 // auto-checkpoint failure is surfaced here — the commit that observes
 // it is rejected (the store unchanged) and the error cleared, so the
 // caller learns about the degraded durability at the next mutation
 // instead of only at Close. Requires s.mu held for writing.
-func (s *Store) journalLocked(rec wal.Record) error {
+func (s *Store) journalLocked(rec wal.Record) (uint64, error) {
 	if s.closed {
-		return fmt.Errorf("store: closed")
+		return 0, fmt.Errorf("store: closed")
 	}
 	if s.journal == nil {
-		return nil
+		return 0, nil
 	}
-	if err := s.journal.ckptErr; err != nil {
-		s.journal.ckptErr = nil
-		return fmt.Errorf("store: deferred auto-checkpoint failure: %w", err)
+	if err := s.journal.takeCkptErr(); err != nil {
+		return 0, fmt.Errorf("store: deferred auto-checkpoint failure: %w", err)
 	}
-	return s.journal.j.Append(rec)
+	return s.journal.j.AppendAsync(rec)
 }
 
-// maybeCheckpointLocked runs the auto-checkpoint policy after a commit.
-// A checkpoint failure does not fail the commit (it is already durable
-// in the log); the error is deferred and surfaced by the next mutation
-// or Sync — or by Close, whichever comes first. Requires s.mu held for
-// writing.
+// maybeCheckpointLocked runs the auto-checkpoint policy after a commit:
+// when the threshold is reached the state is pinned here (the bounded,
+// O(db copy) part) and the encode + install handed to the background
+// scheduler. A checkpoint failure does not fail a commit (the commit is
+// already durable in the log); it is deferred and surfaced by the next
+// mutation or Sync — or by Close, whichever comes first. Requires s.mu
+// held for writing.
 func (s *Store) maybeCheckpointLocked() {
 	sj := s.journal
 	if sj == nil || sj.checkpointEvery <= 0 {
@@ -76,67 +154,99 @@ func (s *Store) maybeCheckpointLocked() {
 	if sj.j.AppendedSinceCheckpoint() < uint64(sj.checkpointEvery) {
 		return
 	}
-	if err := s.checkpointLocked(); err != nil && sj.ckptErr == nil {
-		sj.ckptErr = err
+	job, err := s.pinCheckpointLocked()
+	if err != nil {
+		sj.noteCkptErr(err)
+		return
 	}
+	sj.sched.submit(func() error { return sj.install(job) })
 }
 
-// checkpointLocked snapshots the current state (objects, decomposition
-// cache, version) into the journal and truncates the log. Requires
-// s.mu held for writing.
-func (s *Store) checkpointLocked() error {
+// pinCheckpointLocked pins the store's current state for a checkpoint:
+// BeginCheckpoint rotates the journal (O(1)), and the object slice and
+// materialized decompositions are captured copy-on-write — objects and
+// published decomposition levels are immutable, so the background
+// install serializes them without the lock while commits proceed. This
+// is the entire commit-path cost of a checkpoint. Requires s.mu held
+// for writing.
+func (s *Store) pinCheckpointLocked() (*ckptJob, error) {
+	pin, err := s.journal.j.BeginCheckpoint()
+	if err != nil {
+		return nil, err
+	}
 	db := make([]*uncertain.Object, len(s.db))
 	copy(db, s.db)
 	decomp := make([][][]uncertain.Partition, len(db))
 	for i, o := range db {
 		decomp[i] = s.cache.Materialized(o)
 	}
-	return s.journal.j.WriteCheckpoint(&wal.Checkpoint{
+	return &ckptJob{pin: pin, ck: &wal.Checkpoint{
 		Version:      s.version,
 		Objects:      db,
 		Decomp:       decomp,
 		CacheVersion: s.cache.Version(),
-	})
+	}}, nil
+}
+
+// drainCheckpoints waits until no background checkpoint install is
+// pending or running — the quiesce point Sync and Close use, exposed
+// in-package for tests that need a stable directory image or a
+// deterministic deferred-error observation.
+func (s *Store) drainCheckpoints() {
+	if s.journal != nil {
+		s.journal.sched.drain()
+	}
 }
 
 // Checkpoint durably snapshots the store's current state — the object
 // database in database order, the store version and every materialized
 // decomposition — and truncates the journal to it. Reopening afterwards
-// loads the snapshot and replays only commits journaled since.
+// loads the snapshot and replays only commits journaled since. The
+// state is pinned under the store lock but encoded and installed
+// outside it, so concurrent commits are never stalled by the write.
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.journal == nil {
+		s.mu.Unlock()
 		return fmt.Errorf("store: not durable (no journal)")
 	}
 	if s.closed {
+		s.mu.Unlock()
 		return fmt.Errorf("store: closed")
 	}
-	return s.checkpointLocked()
+	sj := s.journal
+	job, err := s.pinCheckpointLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return sj.install(job)
 }
 
 // Sync forces journaled commits to stable storage, regardless of the
-// sync policy. It also surfaces (and clears) a deferred auto-checkpoint
-// failure, so a caller that never mutates again still learns the
-// checkpoint did not land. It is a no-op on an in-memory store.
+// sync policy. It first drains any in-flight background checkpoint and
+// surfaces (and clears) a deferred auto-checkpoint failure, so a caller
+// that never mutates again still learns the checkpoint did not land. It
+// is a no-op on an in-memory store.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.journal == nil || s.closed {
 		return nil
 	}
-	if err := s.journal.ckptErr; err != nil {
-		s.journal.ckptErr = nil
+	s.journal.sched.drain()
+	if err := s.journal.takeCkptErr(); err != nil {
 		return fmt.Errorf("store: deferred auto-checkpoint failure: %w", err)
 	}
 	return s.journal.j.Sync()
 }
 
-// Close releases the journal of a durable store. Mutations fail after
-// Close (they could no longer be journaled); snapshots and queries
-// remain usable. The on-disk state stays fully recoverable — Close
-// writes no checkpoint, reopening replays the log tail. Closing an
-// in-memory store is a no-op.
+// Close releases the journal of a durable store, draining any in-flight
+// background checkpoint first. Mutations fail after Close (they could
+// no longer be journaled); snapshots and queries remain usable. The
+// on-disk state stays fully recoverable — Close writes no checkpoint,
+// reopening replays the log tail. Closing an in-memory store is a
+// no-op.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -144,7 +254,8 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	err := s.journal.ckptErr
+	s.journal.sched.drain()
+	err := s.journal.takeCkptErr()
 	if cerr := s.journal.j.Close(); err == nil {
 		err = cerr
 	}
@@ -216,7 +327,7 @@ func recoverStore(j *wal.Journal, popts PersistOptions, opts core.Options, onRec
 	if err != nil {
 		return nil, err
 	}
-	s.journal = &storeJournal{j: j, checkpointEvery: popts.CheckpointEvery}
+	s.journal = newStoreJournal(j, popts.CheckpointEvery, s.obs)
 	return s, nil
 }
 
@@ -270,14 +381,20 @@ func BootstrapStore(db uncertain.Database, popts PersistOptions, opts core.Optio
 }
 
 // bootstrapJournal attaches a fresh journal to an already-built store
-// and writes its state as the initial checkpoint.
+// and writes its state as the initial checkpoint (synchronously — the
+// genesis state must be durable before the store is handed out).
 func (s *Store) bootstrapJournal(popts PersistOptions, checkpointEvery int) error {
 	j, err := newEmptyJournal(popts)
 	if err != nil {
 		return err
 	}
-	s.journal = &storeJournal{j: j, checkpointEvery: checkpointEvery}
-	if err := s.checkpointLocked(); err != nil {
+	sj := newStoreJournal(j, checkpointEvery, s.obs)
+	s.journal = sj
+	job, err := s.pinCheckpointLocked()
+	if err == nil {
+		err = sj.install(job)
+	}
+	if err != nil {
 		s.journal = nil
 		j.Close()
 		return err
@@ -286,19 +403,27 @@ func (s *Store) bootstrapJournal(popts PersistOptions, checkpointEvery int) erro
 }
 
 // newEmptyJournal opens popts.Dir and verifies it holds no journal yet.
+// The emptiness probe stops at the first checkpoint or intact record
+// instead of replaying the whole log — rejecting a bootstrap over an
+// existing database costs one read, however long its history.
 func newEmptyJournal(popts PersistOptions) (*wal.Journal, error) {
 	j, err := wal.Open(popts.Dir, popts.wal())
 	if err != nil {
 		return nil, err
 	}
-	records := 0
-	if err := j.Replay(func(wal.Record) error { records++; return nil }); err != nil {
+	has, err := j.HasData()
+	if err != nil {
 		j.Close()
 		return nil, err
 	}
-	if j.Checkpoint() != nil || records > 0 {
+	if has {
 		j.Close()
 		return nil, fmt.Errorf("store: %s already holds a journal (open it instead of bootstrapping)", popts.Dir)
+	}
+	// Replay positions the (empty) journal for appending.
+	if err := j.Replay(nil); err != nil {
+		j.Close()
+		return nil, err
 	}
 	return j, nil
 }

@@ -18,11 +18,64 @@ const manifestName = "MANIFEST"
 
 // shardedJournal is the durability state a durable ShardedStore
 // carries: the shards own the logs, the router owns the manifest and
-// the coordinated checkpoint policy.
+// the coordinated checkpoint policy. Like a Store's journal, the
+// coordinated checkpoint is pinned under the router lock (manifest data
+// plus one O(1) rotation per shard) and written by the background
+// scheduler.
 type shardedJournal struct {
-	popts   PersistOptions
-	since   uint64 // records journaled since the last manifest write
-	ckptErr error  // first deferred durability failure (auto-checkpoint, rebalance), surfaced by Close
+	popts PersistOptions
+	since uint64 // records journaled since the last checkpoint pin
+
+	// installMu serializes manifest + shard installs; installedVersion
+	// (guarded by it) keeps a late older install from regressing the
+	// manifest below an already-installed newer one — the shard logs
+	// past an older manifest epoch are truncated by the newer shard
+	// checkpoints, so a regressed manifest would be unrecoverable.
+	installMu        sync.Mutex
+	installedVersion uint64
+
+	sched *ckptScheduler
+
+	emu     sync.Mutex
+	ckptErr error // first deferred durability failure (auto-checkpoint, rebalance)
+}
+
+func newShardedJournal(popts PersistOptions, m *Metrics) *shardedJournal {
+	sj := &shardedJournal{popts: popts}
+	sj.sched = newCkptScheduler(sj.noteCkptErr)
+	if m != nil {
+		sj.sched.queue = m.ckptQueue
+		sj.sched.merged = m.ckptMerged
+	}
+	return sj
+}
+
+// noteCkptErr records a deferred durability failure (keeping the first).
+func (sj *shardedJournal) noteCkptErr(err error) {
+	sj.emu.Lock()
+	if sj.ckptErr == nil {
+		sj.ckptErr = err
+	}
+	sj.emu.Unlock()
+}
+
+// takeCkptErr returns and clears the deferred durability failure.
+func (sj *shardedJournal) takeCkptErr() error {
+	sj.emu.Lock()
+	err := sj.ckptErr
+	sj.ckptErr = nil
+	sj.emu.Unlock()
+	return err
+}
+
+// shardedCkptJob is one pinned coordinated checkpoint: the manifest
+// data plus every shard's pinned checkpoint, installed together off the
+// router lock.
+type shardedCkptJob struct {
+	m      *wal.Manifest
+	path   string
+	shards []*Store
+	jobs   []*ckptJob
 }
 
 // shardPersist derives shard i's journal options: its own subdirectory,
@@ -42,18 +95,20 @@ func shardPersist(popts PersistOptions, i int) PersistOptions {
 // caller learns about the degraded durability right away instead of
 // only at Close. Requires s.mu held for writing.
 func (s *ShardedStore) surfaceCkptErrLocked() error {
-	if s.sj == nil || s.sj.ckptErr == nil {
+	if s.sj == nil {
 		return nil
 	}
-	err := s.sj.ckptErr
-	s.sj.ckptErr = nil
-	return fmt.Errorf("sharded store: deferred auto-checkpoint failure: %w", err)
+	if err := s.sj.takeCkptErr(); err != nil {
+		return fmt.Errorf("sharded store: deferred auto-checkpoint failure: %w", err)
+	}
+	return nil
 }
 
 // maybeCheckpointLocked runs the router's auto-checkpoint policy after
-// a commit; failures are deferred and surfaced by the next mutation or
-// Sync — or by Close, whichever comes first — like Store's. Requires
-// s.mu held for writing.
+// a commit: the coordinated state is pinned here and the manifest +
+// shard installs handed to the background scheduler; failures are
+// deferred and surfaced by the next mutation or Sync — or by Close,
+// whichever comes first — like Store's. Requires s.mu held for writing.
 func (s *ShardedStore) maybeCheckpointLocked() {
 	sj := s.sj
 	if sj == nil {
@@ -63,19 +118,22 @@ func (s *ShardedStore) maybeCheckpointLocked() {
 	if sj.popts.CheckpointEvery <= 0 || sj.since < uint64(sj.popts.CheckpointEvery) {
 		return
 	}
-	if err := s.checkpointLocked(); err != nil && sj.ckptErr == nil {
-		sj.ckptErr = err
+	job, err := s.pinCheckpointLocked()
+	if err != nil {
+		sj.noteCkptErr(err)
+		return
 	}
+	sj.sched.submit(func() error { return s.installCkpt(job) })
 }
 
-// checkpointLocked coordinates one durable checkpoint: the router
-// manifest is installed first (version, version vector, global order,
-// router decomposition cache), then every shard checkpoints and
-// truncates its log. A crash between the two leaves the manifest
-// current and the shard logs long — recovery replays the surplus
-// records into states the manifest already describes, landing on the
-// same head. Requires s.mu held for writing.
-func (s *ShardedStore) checkpointLocked() error {
+// pinCheckpointLocked pins one coordinated checkpoint under the router
+// lock: the manifest data (version, version vector, global order,
+// router decomposition cache) is captured, and every shard journal
+// rotates through its own checkpoint pin — no state is serialized and
+// nothing is fsynced here. The router lock makes the cut consistent:
+// every shard mutation routes through it, so the version vector and the
+// shard pins describe the same instant. Requires s.mu held for writing.
+func (s *ShardedStore) pinCheckpointLocked() (*shardedCkptJob, error) {
 	m := &wal.Manifest{
 		Version:      s.version,
 		Shards:       len(s.shards),
@@ -92,39 +150,88 @@ func (s *ShardedStore) checkpointLocked() error {
 			m.Decomp = append(m.Decomp, wal.DecompEntry{ID: o.ID, Dim: o.Dim(), Levels: levels})
 		}
 	}
-	if err := wal.SaveManifest(filepath.Join(s.sj.popts.Dir, manifestName), m); err != nil {
-		return err
+	job := &shardedCkptJob{m: m, path: filepath.Join(s.sj.popts.Dir, manifestName)}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		shJob, err := sh.pinCheckpointLocked()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		job.shards = append(job.shards, sh)
+		job.jobs = append(job.jobs, shJob)
 	}
 	s.sj.since = 0
-	for _, sh := range s.shards {
-		if err := sh.Checkpoint(); err != nil {
+	return job, nil
+}
+
+// installCkpt installs one pinned coordinated checkpoint: the router
+// manifest first (the commit point recovery trusts), then every shard's
+// checkpoint, truncating the shard logs. A crash between the two leaves
+// the manifest current and the shard logs long — recovery replays the
+// surplus records into states the manifest already describes, landing
+// on the same head. A job older than an already-installed one is
+// skipped entirely.
+func (s *ShardedStore) installCkpt(job *shardedCkptJob) error {
+	sj := s.sj
+	sj.installMu.Lock()
+	defer sj.installMu.Unlock()
+	if job.m.Version < sj.installedVersion {
+		return nil
+	}
+	if err := wal.SaveManifest(job.path, job.m); err != nil {
+		return err
+	}
+	sj.installedVersion = job.m.Version
+	for i, sh := range job.shards {
+		if err := sh.journal.install(job.jobs[i]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// drainCheckpoints waits until no background checkpoint install is
+// pending or running, like Store.drainCheckpoints.
+func (s *ShardedStore) drainCheckpoints() {
+	if s.sj != nil {
+		s.sj.sched.drain()
+	}
+}
+
 // Checkpoint durably snapshots the sharded store: the router manifest
 // (version vector, global order, router cache) plus one checkpoint per
-// shard, truncating every shard's log.
+// shard, truncating every shard's log. The cut is pinned under the
+// router lock but written outside it, so concurrent commits are never
+// stalled by the installation.
 func (s *ShardedStore) Checkpoint() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.sj == nil {
+		s.mu.Unlock()
 		return fmt.Errorf("sharded store: not durable (no journal)")
 	}
 	if s.closed {
+		s.mu.Unlock()
 		return fmt.Errorf("sharded store: closed")
 	}
-	return s.checkpointLocked()
+	job, err := s.pinCheckpointLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.installCkpt(job)
 }
 
 // Sync forces every shard's journaled commits to stable storage. It
-// also surfaces (and clears) a deferred auto-checkpoint failure of the
-// router's coordinated checkpoint.
+// first drains any in-flight background checkpoint and surfaces (and
+// clears) a deferred durability failure of the router's coordinated
+// checkpoint.
 func (s *ShardedStore) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sj != nil {
+		s.sj.sched.drain()
+	}
 	if err := s.surfaceCkptErrLocked(); err != nil {
 		return err
 	}
@@ -136,9 +243,10 @@ func (s *ShardedStore) Sync() error {
 	return nil
 }
 
-// Close releases every shard's journal. Mutations fail after Close;
-// snapshots and queries remain usable, and the on-disk state stays
-// fully recoverable.
+// Close releases every shard's journal, draining any in-flight
+// background checkpoint first. Mutations fail after Close; snapshots
+// and queries remain usable, and the on-disk state stays fully
+// recoverable.
 func (s *ShardedStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -146,7 +254,8 @@ func (s *ShardedStore) Close() error {
 		return nil
 	}
 	s.closed = true
-	err := s.sj.ckptErr
+	s.sj.sched.drain()
+	err := s.sj.takeCkptErr()
 	for _, sh := range s.shards {
 		if cerr := sh.Close(); err == nil {
 			err = cerr
@@ -189,10 +298,14 @@ func BootstrapShardedStore(db uncertain.Database, popts PersistOptions, sopts Sh
 			return nil, err
 		}
 	}
-	s.sj = &shardedJournal{popts: popts}
+	s.sj = newShardedJournal(popts, s.obs)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.checkpointLocked(); err != nil {
+	job, err := s.pinCheckpointLocked()
+	s.mu.Unlock()
+	if err == nil {
+		err = s.installCkpt(job)
+	}
+	if err != nil {
 		s.closeShards()
 		return nil, err
 	}
@@ -248,8 +361,8 @@ func OpenShardedStore(popts PersistOptions, sopts ShardedOptions, opts core.Opti
 		home:   make(map[int]int),
 		cache:  core.NewDecompCache(opts.MaxHeight),
 		obs:    NewMetrics(),
-		sj:     &shardedJournal{popts: popts},
 	}
+	s.sj = newShardedJournal(popts, s.obs)
 	// Recover every shard in parallel, collecting the logical records
 	// past the manifest epoch — the tail of the global order — and, per
 	// shard, which resident objects arrived through a replayed move-in

@@ -280,6 +280,11 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 				for i, op := range ops {
 					applyOp(t, dur, op)
 					if dst, ok := kills[i+1]; ok {
+						// Quiesce the background checkpoint installer so
+						// the copy is a point-in-time crash image (a walk
+						// racing a live install is not one — crashes DURING
+						// an install are exercised by the kill-point tests).
+						dur.drainCheckpoints()
 						copyTree(t, popts.Dir, dst)
 					}
 				}

@@ -57,6 +57,12 @@ type Metrics struct {
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
 
+	// ckptQueue/ckptMerged instrument the background checkpoint
+	// scheduler of a durable store: pending + running installs, and pins
+	// coalesced away because a newer one replaced them before install.
+	ckptQueue  *obs.Gauge
+	ckptMerged *obs.Counter
+
 	// slow holds the slow-query log configuration (a slowQueryLog).
 	// atomic.Value so SetSlowQueryLog is safe while queries run and the
 	// per-query load costs no lock.
@@ -78,6 +84,8 @@ type slowQueryLog struct {
 //	query.undecided        counter: refined candidates left undecided
 //	query.iterations       counter: total refinement iterations
 //	query.cache.hits/misses counter: decomposition-cache traffic
+//	store.checkpoint.queue  gauge: background checkpoint installs pending + running
+//	store.checkpoint.coalesced counter: checkpoint pins replaced by a newer one before install
 func NewMetrics() *Metrics {
 	m := &Metrics{reg: obs.NewRegistry()}
 	for k := queryKind(0); k < numQueryKinds; k++ {
@@ -90,6 +98,8 @@ func NewMetrics() *Metrics {
 	m.iterations = m.reg.Counter("query.iterations")
 	m.cacheHits = m.reg.Counter("query.cache.hits")
 	m.cacheMisses = m.reg.Counter("query.cache.misses")
+	m.ckptQueue = m.reg.Gauge("store.checkpoint.queue")
+	m.ckptMerged = m.reg.Counter("store.checkpoint.coalesced")
 	return m
 }
 

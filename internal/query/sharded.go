@@ -505,8 +505,8 @@ func (s *ShardedStore) Rebalance() int {
 		dst := s.shardFor(o)
 		if src := s.home[o.ID]; src != dst {
 			if err := s.moveLocked(o.ID, src, dst); err != nil {
-				if s.sj != nil && s.sj.ckptErr == nil {
-					s.sj.ckptErr = err
+				if s.sj != nil {
+					s.sj.noteCkptErr(err)
 				}
 				return moved
 			}

@@ -258,9 +258,13 @@ func (s *Store) detachLocked() {
 
 // Insert adds a new object; the ID must not be in use. The object is
 // shared with the store and must not be mutated afterwards. On a
-// durable store the commit is journaled (and fsynced per the sync
-// policy) before it is applied; a journaling error leaves the store
-// unchanged.
+// durable store the commit is journaled before it is applied; a
+// journaling error leaves the store unchanged. Under wal.SyncAlways the
+// commit is acknowledged only once a group fsync covers its record —
+// possibly a concurrent committer's fsync — waited for after the store
+// lock is released, so committers share fsyncs instead of serializing
+// on them. A group-fsync failure is reported after the commit was
+// applied in memory; the journal wedges and every later commit fails.
 func (s *Store) Insert(o *uncertain.Object) error {
 	return s.insertOp(o, wal.OpInsert, 0)
 }
@@ -273,11 +277,13 @@ func (s *Store) insertOp(o *uncertain.Object, op wal.Op, global uint64) error {
 		return fmt.Errorf("store: nil object")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.byID[o.ID]; dup {
+		s.mu.Unlock()
 		return fmt.Errorf("store: duplicate object ID %d", o.ID)
 	}
-	if err := s.journalLocked(wal.Record{Op: op, Version: s.version + 1, Global: global, Obj: o}); err != nil {
+	seq, err := s.journalLocked(wal.Record{Op: op, Version: s.version + 1, Global: global, Obj: o})
+	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	s.detachLocked()
@@ -285,7 +291,9 @@ func (s *Store) insertOp(o *uncertain.Object, op wal.Op, global uint64) error {
 	s.version++
 	s.notifyLocked(ChangeInsert, nil, o)
 	s.maybeCheckpointLocked()
-	return nil
+	sj := s.journal
+	s.mu.Unlock()
+	return sj.waitDurable(seq)
 }
 
 // addLocked links o into the slice, map, index and cache. Requires
@@ -307,8 +315,10 @@ func (s *Store) Delete(id int) bool {
 }
 
 // DeleteErr is Delete with the journaling error exposed: ok reports
-// whether the ID was stored, err a failure to journal the commit (the
-// store is unchanged when err != nil).
+// whether the ID was stored, err a failure to journal the commit. The
+// store is unchanged when err != nil, except a group-fsync failure
+// under wal.SyncAlways, which is reported after the commit was applied
+// in memory (ok stays true and the journal wedges).
 func (s *Store) DeleteErr(id int) (bool, error) {
 	return s.deleteOp(id, wal.OpDelete, 0)
 }
@@ -317,12 +327,14 @@ func (s *Store) DeleteErr(id int) (bool, error) {
 // router.
 func (s *Store) deleteOp(id int, op wal.Op, global uint64) (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	o, ok := s.byID[id]
 	if !ok {
+		s.mu.Unlock()
 		return false, nil
 	}
-	if err := s.journalLocked(wal.Record{Op: op, Version: s.version + 1, Global: global, ID: id}); err != nil {
+	seq, err := s.journalLocked(wal.Record{Op: op, Version: s.version + 1, Global: global, ID: id})
+	if err != nil {
+		s.mu.Unlock()
 		return false, err
 	}
 	s.detachLocked()
@@ -330,7 +342,9 @@ func (s *Store) deleteOp(id int, op wal.Op, global uint64) (bool, error) {
 	s.version++
 	s.notifyLocked(ChangeDelete, o, nil)
 	s.maybeCheckpointLocked()
-	return true, nil
+	sj := s.journal
+	s.mu.Unlock()
+	return true, sj.waitDurable(seq)
 }
 
 // Update atomically replaces the object carrying o.ID with o: no query
@@ -348,12 +362,14 @@ func (s *Store) updateOp(o *uncertain.Object, global uint64) error {
 		return fmt.Errorf("store: nil object")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	old, ok := s.byID[o.ID]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("store: update of unknown object ID %d", o.ID)
 	}
-	if err := s.journalLocked(wal.Record{Op: wal.OpUpdate, Version: s.version + 1, Global: global, Obj: o}); err != nil {
+	seq, err := s.journalLocked(wal.Record{Op: wal.OpUpdate, Version: s.version + 1, Global: global, Obj: o})
+	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	s.detachLocked()
@@ -361,7 +377,9 @@ func (s *Store) updateOp(o *uncertain.Object, global uint64) error {
 	s.version++
 	s.notifyLocked(ChangeUpdate, old, o)
 	s.maybeCheckpointLocked()
-	return nil
+	sj := s.journal
+	s.mu.Unlock()
+	return sj.waitDurable(seq)
 }
 
 // replaceLocked swaps old for o in the slice, map, index and cache.

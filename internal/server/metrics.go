@@ -107,6 +107,10 @@ func (s *Server) StatsMap() map[string]int64 {
 	out["cq.events"] = int64(cs.Events)
 	out["cq.lost"] = int64(cs.Lost)
 	out["cq.dropped"] = int64(cs.Dropped)
+	out["cq.cursor.saves"] = int64(cs.CursorSaves)
+	out["cq.cursor.save_failures"] = int64(cs.CursorSaveFailures)
+	out["cq.cursor.delta_bytes"] = int64(cs.CursorDeltaBytes)
+	out["cq.cursor.compactions"] = int64(cs.CursorCompactions)
 
 	if b, ok := s.backend.(interface{ Metrics() *query.Metrics }); ok {
 		if qm := b.Metrics(); qm != nil {

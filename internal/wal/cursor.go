@@ -65,28 +65,38 @@ func appendCursor(buf []byte, c *Cursor) ([]byte, error) {
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(c.Subs)))
 	for _, s := range c.Subs {
-		if len(s.Name) == 0 || len(s.Name) > maxCursorName {
-			return nil, fmt.Errorf("wal: cursor subscription name length %d", len(s.Name))
+		var err error
+		if buf, err = appendCursorSub(buf, &s); err != nil {
+			return nil, err
 		}
-		if s.Q == nil {
-			return nil, fmt.Errorf("wal: cursor subscription %q without query object", s.Name)
+	}
+	return buf, nil
+}
+
+// appendCursorSub encodes one named subscription's state — the unit
+// both the full cursor payload and the delta frames are built from.
+func appendCursorSub(buf []byte, s *CursorSub) ([]byte, error) {
+	if len(s.Name) == 0 || len(s.Name) > maxCursorName {
+		return nil, fmt.Errorf("wal: cursor subscription name length %d", len(s.Name))
+	}
+	if s.Q == nil {
+		return nil, fmt.Errorf("wal: cursor subscription %q without query object", s.Name)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Name)))
+	buf = append(buf, s.Name...)
+	buf = append(buf, s.Kind)
+	buf = binary.AppendUvarint(buf, uint64(s.K))
+	buf = appendFloat(buf, s.Tau)
+	buf = appendObject(buf, s.Q)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Entries)))
+	for _, e := range s.Entries {
+		if e.Obj == nil {
+			return nil, fmt.Errorf("wal: cursor entry without object")
 		}
-		buf = binary.AppendUvarint(buf, uint64(len(s.Name)))
-		buf = append(buf, s.Name...)
-		buf = append(buf, s.Kind)
-		buf = binary.AppendUvarint(buf, uint64(s.K))
-		buf = appendFloat(buf, s.Tau)
-		buf = appendObject(buf, s.Q)
-		buf = binary.AppendUvarint(buf, uint64(len(s.Entries)))
-		for _, e := range s.Entries {
-			if e.Obj == nil {
-				return nil, fmt.Errorf("wal: cursor entry without object")
-			}
-			buf = appendObject(buf, e.Obj)
-			buf = appendFloat(buf, e.LB)
-			buf = appendFloat(buf, e.UB)
-			buf = binary.AppendUvarint(buf, uint64(e.Iterations))
-		}
+		buf = appendObject(buf, e.Obj)
+		buf = appendFloat(buf, e.LB)
+		buf = appendFloat(buf, e.UB)
+		buf = binary.AppendUvarint(buf, uint64(e.Iterations))
 	}
 	return buf, nil
 }
@@ -114,40 +124,8 @@ func decodeCursor(b []byte) (*Cursor, error) {
 		c.Subs = make([]CursorSub, nsubs)
 	}
 	for i := range c.Subs {
-		s := &c.Subs[i]
-		nameLen := d.count("name byte", 1)
-		if d.err == nil && (nameLen == 0 || nameLen > maxCursorName) {
-			d.fail("cursor subscription name length %d", nameLen)
-		}
-		if d.err != nil {
-			return nil, d.err
-		}
-		s.Name = string(d.b[:nameLen])
-		d.b = d.b[nameLen:]
-		s.Kind = d.byte()
-		s.K = int(d.uvarint())
-		s.Tau = d.float()
-		s.Q = d.object()
-		if d.err != nil {
-			return nil, d.err
-		}
-		ne := d.count("entry", 8)
-		if d.err != nil {
-			return nil, d.err
-		}
-		if ne == 0 {
-			continue
-		}
-		s.Entries = make([]CursorEntry, ne)
-		for k := range s.Entries {
-			e := &s.Entries[k]
-			e.Obj = d.object()
-			e.LB = d.float()
-			e.UB = d.float()
-			e.Iterations = int(d.uvarint())
-			if d.err != nil {
-				return nil, d.err
-			}
+		if err := decodeCursorSub(&d, &c.Subs[i]); err != nil {
+			return nil, err
 		}
 	}
 	if d.err != nil {
@@ -157,6 +135,46 @@ func decodeCursor(b []byte) (*Cursor, error) {
 		return nil, fmt.Errorf("wal: %d trailing bytes after cursor", len(d.b))
 	}
 	return c, nil
+}
+
+// decodeCursorSub decodes one named subscription's state into s.
+func decodeCursorSub(d *decoder, s *CursorSub) error {
+	nameLen := d.count("name byte", 1)
+	if d.err == nil && (nameLen == 0 || nameLen > maxCursorName) {
+		d.fail("cursor subscription name length %d", nameLen)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	s.Name = string(d.b[:nameLen])
+	d.b = d.b[nameLen:]
+	s.Kind = d.byte()
+	s.K = int(d.uvarint())
+	s.Tau = d.float()
+	s.Q = d.object()
+	if d.err != nil {
+		return d.err
+	}
+	ne := d.count("entry", 8)
+	if d.err != nil {
+		return d.err
+	}
+	if ne == 0 {
+		s.Entries = nil
+		return nil
+	}
+	s.Entries = make([]CursorEntry, ne)
+	for k := range s.Entries {
+		e := &s.Entries[k]
+		e.Obj = d.object()
+		e.LB = d.float()
+		e.UB = d.float()
+		e.Iterations = int(d.uvarint())
+		if d.err != nil {
+			return d.err
+		}
+	}
+	return nil
 }
 
 const cursMagic = "ppcurs\x01\n"

@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupCommitSharedFsync: under SyncAlways, one leader fsync
+// acknowledges every append that landed before it — AppendAsync k
+// records, wait once, and exactly one fsync covers all k.
+func TestGroupCommitSharedFsync(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	const k = 8
+	var seqs []uint64
+	for i := 0; i < k; i++ {
+		seq, err := j.AppendAsync(testRecord(t, rng, uint64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	before := j.MetricsSnapshot().Fsyncs
+	if err := j.WaitDurable(seqs[k-1]); err != nil {
+		t.Fatal(err)
+	}
+	s := j.MetricsSnapshot()
+	if got := s.Fsyncs - before; got != 1 {
+		t.Fatalf("waiting on the last of %d appends took %d fsyncs, want 1", k, got)
+	}
+	if s.GroupBatch.Count != 1 || s.GroupBatch.SumNanos != k {
+		t.Fatalf("group batch histogram: count %d sum %d, want one batch of %d",
+			s.GroupBatch.Count, s.GroupBatch.SumNanos, k)
+	}
+	// Every earlier sequence is already covered: no further fsyncs.
+	for _, q := range seqs {
+		if err := j.WaitDurable(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.MetricsSnapshot().Fsyncs - before; got != 1 {
+		t.Fatalf("re-waiting covered sequences fsynced again (%d fsyncs)", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	count := 0
+	if err := j2.Replay(func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != k {
+		t.Fatalf("recovered %d records, want %d", count, k)
+	}
+}
+
+// TestGroupCommitConcurrentDurability: concurrent SyncAlways committers
+// all get fsync-on-acknowledge, the batch histogram accounts for every
+// acknowledged append exactly once, and a reopen replays all of them.
+func TestGroupCommitConcurrentDurability(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 25
+	var version atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < per; i++ {
+				v := version.Add(1)
+				if err := j.Append(testRecord(t, rng, v)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := j.MetricsSnapshot()
+	const total = writers * per
+	// Each group fsync observes the appends it newly covered; the
+	// observations partition the acknowledged sequence space.
+	if s.GroupBatch.SumNanos != total {
+		t.Fatalf("group batches cover %d appends, want %d", s.GroupBatch.SumNanos, total)
+	}
+	if s.GroupBatch.Count == 0 || s.GroupBatch.Count > total {
+		t.Fatalf("group batch count %d out of range (0, %d]", s.GroupBatch.Count, total)
+	}
+	t.Logf("group commit: %d appends in %d fsync batches", total, s.GroupBatch.Count)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	count := 0
+	if err := j2.Replay(func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != total {
+		t.Fatalf("recovered %d records, want %d", count, total)
+	}
+}
+
+// TestGroupCommitFsyncFailureLatches: after a failed group fsync the
+// kernel may have dropped the very pages the waiters were promised, so
+// the journal must wedge — the failing waiter, every later waiter and
+// every later append all report the failure instead of acknowledging
+// commits that are not durable.
+func TestGroupCommitFsyncFailureLatches(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	if err := j.Append(testRecord(t, rng, 1)); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := j.AppendAsync(testRecord(t, rng, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the fsync: close the segment file behind the journal's
+	// back, the in-process stand-in for a device-level write failure.
+	j.mu.Lock()
+	j.f.Close()
+	j.mu.Unlock()
+	if err := j.WaitDurable(seq); err == nil {
+		t.Fatal("fsync on a closed file acknowledged a commit")
+	}
+	if err := j.WaitDurable(seq); err == nil {
+		t.Fatal("latched fsync failure not reported to a later waiter")
+	}
+	if _, err := j.AppendAsync(testRecord(t, rng, 3)); err == nil {
+		t.Fatal("append accepted after the journal wedged")
+	}
+}

@@ -17,6 +17,7 @@ type journalMetrics struct {
 	rotations   obs.Counter
 	checkpoints obs.Counter
 	ckptLat     obs.Histogram
+	groupBatch  obs.Histogram // value-fed: appends acknowledged per group fsync
 }
 
 // MetricsSnapshot is a point-in-time copy of a journal's metrics. It is
@@ -37,9 +38,14 @@ type MetricsSnapshot struct {
 	// checkpoint-installed ones alike).
 	Rotations uint64
 	// Checkpoints counts installed checkpoints; CheckpointLat the wall
-	// time of WriteCheckpoint (encode, fsync, rename, truncation).
+	// time of one install (encode, fsync, rename, truncation) — under
+	// background checkpointing this is worker time, not commit stall.
 	Checkpoints   uint64
 	CheckpointLat obs.HistSnapshot
+	// GroupBatch is the group-commit batch-size histogram: how many
+	// appends each SyncAlways leader fsync acknowledged. A p50 well
+	// above 1 means concurrent committers are sharing fsyncs.
+	GroupBatch obs.HistSnapshot
 }
 
 // Merge adds o into s.
@@ -52,6 +58,7 @@ func (s *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	s.Rotations += o.Rotations
 	s.Checkpoints += o.Checkpoints
 	s.CheckpointLat.Merge(o.CheckpointLat)
+	s.GroupBatch.Merge(o.GroupBatch)
 }
 
 // AddTo flattens the snapshot into a metric map under the "wal."
@@ -65,6 +72,7 @@ func (s MetricsSnapshot) AddTo(out map[string]int64) {
 	out["wal.rotations"] = int64(s.Rotations)
 	out["wal.checkpoints"] = int64(s.Checkpoints)
 	obs.AddHist(out, "wal.checkpoint.latency", s.CheckpointLat)
+	obs.AddHistValue(out, "wal.group_commit.batch", s.GroupBatch)
 }
 
 // MetricsSnapshot returns the journal's current metrics.
@@ -78,5 +86,6 @@ func (j *Journal) MetricsSnapshot() MetricsSnapshot {
 		Rotations:     j.metrics.rotations.Load(),
 		Checkpoints:   j.metrics.checkpoints.Load(),
 		CheckpointLat: j.metrics.ckptLat.Snapshot(),
+		GroupBatch:    j.metrics.groupBatch.Snapshot(),
 	}
 }

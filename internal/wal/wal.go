@@ -37,11 +37,13 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -57,8 +59,12 @@ const (
 	// OS crash can lose the most recent commits — recovery still stops
 	// cleanly at the last intact record.
 	SyncOS SyncPolicy = iota
-	// SyncAlways: fsync after every append. Every acknowledged commit
-	// survives an OS crash; the slowest policy.
+	// SyncAlways: an append is acknowledged only after an fsync covered
+	// it. The fsync is GROUPED across concurrent committers
+	// (leader/follower): one fsync acknowledges every append that landed
+	// before it, possibly a peer's — acknowledged still means fsynced,
+	// but N concurrent committers share one fsync instead of paying one
+	// each.
 	SyncAlways
 	// SyncBackground: a background goroutine fsyncs every SyncEvery
 	// interval (default one second) — the redis-appendfsync-everysec
@@ -135,7 +141,8 @@ type Journal struct {
 	ck        *Checkpoint
 	ckSeg     uint64 // first live segment (tail watermark of ck)
 	ckIndex   uint64 // index of the installed checkpoint file
-	appended  uint64 // records appended since the last checkpoint
+	appended  uint64 // records appended since the last checkpoint pin
+	writeSeq  uint64 // sequence number of the last appended record
 	replayed  bool
 	closed    bool
 	failed    error // latched unrecoverable write failure
@@ -143,6 +150,28 @@ type Journal struct {
 	syncErr   error
 	buf       []byte // scratch encode buffer
 	replayEnd uint64 // version of the last replayed record
+
+	// gen counts segment-file swaps (rotation, close). The group-commit
+	// leader fsyncs off j.mu and uses it to tell a real fsync failure
+	// from a stale handle whose bytes the swapping path already fsynced.
+	gen uint64
+
+	// Group-commit state (SyncAlways): gcSynced is the highest writeSeq
+	// covered by an fsync, gcSyncing marks a leader in flight, gcErr
+	// latches an fsync failure for every current and future waiter.
+	// gcMu is never held while acquiring j.mu (the leader releases it
+	// around the fsync), so Close may take gcMu under j.mu.
+	gcMu      sync.Mutex
+	gcCond    *sync.Cond
+	gcSyncing bool
+	gcSynced  uint64
+	gcBatch   uint64 // size of the last group fsync's batch
+	gcErr     error
+
+	// installHook, when set (tests only), is called at each step of
+	// InstallCheckpoint so kill-point tests can snapshot the directory
+	// mid-install.
+	installHook func(step string)
 
 	// metrics are the journal's cumulative durability metrics (see
 	// metrics.go); the zero value records from the first append.
@@ -160,6 +189,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	j := &Journal{dir: dir, opts: opts, ckSeg: 1} // segments are numbered from 1
+	j.gcCond = sync.NewCond(&j.gcMu)
 	if err := j.loadCheckpoint(); err != nil {
 		return nil, err
 	}
@@ -172,6 +202,17 @@ func Open(dir string, opts Options) (*Journal, error) {
 
 // Dir returns the journal directory.
 func (j *Journal) Dir() string { return j.dir }
+
+// SetInstallHook installs a callback invoked at each step of
+// InstallCheckpoint ("encode", "installed", "removed-ckpt",
+// "removed-segs") — the seam kill-point tests use to capture crash
+// images mid-install. The hook must not call back into the journal.
+// Test use only.
+func (j *Journal) SetInstallHook(fn func(step string)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.installHook = fn
+}
 
 // Checkpoint returns the checkpoint loaded at Open, nil when the
 // directory had none.
@@ -377,36 +418,58 @@ func (j *Journal) openSegmentLocked(i uint64) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	j.f, j.size, j.seg = f, size, i
+	j.gen++
 	return nil
 }
 
-// Append journals one record: frame, write, and fsync per the policy.
-// The write is a single contiguous write call, so a crash leaves either
-// the whole frame or a torn tail that replay cuts off — never an
-// interleaved state.
+// Append journals one record and, under SyncAlways, waits until an
+// fsync covered it: AppendAsync + WaitDurable. Callers that hold a
+// coarser lock around the append should call the two halves themselves
+// and wait outside the lock, so concurrent committers can share the
+// leader's fsync (group commit).
 func (j *Journal) Append(rec Record) error {
+	seq, err := j.AppendAsync(rec)
+	if err != nil {
+		return err
+	}
+	return j.WaitDurable(seq)
+}
+
+// AppendAsync journals one record — frame and write, no fsync wait —
+// and returns its write sequence number for WaitDurable. The write is
+// a single contiguous write call, so a crash leaves either the whole
+// frame or a torn tail that replay cuts off — never an interleaved
+// state.
+func (j *Journal) AppendAsync(rec Record) (uint64, error) {
 	start := time.Now()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
-		return fmt.Errorf("wal: journal closed")
+		return 0, fmt.Errorf("wal: journal closed")
 	}
 	if j.failed != nil {
-		return fmt.Errorf("wal: journal failed: %w", j.failed)
+		return 0, fmt.Errorf("wal: journal failed: %w", j.failed)
 	}
 	if !j.replayed {
-		return fmt.Errorf("wal: Append before Replay")
+		return 0, fmt.Errorf("wal: Append before Replay")
+	}
+	if err := j.syncErr; err != nil {
+		// A background-flusher failure means durability is degraded NOW;
+		// reject the next commit instead of letting the caller discover
+		// it at Close. The error is cleared: the caller was told once,
+		// later appends proceed (their own fsyncs decide their fate).
+		j.syncErr = nil
+		return 0, fmt.Errorf("wal: background fsync failed: %w", err)
 	}
 	if j.size >= j.opts.segmentBytes()+int64(len(segMagic)) {
-		if err := j.openSegmentLocked(j.seg + 1); err != nil {
-			return err
+		if err := j.rotateLocked(); err != nil {
+			return 0, err
 		}
-		j.metrics.rotations.Inc()
 	}
 	j.buf = j.buf[:0]
 	payload, err := appendRecord(j.buf[:0], rec)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	j.buf = payload // keep the grown buffer for reuse
 	frame := make([]byte, frameHeader+len(payload))
@@ -425,19 +488,179 @@ func (j *Journal) Append(rec Record) error {
 		} else if _, serr := j.f.Seek(j.size, io.SeekStart); serr != nil {
 			j.failed = serr
 		}
-		return fmt.Errorf("wal: %w", err)
+		return 0, fmt.Errorf("wal: %w", err)
 	}
 	j.size += int64(len(frame))
 	j.appended++
-	if j.opts.Sync == SyncAlways {
-		if err := j.fsyncLocked(); err != nil {
-			return err
-		}
-	}
+	j.writeSeq++
 	j.metrics.appends.Inc()
 	j.metrics.appendBytes.Add(uint64(len(frame)))
 	j.metrics.appendLat.Observe(time.Since(start))
+	return j.writeSeq, nil
+}
+
+// rotateLocked moves appends to the next segment. Under a durable sync
+// policy the outgoing segment is fsynced before it is abandoned: the
+// group-commit leader and the background flusher only ever fsync the
+// CURRENT segment, so without this a record appended right before a
+// rotation could be acknowledged by an fsync that never touched its
+// file. Requires j.mu held.
+func (j *Journal) rotateLocked() error {
+	if j.f != nil && j.opts.Sync != SyncOS {
+		if err := j.fsyncLocked(); err != nil {
+			j.failed = err
+			return err
+		}
+	}
+	if err := j.openSegmentLocked(j.seg + 1); err != nil {
+		return err
+	}
+	j.metrics.rotations.Inc()
 	return nil
+}
+
+// WaitDurable blocks until every record appended up to and including
+// seq is covered by an fsync, sharing the fsync across concurrent
+// committers: the first waiter to find no fsync in flight becomes the
+// leader and fsyncs once for every append that landed before it;
+// followers just wait for the watermark to pass their sequence. Under
+// SyncOS and SyncBackground it returns immediately — those policies do
+// not promise fsync-on-acknowledge. seq 0 (no append) is a no-op.
+//
+// An fsync failure latches the journal for every current and future
+// waiter: after a failed fsync the kernel may have dropped the dirty
+// pages, so a retry that "succeeds" would not make the lost writes
+// durable.
+func (j *Journal) WaitDurable(seq uint64) error {
+	if seq == 0 || j.opts.Sync != SyncAlways {
+		return nil
+	}
+	j.gcMu.Lock()
+	defer j.gcMu.Unlock()
+	for {
+		if j.gcErr != nil {
+			return j.gcErr
+		}
+		if j.gcSynced >= seq {
+			return nil
+		}
+		if j.gcSyncing {
+			j.gcCond.Wait()
+			continue
+		}
+		j.gcSyncing = true
+		synced := j.gcSynced
+		siblings := j.gcBatch > 1
+		j.gcMu.Unlock()
+		target, err := j.leaderFsync(synced, siblings)
+		j.gcMu.Lock()
+		j.gcSyncing = false
+		if err != nil {
+			j.gcErr = err
+		} else if target > j.gcSynced {
+			j.gcBatch = target - j.gcSynced
+			j.metrics.groupBatch.ObserveValue(j.gcBatch)
+			j.gcSynced = target
+		} else {
+			j.gcBatch = 0
+		}
+		j.gcCond.Broadcast()
+	}
+}
+
+// Group-commit drain bounds: the leader yields the processor to let
+// sibling committers land their appends, stopping after drainQuiet
+// consecutive yields with no new append (the siblings have all landed
+// or are busy elsewhere) or drainMaxYields total (so a firehose of
+// async appenders cannot park a waiter forever).
+const (
+	drainQuiet     = 2
+	drainMaxYields = 64
+)
+
+// leaderFsync performs one group fsync: everything appended before it
+// (up to the returned sequence) is durable once it returns nil; synced
+// is the watermark the caller read and siblings whether the previous
+// batch was grouped — together they detect sibling committers.
+// The fsync syscall runs OFF j.mu — this is what makes group commit a
+// throughput win, because concurrent committers keep appending while
+// the leader's fsync is in flight and form the next leader's batch;
+// fsyncing under j.mu would serialize every append behind every fsync
+// and cap the batch size at ~1.
+//
+// Appends that land mid-fsync are simply not covered: the returned
+// sequence is captured before the fsync starts. If the segment is
+// rotated or the journal closed while the fsync is in flight, the
+// stale handle may report a failure — but both paths fsync the
+// outgoing file before abandoning it (rotateLocked, Close), so a
+// failure on a superseded generation is a success for this leader's
+// target. (A failed CLOSE fsync latches gcErr, which outranks the
+// durability watermark in WaitDurable.)
+func (j *Journal) leaderFsync(synced uint64, siblings bool) (uint64, error) {
+	f, gen, target, err := j.leaderTarget()
+	if err != nil || f == nil {
+		return target, err
+	}
+	if siblings || target > synced+1 {
+		// Siblings in flight (visible appends beyond this leader's own,
+		// or a grouped previous batch — the committers it acknowledged
+		// are appending their next records right now): yield until the
+		// append sequence goes quiet, so the whole cohort lands before
+		// the one fsync that acknowledges it. This is PostgreSQL's
+		// commit_delay idea with scheduler yields instead of a timed
+		// park — a timer would round up to its granularity, and without
+		// any pause batch formation depends on appends racing the fsync
+		// syscall, which on a loaded single-core box yields batches of
+		// ~1. A lone committer never pays the drain.
+		for quiet, spins := 0, 0; quiet < drainQuiet && spins < drainMaxYields; spins++ {
+			runtime.Gosched()
+			f2, g2, t2, err := j.leaderTarget()
+			if err != nil || f2 == nil {
+				return t2, err
+			}
+			if t2 > target {
+				quiet = 0
+			} else {
+				quiet++
+			}
+			f, gen, target = f2, g2, t2
+		}
+	}
+
+	start := time.Now()
+	serr := f.Sync()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if serr != nil {
+		if j.gen == gen {
+			j.failed = serr
+			return 0, fmt.Errorf("wal: %w", serr)
+		}
+		// The segment was swapped mid-fsync; its generation's own fsync
+		// already covered target.
+		return target, nil
+	}
+	j.metrics.fsyncs.Inc()
+	j.metrics.fsyncLat.Observe(time.Since(start))
+	return target, nil
+}
+
+// leaderTarget snapshots what the leader's fsync will cover: the
+// current segment file, its swap generation and the last appended
+// sequence. A nil file with nil error means the journal is closed —
+// Close fsyncs before releasing the file, so everything appended
+// before it is already durable.
+func (j *Journal) leaderTarget() (f *os.File, gen, target uint64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return nil, 0, 0, fmt.Errorf("wal: journal failed: %w", j.failed)
+	}
+	if j.closed || j.f == nil {
+		return nil, 0, j.writeSeq, nil
+	}
+	return j.f, j.gen, j.writeSeq, nil
 }
 
 // AppendedSinceCheckpoint returns the number of records appended since
@@ -449,10 +672,17 @@ func (j *Journal) AppendedSinceCheckpoint() uint64 {
 	return j.appended
 }
 
-// Sync fsyncs the current segment.
+// Sync fsyncs the current segment. A pending background-flusher
+// failure is surfaced (and cleared) here, like on Append — the caller
+// learns about degraded durability at the next explicit barrier, not
+// only at Close.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if err := j.syncErr; err != nil {
+		j.syncErr = nil
+		return fmt.Errorf("wal: background fsync failed: %w", err)
+	}
 	return j.syncLocked()
 }
 
@@ -493,44 +723,122 @@ func (j *Journal) syncLoop() {
 	}
 }
 
-// WriteCheckpoint durably installs ck as the new recovery base: the
-// checkpoint file is written and renamed into place, the log rotates to
-// a fresh segment, and the segments the checkpoint absorbed are
-// deleted. After it returns, recovery is checkpoint + (empty) tail.
-func (j *Journal) WriteCheckpoint(ck *Checkpoint) error {
+// CheckpointPin marks the point in the log a checkpoint will
+// supersede. BeginCheckpoint rotates the log so the pin's segment
+// becomes the new tail watermark: every record journaled before the
+// pin is absorbed by the checkpoint, every later one lands at or past
+// the watermark. The pin itself is O(1); the expensive encode and file
+// install happen later, in InstallCheckpoint, off the caller's locks.
+type CheckpointPin struct {
+	seg uint64
+	ok  bool
+}
+
+// ErrCheckpointSuperseded reports that a newer checkpoint was
+// installed after this pin was taken: installing the pinned (older)
+// state would move the recovery base backwards, so it is skipped.
+// Callers treat it as success — the newer checkpoint absorbs strictly
+// more of the log.
+var ErrCheckpointSuperseded = errors.New("wal: checkpoint superseded by a newer one")
+
+// BeginCheckpoint pins the log position for a checkpoint of the
+// caller's current state: it rotates to a fresh segment (the new tail
+// watermark) and resets the auto-checkpoint counter. The caller then
+// serializes its pinned state and hands both to InstallCheckpoint —
+// typically from a background goroutine, off the lock the state was
+// pinned under.
+func (j *Journal) BeginCheckpoint() (CheckpointPin, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return CheckpointPin{}, fmt.Errorf("wal: journal closed")
+	}
+	if !j.replayed {
+		return CheckpointPin{}, fmt.Errorf("wal: checkpoint before Replay")
+	}
+	if j.failed != nil {
+		return CheckpointPin{}, fmt.Errorf("wal: journal failed: %w", j.failed)
+	}
+	if err := j.rotateLocked(); err != nil {
+		return CheckpointPin{}, err
+	}
+	j.appended = 0
+	return CheckpointPin{seg: j.seg, ok: true}, nil
+}
+
+// InstallCheckpoint durably installs ck — the state pinned by
+// BeginCheckpoint — as the new recovery base: the checkpoint file is
+// written and renamed into place, then the files it supersedes (the
+// old checkpoint, the absorbed segments) are removed. The encode and
+// file write run without holding j.mu, so appends proceed concurrently
+// with the install; only the bookkeeping and removals run under it.
+// Callers must serialize InstallCheckpoint calls among themselves (the
+// store layer's checkpoint worker does). A pin that a newer install
+// overtook returns ErrCheckpointSuperseded and changes nothing.
+//
+// Kill-point safety: a crash before the rename leaves the old
+// checkpoint plus the full log — recovery as if the install never
+// started. A crash after the rename but before the removals leaves
+// both checkpoints; the next Open picks the newer one and sweeps the
+// rest. The trailing directory fsync orders the removals against the
+// rename.
+func (j *Journal) InstallCheckpoint(pin CheckpointPin, ck *Checkpoint) error {
 	start := time.Now()
+	if !pin.ok {
+		return fmt.Errorf("wal: InstallCheckpoint without a pin")
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return fmt.Errorf("wal: journal closed")
+	}
+	if pin.seg <= j.ckSeg {
+		j.mu.Unlock()
+		return ErrCheckpointSuperseded
+	}
+	next := j.ckIndex + 1
+	hook := j.installHook
+	j.mu.Unlock()
+
+	c := *ck
+	c.firstSegment = pin.seg
+	if hook != nil {
+		hook("encode")
+	}
+	path := filepath.Join(j.dir, ckptName(next))
+	if err := saveCheckpointFile(path, &c); err != nil {
+		return err
+	}
+	if hook != nil {
+		hook("installed")
+	}
+
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return fmt.Errorf("wal: journal closed")
 	}
-	if !j.replayed {
-		return fmt.Errorf("wal: WriteCheckpoint before Replay")
-	}
-	// Rotate first: the checkpoint's tail watermark is the fresh
-	// segment, so every record journaled before this moment is absorbed
-	// and every later one lands past the watermark.
-	if err := j.openSegmentLocked(j.seg + 1); err != nil {
-		return err
-	}
-	j.metrics.rotations.Inc()
-	ck.firstSegment = j.seg
-	next := j.ckIndex + 1
-	if err := saveCheckpointFile(filepath.Join(j.dir, ckptName(next)), ck); err != nil {
-		return err
+	if pin.seg <= j.ckSeg {
+		os.Remove(path)
+		return ErrCheckpointSuperseded
 	}
 	old, oldSeg := j.ckIndex, j.ckSeg
-	j.ck, j.ckIndex, j.ckSeg = ck, next, j.seg
-	j.appended = 0
+	j.ck, j.ckIndex, j.ckSeg = &c, next, pin.seg
 	// Truncate: everything the new checkpoint supersedes. A crash
 	// before these removals leaves garbage that the next Open sweeps.
 	if old != 0 || oldSeg != j.ckSeg {
 		os.Remove(filepath.Join(j.dir, ckptName(old)))
 	}
+	if hook != nil {
+		hook("removed-ckpt")
+	}
 	for _, i := range j.segmentIndexes() {
 		if i < j.ckSeg {
 			os.Remove(filepath.Join(j.dir, segName(i)))
 		}
+	}
+	if hook != nil {
+		hook("removed-segs")
 	}
 	if err := syncDir(j.dir); err != nil {
 		return err
@@ -538,6 +846,75 @@ func (j *Journal) WriteCheckpoint(ck *Checkpoint) error {
 	j.metrics.checkpoints.Inc()
 	j.metrics.ckptLat.Observe(time.Since(start))
 	return nil
+}
+
+// WriteCheckpoint synchronously installs ck as the new recovery base:
+// BeginCheckpoint + InstallCheckpoint in one call. After it returns,
+// recovery is checkpoint + (empty) tail.
+func (j *Journal) WriteCheckpoint(ck *Checkpoint) error {
+	pin, err := j.BeginCheckpoint()
+	if err != nil {
+		return err
+	}
+	if err := j.InstallCheckpoint(pin, ck); err != nil && !errors.Is(err, ErrCheckpointSuperseded) {
+		return err
+	}
+	return nil
+}
+
+// HasData reports whether the journal directory already holds durable
+// state — a checkpoint or at least one intact record. It reads at most
+// one frame per segment file (almost always exactly one), never the
+// whole log: it is the bootstrap guard's probe, not a replay.
+func (j *Journal) HasData() (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ck != nil {
+		return true, nil
+	}
+	for _, i := range j.segmentIndexes() {
+		ok, err := segmentHasRecord(filepath.Join(j.dir, segName(i)))
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// segmentHasRecord reports whether the segment file starts with an
+// intact frame — magic, one frame header, one CRC-valid payload.
+func segmentHasRecord(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, len(segMagic)+frameHeader)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return false, nil // empty or torn before the first frame
+		}
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	if string(hdr[:len(segMagic)]) != segMagic {
+		return false, nil
+	}
+	size := binary.LittleEndian.Uint32(hdr[len(segMagic):])
+	crc := binary.LittleEndian.Uint32(hdr[len(segMagic)+4:])
+	if size == 0 || size > maxFrame {
+		return false, nil
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return false, nil // torn first frame: no intact record
+		}
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	return crc32.Checksum(payload, crcTable) == crc, nil
 }
 
 // Close flushes and releases the journal. The directory remains fully
@@ -559,10 +936,22 @@ func (j *Journal) Close() error {
 			err = cerr
 		}
 		j.f = nil
+		j.gen++
 	}
 	if err == nil {
 		err = j.syncErr
 	}
+	// Release group-commit waiters: the final fsync above covered every
+	// append, or its failure is latched for them. (gcMu under j.mu is
+	// safe — no one holds gcMu while acquiring j.mu.)
+	j.gcMu.Lock()
+	if err == nil {
+		j.gcSynced = j.writeSeq
+	} else if j.gcErr == nil {
+		j.gcErr = fmt.Errorf("wal: close: %w", err)
+	}
+	j.gcCond.Broadcast()
+	j.gcMu.Unlock()
 	j.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("wal: close: %w", err)
