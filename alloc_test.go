@@ -11,6 +11,9 @@
 package probprune_test
 
 import (
+	"time"
+
+	"probprune/internal/obs"
 	"testing"
 
 	"probprune"
@@ -53,4 +56,29 @@ func TestStoreWarmKNNAllocCeiling(t *testing.T) {
 		t.Fatalf("StoreWarmKNN allocated %.0f times per query, ceiling 900", allocs)
 	}
 	t.Logf("StoreWarmKNN: %.0f allocs per query (ceiling 900)", allocs)
+}
+
+// TestStoreWarmKNNAllocCeilingRecorderArmed: the PR 10 observability
+// work must not erode the audited hot path. The same warm-store query
+// with the flight recorder installed and a slow-query threshold armed
+// (the production shape of `udbserver -events -slow-query`) holds the
+// same 900-allocation ceiling: the trace-off path records nothing and
+// allocates nothing extra.
+func TestStoreWarmKNNAllocCeilingRecorderArmed(t *testing.T) {
+	db := benchscen.MustDB(allocDBSize)
+	s, err := probprune.NewStore(db, probprune.Options{MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRecorder(obs.NewRecorder(1024))
+	s.SetSlowQueryThreshold(time.Hour) // armed, never fires here
+	q := probprune.PointObject(-1, probprune.Point{0.5, 0.5})
+	s.KNN(q, benchscen.K, benchscen.Tau) // warm the persistent cache
+	allocs := testing.AllocsPerRun(5, func() {
+		s.KNN(q, benchscen.K, benchscen.Tau)
+	})
+	if allocs > 900 {
+		t.Fatalf("StoreWarmKNN with recorder armed allocated %.0f times per query, ceiling 900", allocs)
+	}
+	t.Logf("StoreWarmKNN recorder armed: %.0f allocs per query (ceiling 900)", allocs)
 }

@@ -1,8 +1,10 @@
 // Command bench runs the repository's key performance scenarios and
-// writes the numbers to a machine-readable JSON file (BENCH_PR6.json by
-// default), so the performance trajectory of the project is tracked in
-// data rather than prose. It measures the hot serving paths — one-shot
-// engine queries, warm store queries, batched queries, index build —
+// writes the numbers to a machine-readable JSON file (BENCH_PR10.json
+// by default), so the performance trajectory of the project is tracked
+// in data rather than prose. It measures the hot serving paths —
+// one-shot engine queries, warm store queries (plain, with the flight
+// recorder armed, and with a TRACE-flagged query), batched queries,
+// index build —
 // the continuous-query maintenance pair (incremental maintenance vs.
 // re-running every standing query per mutation), the sharded serving
 // pair (write-interleaved BatchKNN mix and store build at 1 vs 8
@@ -84,6 +86,8 @@ func scenarios() []scenario {
 	return []scenario{
 		{"EngineKNN", benchscen.EngineKNN},
 		{"StoreWarmKNN", benchscen.StoreWarmKNN},
+		{"StoreWarmKNNRecorderArmed", benchscen.StoreWarmKNNRecorderArmed},
+		{"StoreWarmKNNTraced", benchscen.StoreWarmKNNTraced},
 		{"StoreBatchKNN16", benchscen.StoreBatchKNN16},
 		{"IndexBulkLoad", benchscen.IndexBulkLoad},
 		{"CQMaintain", benchscen.CQMaintain},
@@ -136,7 +140,7 @@ func find(rs []benchResult, name string) benchResult {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR9.json", "output file")
+	out := flag.String("o", "BENCH_PR10.json", "output file")
 	quick := flag.Bool("quick", false, "smoke mode: small database, cheap CI run (numbers not comparable with full runs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering both benchmark passes to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the passes to this file")
@@ -160,7 +164,7 @@ func main() {
 
 	db := benchscen.MustDB(dbSize)
 	rep := report{
-		PR:         9,
+		PR:         10,
 		Go:         runtime.Version(),
 		GOMAXPROCS: 1,
 		NumCPU:     runtime.NumCPU(),
@@ -213,6 +217,13 @@ func main() {
 	}
 	rep.Derived["checkpoint_load_p99_commit_ns"] = ckLoad.Metrics["p99-commit-ns"]
 	rep.Derived["checkpoint_load_max_commit_ns"] = ckLoad.Metrics["max-commit-ns"]
+	warm := find(rep.Benchmarks, "StoreWarmKNN")
+	armed := find(rep.Benchmarks, "StoreWarmKNNRecorderArmed")
+	traced := find(rep.Benchmarks, "StoreWarmKNNTraced")
+	if warm.NsPerOp > 0 {
+		rep.Derived["recorder_armed_overhead"] = armed.NsPerOp / warm.NsPerOp
+		rep.Derived["trace_on_overhead"] = traced.NsPerOp / warm.NsPerOp
+	}
 	// Serial-vs-parallel speedup per scenario (same binary, same data,
 	// only GOMAXPROCS differs).
 	for _, s := range rep.Benchmarks {
@@ -245,6 +256,14 @@ func main() {
 			rep.Derived["checkpoint_load_p99_commit_ns"] < 2e6,
 		fmt.Sprintf("p99 %.0f ns, max %.0f ns",
 			rep.Derived["checkpoint_load_p99_commit_ns"], rep.Derived["checkpoint_load_max_commit_ns"]))
+	// The flight recorder must be free when dormant: serving with the
+	// recorder installed but no TRACE flag stays within measurement noise
+	// of the plain warm-store path.
+	assert("recorder_armed_overhead < 1.5",
+		rep.Derived["recorder_armed_overhead"] > 0 &&
+			rep.Derived["recorder_armed_overhead"] < 1.5,
+		fmt.Sprintf("plain %.0f ns/op, recorder armed %.0f ns/op, ratio %.2fx",
+			warm.NsPerOp, armed.NsPerOp, rep.Derived["recorder_armed_overhead"]))
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

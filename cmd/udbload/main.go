@@ -38,10 +38,11 @@ func main() {
 		subs  = flag.Int("subscribers", 0, "override subscriber count (0: 1000, or 50 with -quick)")
 		pairs = flag.Int("pairs", 0, "override mutation pair count (0: 100, or 20 with -quick)")
 		gap   = flag.Duration("gap", 0, "override writer pacing (0: 5ms; scaled up for big fleets on few cores)")
+		trace = flag.Bool("trace", false, "issue a TRACE-flagged KNN after the drain and report its anatomy")
 	)
 	flag.Parse()
 
-	cfg := benchscen.ServerLoadConfig{Subscribers: *subs, Pairs: *pairs, WriteGap: *gap}
+	cfg := benchscen.ServerLoadConfig{Subscribers: *subs, Pairs: *pairs, WriteGap: *gap, Trace: *trace}
 	if *quick {
 		if cfg.Subscribers == 0 {
 			cfg.Subscribers = 50
@@ -72,4 +73,11 @@ func main() {
 	fmt.Printf("udbload: server stats — pushed=%d shed=%d cq runs=%d saved=%d, knn served=%d (p99 %.3fms)\n",
 		st["server.pushed"], st["server.shed"], st["cq.runs"], st["cq.saved"],
 		st["server.cmd.knn.calls"], float64(st["server.cmd.knn.latency.p99_ns"])/1e6)
+	fmt.Printf("udbload: server identity — %s gomaxprocs=%d uptime=%ds\n",
+		res.GoVersion, res.GoMaxProcs, res.UptimeSeconds)
+	if res.Trace != nil {
+		t := res.Trace
+		fmt.Printf("udbload: traced knn — candidates=%d preselected=%d refined=%d iterations=%d cache=%d/%d prepare=%v eval=%v queue=%v\n",
+			t.Candidates, t.Preselected, t.Refined, t.Iterations, t.CacheHits, t.CacheHits+t.CacheMisses, t.Prepare, t.Eval, t.Queue)
+	}
 }

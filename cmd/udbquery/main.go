@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 
 	"probprune/internal/core"
 	"probprune/internal/geom"
+	"probprune/internal/obs"
 	"probprune/internal/query"
 	"probprune/internal/uncertain"
 	"probprune/internal/wal"
@@ -40,6 +42,7 @@ func main() {
 		refID      = flag.Int("ref", -1, "reference object ID (irank)")
 		top        = flag.Int("top", 10, "number of entries to print for rank queries")
 		iterations = flag.Int("iterations", 6, "max refinement iterations")
+		trace      = flag.Bool("trace", false, "print the query's trace anatomy (candidates, prune economy, phase timings)")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -64,14 +67,30 @@ func main() {
 	}
 	engine := query.NewEngine(db, core.Options{MaxIterations: *iterations})
 
+	// With -trace, thread an obs.Trace through the query context and
+	// print its anatomy afterwards — the same snapshot the server ships
+	// for a TRACE-flagged wire command.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *trace {
+		tr = &obs.Trace{}
+		ctx = obs.WithTrace(ctx, tr)
+	}
+
 	switch *queryKind {
 	case "knn":
 		q := queryObject(db, *at, *targetID)
-		matches := engine.KNN(q, *k, *tau)
+		matches, err := engine.KNNCtx(ctx, q, *k, *tau)
+		if err != nil {
+			fail("knn: %v", err)
+		}
 		printMatches(matches, *tau)
 	case "rknn":
 		q := queryObject(db, *at, *targetID)
-		matches := engine.RKNN(q, *k, *tau)
+		matches, err := engine.RKNNCtx(ctx, q, *k, *tau)
+		if err != nil {
+			fail("rknn: %v", err)
+		}
 		printMatches(matches, *tau)
 	case "irank":
 		target := byID(db, *targetID)
@@ -98,6 +117,9 @@ func main() {
 		}
 	default:
 		fail("unknown -query %q", *queryKind)
+	}
+	if tr != nil {
+		fmt.Printf("trace: %v\n", tr.Snapshot())
 	}
 }
 

@@ -56,11 +56,13 @@ func main() {
 		dataset    = flag.String("db", "", "preload a udbgen dataset file (volatile or fresh durable store)")
 		iterations = flag.Int("iterations", 3, "max refinement iterations per query")
 		retain     = flag.Int("retain", 0, "per-subscription retained-event ring (resume window); 0: default 8192")
-		debugAddr  = flag.String("debug-addr", "", "serve /metrics (JSON) and /debug/pprof on this address (empty: off)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics (JSON or ?format=prom), /events and /debug/pprof on this address (empty: off)")
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+		slowQuery  = flag.Duration("slow-query", 0, "flight-recorder slow-query capture threshold (0: off)")
+		events     = flag.Int("events", 0, "flight-recorder ring capacity; 0: default 1024")
 	)
 	flag.Parse()
-	if err := run(*addr, *dir, *shards, *sync, *ckptEvery, *synthetic, *dataset, *iterations, *retain, *debugAddr, *logLevel); err != nil {
+	if err := run(*addr, *dir, *shards, *sync, *ckptEvery, *synthetic, *dataset, *iterations, *retain, *debugAddr, *logLevel, *slowQuery, *events); err != nil {
 		fmt.Fprintln(os.Stderr, "udbserver:", err)
 		os.Exit(1)
 	}
@@ -78,7 +80,7 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
-func run(addr, dir string, shards int, sync string, ckptEvery, synthetic int, dataset string, iterations, retain int, debugAddr, logLevel string) error {
+func run(addr, dir string, shards int, sync string, ckptEvery, synthetic int, dataset string, iterations, retain int, debugAddr, logLevel string, slowQuery time.Duration, events int) error {
 	logger, err := newLogger(logLevel)
 	if err != nil {
 		return err
@@ -147,10 +149,12 @@ func run(addr, dir string, shards int, sync string, ckptEvery, synthetic int, da
 	}
 
 	srv := server.New(backend, server.Options{
-		CursorPath: cursor,
-		Retain:     retain,
-		Logf:       log.Printf,
-		Logger:     logger,
+		CursorPath:   cursor,
+		Retain:       retain,
+		SlowQuery:    slowQuery,
+		RecorderSize: events,
+		Logf:         log.Printf,
+		Logger:       logger,
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

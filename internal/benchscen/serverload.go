@@ -14,6 +14,7 @@ import (
 
 	"probprune/internal/core"
 	"probprune/internal/geom"
+	"probprune/internal/obs"
 	"probprune/internal/query"
 	"probprune/internal/server"
 	"probprune/internal/server/client"
@@ -51,6 +52,10 @@ type ServerLoadConfig struct {
 	// Dir is the durable store/cursor directory; empty selects a
 	// temporary directory (removed afterwards).
 	Dir string
+	// Trace, when set, issues one TRACE-flagged KNN after the drain and
+	// attaches its snapshot to the result — the wire-level trace anatomy
+	// under the same standing-query pressure the run measured.
+	Trace bool
 }
 
 // ServerLoadResult is the machine-readable outcome.
@@ -71,6 +76,13 @@ type ServerLoadResult struct {
 	// the drain — command counters, push-plane totals, cq maintenance
 	// economy, query-engine and (when durable) WAL metrics.
 	ServerStats map[string]int64 `json:"server_stats"`
+	// Server identity from the VERSION reply, snapshotted after the run.
+	GoVersion     string `json:"server_go_version"`
+	GoMaxProcs    int    `json:"server_gomaxprocs"`
+	UptimeSeconds int64  `json:"server_uptime_seconds"`
+	// Trace is the snapshot of the TRACE-flagged KNN issued after the
+	// drain when ServerLoadConfig.Trace was set.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // ServerLoad runs the scenario and aggregates latencies.
@@ -260,6 +272,18 @@ func ServerLoad(cfg ServerLoadConfig) (ServerLoadResult, error) {
 	if err != nil {
 		return ServerLoadResult{}, fmt.Errorf("stats snapshot: %w", err)
 	}
+	info, err := writer.ServerInfo()
+	if err != nil {
+		return ServerLoadResult{}, fmt.Errorf("server info: %w", err)
+	}
+	var traceSnap *obs.TraceSnapshot
+	if cfg.Trace {
+		_, ts, err := writer.KNNTrace(q, K, Tau)
+		if err != nil {
+			return ServerLoadResult{}, fmt.Errorf("traced knn: %w", err)
+		}
+		traceSnap = &ts
+	}
 
 	// Sanity floors: each mutation pair touches the subscribers whose
 	// k-sets contain the victim, so across the whole run the fleet must
@@ -286,6 +310,11 @@ func ServerLoad(cfg ServerLoadConfig) (ServerLoadResult, error) {
 		QueryP99Ms:  percentile(queryLats, 0.99),
 		QuerySent:   len(queryLats),
 		ServerStats: serverStats,
+
+		GoVersion:     info.GoVersion,
+		GoMaxProcs:    info.GoMaxProcs,
+		UptimeSeconds: info.UptimeSeconds,
+		Trace:         traceSnap,
 	}
 	return res, nil
 }

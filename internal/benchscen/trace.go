@@ -1,0 +1,77 @@
+package benchscen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"probprune"
+	"probprune/internal/core"
+	"probprune/internal/obs"
+	"probprune/internal/query"
+	"probprune/internal/uncertain"
+)
+
+// The tracing-overhead scenario pair behind the BENCH_PR10.json
+// assertion: the flight recorder and per-query tracing must be
+// free when dormant and cheap when armed. Both scenarios run the
+// same warm-store kNN as StoreWarmKNN, but with the flight recorder
+// installed and a slow-query threshold set — exactly the production
+// shape of a server launched with -events and -slow-query. The
+// difference between the pair is only whether the query carries an
+// obs.Trace, i.e. whether the client sent the TRACE flag.
+
+func mustArmedStore(b *testing.B, db probprune.Database) *query.Store {
+	b.Helper()
+	s, err := query.NewStore(db, core.Options{MaxIterations: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetRecorder(obs.NewRecorder(1024))
+	s.SetSlowQueryThreshold(time.Hour) // armed, never fires on this workload
+	return s
+}
+
+// StoreWarmKNNRecorderArmed: trace-off serving with the flight
+// recorder installed — the baseline side of the tracing-overhead
+// assertion. Must be within noise of plain StoreWarmKNN.
+func StoreWarmKNNRecorderArmed(b *testing.B, db probprune.Database) {
+	s := mustArmedStore(b, db)
+	q := uncertain.PointObject(-1, []float64{0.5, 0.5})
+	ctx := context.Background()
+	if _, err := s.KNNCtx(ctx, q, K, Tau); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.KNNCtx(ctx, q, K, Tau); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// StoreWarmKNNTraced: the same armed store serving a TRACE-flagged
+// query — every op resets and threads an obs.Trace, the per-phase
+// spans are recorded, and the snapshot is taken, mirroring what the
+// server does per traced wire command.
+func StoreWarmKNNTraced(b *testing.B, db probprune.Database) {
+	s := mustArmedStore(b, db)
+	q := uncertain.PointObject(-1, []float64{0.5, 0.5})
+	var tr obs.Trace
+	ctx := obs.WithTrace(context.Background(), &tr)
+	if _, err := s.KNNCtx(ctx, q, K, Tau); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink obs.TraceSnapshot
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		if _, err := s.KNNCtx(ctx, q, K, Tau); err != nil {
+			b.Fatal(err)
+		}
+		sink = tr.Snapshot()
+	}
+	_ = sink.Candidates
+}

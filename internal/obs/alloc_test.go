@@ -76,3 +76,19 @@ func TestTraceFromZeroAlloc(t *testing.T) {
 		t.Fatalf("TraceFrom on a trace-free context allocates %.1f allocs/op, want 0", n)
 	}
 }
+
+// TestRecorderRecordZeroAlloc pins the flight-recorder write path at
+// zero allocations: it runs on the commit path, the group-commit
+// leader and every traced query, so a single allocation here would
+// show up in the audited EngineKNN/StoreWarmKNN ceilings.
+func TestRecorderRecordZeroAlloc(t *testing.T) {
+	r := NewRecorder(64)
+	note := r.Note("knn") // pre-registered, as hot paths do
+	ts := TraceSnapshot{Candidates: 12, Refined: 3, Eval: time.Millisecond}
+	if n := testing.AllocsPerRun(100, func() {
+		r.Record(EvGroupCommit, 0, time.Millisecond, 8, 0)
+		r.RecordTrace(EvSlowQuery, note, 40*time.Millisecond, 0, 0, ts)
+	}); n != 0 {
+		t.Fatalf("Recorder record path allocates %.1f allocs/op, want 0", n)
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import "sort"
+
+// PointKind tags a MetricPoint with how to render it.
+type PointKind uint8
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter PointKind = iota
+	// KindGauge is an instantaneous value.
+	KindGauge
+	// KindTimeHist is a latency histogram (Observe-fed: bucket i is
+	// [2^(i-1), 2^i) microseconds).
+	KindTimeHist
+	// KindValueHist is a dimensionless histogram (ObserveValue-fed:
+	// bucket i is [2^(i-1), 2^i)).
+	KindValueHist
+)
+
+// MetricPoint is one metric in a typed snapshot: the single sorted
+// shape every surfacing layer consumes — STATS flattens it, the debug
+// endpoint renders it as JSON, the Prometheus exposition renders it as
+// text. One snapshot path, one sort, three formats.
+type MetricPoint struct {
+	Name string
+	Kind PointKind
+	// Value holds the counter/gauge value; unused for histograms.
+	Value int64
+	// Hist holds the histogram snapshot for the histogram kinds.
+	Hist HistSnapshot
+}
+
+// SortPoints orders points by name — the deterministic order every
+// consumer sees.
+func SortPoints(pts []MetricPoint) {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Name < pts[j].Name })
+}
+
+// Points returns the registry's metrics as a sorted typed snapshot.
+// Registry-owned histograms are Observe-fed, so they surface as
+// KindTimeHist.
+func (r *Registry) Points() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	pts := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		pts = append(pts, MetricPoint{Name: name, Kind: KindCounter, Value: int64(c.Load())})
+	}
+	for name, g := range r.gauges {
+		pts = append(pts, MetricPoint{Name: name, Kind: KindGauge, Value: g.Load()})
+	}
+	for name, h := range r.hists {
+		pts = append(pts, MetricPoint{Name: name, Kind: KindTimeHist, Hist: h.Snapshot()})
+	}
+	r.mu.Unlock()
+	SortPoints(pts)
+	return pts
+}
+
+// PointsMap flattens a point snapshot into the flat name → value map
+// the STATS command serves: counters and gauges verbatim, histograms
+// expanded to the .count/.sum_ns/quantile keys of AddHist (AddHistValue
+// for value-fed ones).
+func PointsMap(pts []MetricPoint) map[string]int64 {
+	out := make(map[string]int64, len(pts)*2)
+	for _, p := range pts {
+		switch p.Kind {
+		case KindTimeHist:
+			AddHist(out, p.Name, p.Hist)
+		case KindValueHist:
+			AddHistValue(out, p.Name, p.Hist)
+		default:
+			out[p.Name] = p.Value
+		}
+	}
+	return out
+}

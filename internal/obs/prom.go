@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteProm renders a point snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+// `_count`. Metric names are sanitized (dots become underscores); time
+// histograms are rendered in seconds, value histograms in their native
+// unit. The points should come from one sorted snapshot (the same one
+// STATS and the JSON endpoint serve), so scrapes are deterministic.
+func WriteProm(w io.Writer, pts []MetricPoint) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		name := PromName(p.Name)
+		switch p.Kind {
+		case KindCounter:
+			bw.WriteString("# TYPE " + name + " counter\n")
+			bw.WriteString(name + " " + strconv.FormatInt(p.Value, 10) + "\n")
+		case KindGauge:
+			bw.WriteString("# TYPE " + name + " gauge\n")
+			bw.WriteString(name + " " + strconv.FormatInt(p.Value, 10) + "\n")
+		case KindTimeHist:
+			writePromHist(bw, name, p.Hist, true)
+		case KindValueHist:
+			writePromHist(bw, name, p.Hist, false)
+		}
+	}
+	return bw.Flush()
+}
+
+// PromName sanitizes a metric name for the exposition format: dots and
+// every other character outside [a-zA-Z0-9_:] become underscores.
+func PromName(name string) string {
+	out := []byte(name)
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out[i] = '_'
+			}
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// writePromHist renders one histogram as cumulative buckets. A time
+// histogram's bucket i spans [2^(i-1), 2^i) microseconds (bucket 0 is
+// under 1µs), rendered with `le` in seconds; a value histogram's bucket
+// i spans the same ladder dimensionless, with bucket 0 holding exactly
+// zero. The last bucket always overflows upward, so its `le` is +Inf.
+func writePromHist(bw *bufio.Writer, name string, s HistSnapshot, isTime bool) {
+	bw.WriteString("# TYPE " + name + " histogram\n")
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += s.Buckets[i]
+		var le string
+		switch {
+		case i == HistBuckets-1:
+			le = "+Inf"
+		case isTime:
+			// Upper bound 2^i µs in seconds (bucket 0: 1µs).
+			le = strconv.FormatFloat(float64(uint64(1)<<uint(i))/1e6, 'g', -1, 64)
+		case i == 0:
+			le = "0"
+		default:
+			// Integer values below 2^i, so the inclusive bound is 2^i-1.
+			le = strconv.FormatUint(uint64(1)<<uint(i)-1, 10)
+		}
+		bw.WriteString(name + `_bucket{le="` + le + `"} ` + strconv.FormatUint(cum, 10) + "\n")
+	}
+	sum := float64(s.SumNanos)
+	if isTime {
+		sum /= 1e9
+	}
+	bw.WriteString(name + "_sum " + strconv.FormatFloat(sum, 'g', -1, 64) + "\n")
+	bw.WriteString(name + "_count " + strconv.FormatUint(s.Count, 10) + "\n")
+}

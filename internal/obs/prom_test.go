@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSortPointsAndPointsMap(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	pts := []MetricPoint{
+		{Name: "z.counter", Kind: KindCounter, Value: 7},
+		{Name: "a.gauge", Kind: KindGauge, Value: -2},
+		{Name: "m.latency", Kind: KindTimeHist, Hist: h.Snapshot()},
+	}
+	SortPoints(pts)
+	if pts[0].Name != "a.gauge" || pts[1].Name != "m.latency" || pts[2].Name != "z.counter" {
+		t.Fatalf("SortPoints order: %v %v %v", pts[0].Name, pts[1].Name, pts[2].Name)
+	}
+	m := PointsMap(pts)
+	if m["z.counter"] != 7 || m["a.gauge"] != -2 {
+		t.Fatalf("PointsMap scalars: %v", m)
+	}
+	if m["m.latency.count"] != 2 {
+		t.Fatalf("PointsMap histogram expansion: %v", m)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"server.cmd.knn.latency": "server_cmd_knn_latency",
+		"wal.fsyncs":             "wal_fsyncs",
+		"9lives":                 "_lives",
+		"ok_name:colon":          "ok_name:colon",
+		"sp ace-dash":            "sp_ace_dash",
+	} {
+		if got := PromName(in); got != want {
+			t.Fatalf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// promParse is a minimal exposition-format checker shared in spirit
+// with the CI scrape step: every non-comment line must be
+// `name[{le="..."}] value`, every # line a TYPE comment, and every
+// histogram must close with +Inf/_sum/_count.
+func promParse(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || parts[1] != "TYPE" {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, parts[3])
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no sample value in %q", ln+1, line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, val, err)
+		}
+		bare := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			label := name[i:]
+			if !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				t.Fatalf("line %d: malformed label %q", ln+1, label)
+			}
+			bare = name[:i]
+		}
+		for _, c := range bare {
+			if !(c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+				t.Fatalf("line %d: invalid metric name char %q in %q", ln+1, c, name)
+			}
+		}
+		samples[name] = f
+	}
+	return samples
+}
+
+func TestWritePromExposition(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond)  // bucket index for 3µs
+	h.Observe(40 * time.Millisecond) // far bucket
+	var vh Histogram
+	vh.ObserveValue(0)
+	vh.ObserveValue(5)
+	pts := []MetricPoint{
+		{Name: "server.conns.accepted", Kind: KindCounter, Value: 12},
+		{Name: "server.sessions", Kind: KindGauge, Value: 3},
+		{Name: "server.cmd.knn.latency", Kind: KindTimeHist, Hist: h.Snapshot()},
+		{Name: "cq.batch.size", Kind: KindValueHist, Hist: vh.Snapshot()},
+	}
+	SortPoints(pts)
+	var sb strings.Builder
+	if err := WriteProm(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	samples := promParse(t, text)
+
+	if samples["server_conns_accepted"] != 12 {
+		t.Fatalf("counter sample: %v", samples["server_conns_accepted"])
+	}
+	if samples["server_sessions"] != 3 {
+		t.Fatalf("gauge sample: %v", samples["server_sessions"])
+	}
+	// Histograms close with +Inf == _count, and buckets are cumulative
+	// (monotonically nondecreasing along the ladder).
+	for _, base := range []string{"server_cmd_knn_latency", "cq_batch_size"} {
+		inf := samples[base+`_bucket{le="+Inf"}`]
+		if inf != 2 {
+			t.Fatalf("%s +Inf bucket = %v, want 2", base, inf)
+		}
+		if samples[base+"_count"] != 2 {
+			t.Fatalf("%s _count = %v, want 2", base, samples[base+"_count"])
+		}
+		if _, ok := samples[base+"_sum"]; !ok {
+			t.Fatalf("%s has no _sum", base)
+		}
+		n := 0
+		for series, v := range samples {
+			if strings.HasPrefix(series, base+"_bucket{") {
+				n++
+				if v > inf {
+					t.Fatalf("bucket %s = %v exceeds +Inf %v", series, v, inf)
+				}
+			}
+		}
+		if n != HistBuckets {
+			t.Fatalf("%s rendered %d buckets, want %d", base, n, HistBuckets)
+		}
+		// Cumulative monotonicity along the rendered ladder.
+		var last float64
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, base+"_bucket{") {
+				v, _ := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+				if v < last {
+					t.Fatalf("%s buckets not cumulative: %v after %v", base, v, last)
+				}
+				last = v
+			}
+		}
+	}
+	// A time histogram's sum is in seconds; ~40ms + 3µs ≈ 0.04s.
+	if s := samples["server_cmd_knn_latency_sum"]; s < 0.01 || s > 1 {
+		t.Fatalf("time histogram sum %v not in seconds", s)
+	}
+	// A value histogram keeps its native unit: sum is 0 + 5.
+	if s := samples["cq_batch_size_sum"]; s != 5 {
+		t.Fatalf("value histogram sum %v, want 5", s)
+	}
+	// Value-histogram bucket 0 must carry le="0" (exactly-zero bucket).
+	if _, ok := samples[`cq_batch_size_bucket{le="0"}`]; !ok {
+		t.Fatal(`value histogram lost its le="0" bucket`)
+	}
+}
+
+func TestRegistryPoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c.one").Add(4)
+	r.Gauge("g.two").Set(9)
+	r.Histogram("h.three").Observe(time.Millisecond)
+	pts := r.Points()
+	if len(pts) != 3 {
+		t.Fatalf("Points returned %d points: %+v", len(pts), pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Name >= pts[i].Name {
+			t.Fatalf("Points not sorted: %q >= %q", pts[i-1].Name, pts[i].Name)
+		}
+	}
+	m := PointsMap(pts)
+	if m["c.one"] != 4 || m["g.two"] != 9 || m["h.three.count"] != 1 {
+		t.Fatalf("registry points map: %v", m)
+	}
+	var nilReg *Registry
+	if nilReg.Points() != nil {
+		t.Fatal("nil registry must yield nil points")
+	}
+}

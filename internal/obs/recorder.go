@@ -1,0 +1,345 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is the always-on flight recorder: a fixed-size lock-free
+// ring of structured events — slow queries with their trace snapshots,
+// fsync stalls, checkpoint lifecycle, session churn, protocol errors —
+// that survives to the postmortem. Recording never allocates and never
+// takes a lock (each slot is a seqlock of atomic words), so the hot
+// paths that feed it — the commit path, the query path, the group
+// commit leader — are never stalled by a concurrent scrape.
+//
+// A nil *Recorder is valid and records nothing, the same convention as
+// the rest of this package: callers arm it by wiring a recorder in and
+// disarm it by leaving it nil.
+type Recorder struct {
+	slots []recorderSlot
+	seq   atomic.Uint64 // next slot claim; monotonic event ordinal + 1
+
+	// notes maps registered note strings to IDs. Registration takes the
+	// mutex and may allocate — it happens at wiring time or on cold
+	// paths (a protocol error, a deferred durability failure), never on
+	// a commit or query path, which pass pre-registered IDs.
+	nmu     sync.Mutex
+	noteIDs map[string]NoteID
+	notes   []string
+}
+
+// EventKind identifies what a flight-recorder event describes.
+type EventKind uint8
+
+const (
+	// EvNone marks an empty slot.
+	EvNone EventKind = iota
+	// EvSlowQuery: a query exceeded the slow-query threshold. Dur is
+	// its latency, the note names the query kind, and the full trace
+	// snapshot rides along.
+	EvSlowQuery
+	// EvProtoError: a connection was closed for a framing or
+	// command-shape violation. A is the connection ID.
+	EvProtoError
+	// EvSessionPark: a named subscription session lost its connection
+	// and parked for RESUME. A is the session ID.
+	EvSessionPark
+	// EvSessionResume: a parked session was resumed. A is the session
+	// ID, B the number of events the resume skipped as lost.
+	EvSessionResume
+	// EvSessionShed: a dropoldest-policy session discarded retained
+	// events under backpressure. A is the session ID, B the events shed.
+	EvSessionShed
+	// EvCheckpointBegin: a checkpoint pin was taken on the commit path.
+	// A is the store version pinned.
+	EvCheckpointBegin
+	// EvCheckpointInstall: a background checkpoint install completed.
+	// Dur is the install wall time, A the checkpointed store version.
+	EvCheckpointInstall
+	// EvCheckpointSupersede: a pinned checkpoint was coalesced away
+	// because a newer pin replaced it before its install started.
+	EvCheckpointSupersede
+	// EvGroupCommit: one group-commit fsync acknowledged a batch of
+	// concurrent committers. Dur is the fsync latency, A the batch size.
+	EvGroupCommit
+	// EvFsyncStall: one fsync exceeded the stall threshold. Dur is the
+	// fsync latency.
+	EvFsyncStall
+	// EvDeferredError: a background durability failure (fsync,
+	// checkpoint install, cursor save) was latched for deferred
+	// surfacing. The note carries the error text.
+	EvDeferredError
+)
+
+var eventKindNames = [...]string{
+	EvNone:                "none",
+	EvSlowQuery:           "slow_query",
+	EvProtoError:          "proto_error",
+	EvSessionPark:         "session_park",
+	EvSessionResume:       "session_resume",
+	EvSessionShed:         "session_shed",
+	EvCheckpointBegin:     "checkpoint_begin",
+	EvCheckpointInstall:   "checkpoint_install",
+	EvCheckpointSupersede: "checkpoint_supersede",
+	EvGroupCommit:         "group_commit",
+	EvFsyncStall:          "fsync_stall",
+	EvDeferredError:       "deferred_error",
+}
+
+// String returns the kind's wire name (the EVENTS command and the
+// debug endpoint serve it verbatim).
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// NoteID is a registered note string (see Recorder.Note). The zero ID
+// is the empty note.
+type NoteID int32
+
+// maxNotes bounds the note table: a runaway cold path registering
+// unbounded distinct strings degrades to one overflow note instead of
+// growing without limit.
+const maxNotes = 512
+
+// slot payload layout: one version word plus fixed atomic payload
+// words, written under an odd version and validated by readers — a
+// seqlock per slot, so writers never block and a torn read is detected
+// and skipped rather than locked against.
+const (
+	slotSeq = iota // claim ordinal (monotonic across the ring)
+	slotKind
+	slotNote
+	slotTime // unix nanos
+	slotDur  // nanoseconds
+	slotA
+	slotB
+	slotTrace // 11 trace words (see traceWords)
+	slotWords = slotTrace + traceWords
+)
+
+const traceWords = 11
+
+type recorderSlot struct {
+	ver atomic.Uint64 // odd while a writer owns the slot
+	w   [slotWords]atomic.Int64
+}
+
+// NewRecorder builds a recorder holding the last `size` events
+// (minimum 16; sizes are rounded up).
+func NewRecorder(size int) *Recorder {
+	if size < 16 {
+		size = 16
+	}
+	return &Recorder{
+		slots:   make([]recorderSlot, size),
+		noteIDs: make(map[string]NoteID),
+		notes:   []string{""},
+	}
+}
+
+// Size returns the ring capacity (0 for a nil recorder).
+func (r *Recorder) Size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Note registers a note string and returns its ID, idempotently. It
+// takes a lock and may allocate: call it at wiring time for hot-path
+// notes, or from cold paths (error events). Past maxNotes distinct
+// strings every new note collapses into a shared overflow ID.
+func (r *Recorder) Note(s string) NoteID {
+	if r == nil || s == "" {
+		return 0
+	}
+	r.nmu.Lock()
+	defer r.nmu.Unlock()
+	if id, ok := r.noteIDs[s]; ok {
+		return id
+	}
+	if len(r.notes) >= maxNotes {
+		const overflow = "(notes overflow)"
+		if id, ok := r.noteIDs[overflow]; ok {
+			return id
+		}
+		id := NoteID(len(r.notes))
+		r.noteIDs[overflow] = id
+		r.notes = append(r.notes, overflow)
+		return id
+	}
+	id := NoteID(len(r.notes))
+	r.noteIDs[s] = id
+	r.notes = append(r.notes, s)
+	return id
+}
+
+// noteString resolves a note ID (empty for 0 or out of range).
+func (r *Recorder) noteString(id NoteID) string {
+	if id <= 0 {
+		return ""
+	}
+	r.nmu.Lock()
+	defer r.nmu.Unlock()
+	if int(id) < len(r.notes) {
+		return r.notes[id]
+	}
+	return ""
+}
+
+// Record appends one event without a trace. Allocation-free and
+// lock-free; safe from any goroutine; a nil recorder drops the event.
+func (r *Recorder) Record(kind EventKind, note NoteID, dur time.Duration, a, b int64) {
+	if r == nil {
+		return
+	}
+	r.record(kind, note, dur, a, b, false, TraceSnapshot{})
+}
+
+// RecordTrace appends one event carrying a full trace snapshot (the
+// slow-query capture). Allocation-free and lock-free.
+func (r *Recorder) RecordTrace(kind EventKind, note NoteID, dur time.Duration, a, b int64, ts TraceSnapshot) {
+	if r == nil {
+		return
+	}
+	r.record(kind, note, dur, a, b, true, ts)
+}
+
+// hasTraceBit marks a kind word whose slot carries a trace snapshot.
+const hasTraceBit = int64(1) << 32
+
+func (r *Recorder) record(kind EventKind, note NoteID, dur time.Duration, a, b int64, hasTrace bool, ts TraceSnapshot) {
+	seq := r.seq.Add(1)
+	s := &r.slots[(seq-1)%uint64(len(r.slots))]
+	// Seqlock write: flip to odd, fill, flip back to even. Two writers
+	// lapping onto the same slot interleave safely — a reader validates
+	// the version is even and unchanged across its copy, so a torn slot
+	// is skipped, never blocked on.
+	s.ver.Add(1)
+	kw := int64(kind)
+	if hasTrace {
+		kw |= hasTraceBit
+	}
+	s.w[slotSeq].Store(int64(seq))
+	s.w[slotKind].Store(kw)
+	s.w[slotNote].Store(int64(note))
+	s.w[slotTime].Store(time.Now().UnixNano())
+	s.w[slotDur].Store(int64(dur))
+	s.w[slotA].Store(a)
+	s.w[slotB].Store(b)
+	s.w[slotTrace+0].Store(int64(ts.Candidates))
+	s.w[slotTrace+1].Store(int64(ts.Preselected))
+	s.w[slotTrace+2].Store(int64(ts.Refined))
+	s.w[slotTrace+3].Store(int64(ts.Undecided))
+	s.w[slotTrace+4].Store(int64(ts.Iterations))
+	s.w[slotTrace+5].Store(int64(ts.CacheHits))
+	s.w[slotTrace+6].Store(int64(ts.CacheMisses))
+	s.w[slotTrace+7].Store(int64(ts.Prepare))
+	s.w[slotTrace+8].Store(int64(ts.Eval))
+	s.w[slotTrace+9].Store(int64(ts.WALWait))
+	s.w[slotTrace+10].Store(int64(ts.Queue))
+	s.ver.Add(1)
+}
+
+// Event is one decoded flight-recorder entry.
+type Event struct {
+	// Seq is the event's monotonic ordinal since the recorder was
+	// built (1-based); gaps mean older events were overwritten.
+	Seq int64
+	// Kind identifies the event; Note is its registered note string
+	// (the query kind for slow queries, the error text for errors).
+	Kind EventKind
+	Note string
+	// Time is when the event was recorded.
+	Time time.Time
+	// Dur is the event's duration where one applies (query latency,
+	// fsync latency, install wall time).
+	Dur time.Duration
+	// A and B are kind-specific values (batch size, session ID, ...).
+	A, B int64
+	// Trace is the full trace snapshot of a slow query; HasTrace
+	// reports whether one was captured.
+	HasTrace bool
+	Trace    TraceSnapshot
+}
+
+// Snapshot copies the ring's current events, oldest first. Slots a
+// writer holds mid-update are skipped (the seqlock detects them), so a
+// scrape never blocks recording and vice versa. A nil recorder yields
+// nil.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		for attempt := 0; attempt < 3; attempt++ {
+			v1 := s.ver.Load()
+			if v1 == 0 || v1%2 == 1 {
+				break // never written, or a writer owns it right now
+			}
+			var w [slotWords]int64
+			for j := range w {
+				w[j] = s.w[j].Load()
+			}
+			if s.ver.Load() != v1 {
+				continue // torn by a concurrent writer; retry
+			}
+			kw := w[slotKind]
+			ev := Event{
+				Seq:      w[slotSeq],
+				Kind:     EventKind(kw & 0xff),
+				Note:     r.noteString(NoteID(w[slotNote])),
+				Time:     time.Unix(0, w[slotTime]),
+				Dur:      time.Duration(w[slotDur]),
+				A:        w[slotA],
+				B:        w[slotB],
+				HasTrace: kw&hasTraceBit != 0,
+			}
+			if ev.HasTrace {
+				ev.Trace = TraceSnapshot{
+					Candidates:  uint64(w[slotTrace+0]),
+					Preselected: uint64(w[slotTrace+1]),
+					Refined:     uint64(w[slotTrace+2]),
+					Undecided:   uint64(w[slotTrace+3]),
+					Iterations:  uint64(w[slotTrace+4]),
+					CacheHits:   uint64(w[slotTrace+5]),
+					CacheMisses: uint64(w[slotTrace+6]),
+					Prepare:     time.Duration(w[slotTrace+7]),
+					Eval:        time.Duration(w[slotTrace+8]),
+					WALWait:     time.Duration(w[slotTrace+9]),
+					Queue:       time.Duration(w[slotTrace+10]),
+				}
+			}
+			out = append(out, ev)
+			break
+		}
+	}
+	// Oldest first by claim ordinal (the ring index order is rotated).
+	sortEventsBySeq(out)
+	return out
+}
+
+// sortEventsBySeq orders events by ordinal. The slice is nearly two
+// sorted runs (the ring rotation point), so a simple insertion-style
+// rotation would do; sort keeps it obvious.
+func sortEventsBySeq(evs []Event) {
+	// Find the rotation point and rotate — O(n), no comparisons sort
+	// would need. Events are in ring-index order: seq increases except
+	// at one wrap boundary.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq < evs[i-1].Seq {
+			rotated := make([]Event, 0, len(evs))
+			rotated = append(rotated, evs[i:]...)
+			rotated = append(rotated, evs[:i]...)
+			copy(evs, rotated)
+			return
+		}
+	}
+}

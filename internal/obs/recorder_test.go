@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	if r.Size() != 0 {
+		t.Fatal("nil recorder size")
+	}
+	if id := r.Note("x"); id != 0 {
+		t.Fatalf("nil recorder Note = %d, want 0", id)
+	}
+	r.Record(EvGroupCommit, 0, time.Millisecond, 4, 0)
+	r.RecordTrace(EvSlowQuery, 0, time.Second, 0, 0, TraceSnapshot{Candidates: 9})
+	if evs := r.Snapshot(); evs != nil {
+		t.Fatalf("nil recorder snapshot = %v, want nil", evs)
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder(16)
+	note := r.Note("knn")
+	r.Record(EvGroupCommit, 0, 3*time.Millisecond, 7, 0)
+	ts := TraceSnapshot{
+		Candidates: 10, Preselected: 4, Refined: 3, Undecided: 1,
+		Iterations: 2, CacheHits: 5, CacheMisses: 1,
+		Prepare: time.Microsecond, Eval: 2 * time.Microsecond,
+		WALWait: 3 * time.Microsecond, Queue: 4 * time.Microsecond,
+	}
+	r.RecordTrace(EvSlowQuery, note, 40*time.Millisecond, 0, 0, ts)
+
+	evs := r.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("snapshot has %d events, want 2", len(evs))
+	}
+	gc, sq := evs[0], evs[1]
+	if gc.Kind != EvGroupCommit || gc.Seq != 1 || gc.Dur != 3*time.Millisecond || gc.A != 7 || gc.HasTrace {
+		t.Fatalf("group-commit event mangled: %+v", gc)
+	}
+	if sq.Kind != EvSlowQuery || sq.Seq != 2 || sq.Note != "knn" || sq.Dur != 40*time.Millisecond {
+		t.Fatalf("slow-query event mangled: %+v", sq)
+	}
+	if !sq.HasTrace || sq.Trace != ts {
+		t.Fatalf("slow-query trace mangled: has=%v %+v", sq.HasTrace, sq.Trace)
+	}
+	if sq.Time.IsZero() || time.Since(sq.Time) > time.Minute {
+		t.Fatalf("event timestamp implausible: %v", sq.Time)
+	}
+}
+
+func TestRecorderWraparound(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 0; i < 40; i++ {
+		r.Record(EvSessionShed, 0, 0, int64(i), 0)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("snapshot has %d events, want ring size 16", len(evs))
+	}
+	// The ring keeps the newest 16 (seq 25..40), oldest first.
+	for i, ev := range evs {
+		if want := int64(25 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest-first after wrap)", i, ev.Seq, want)
+		}
+		if ev.A != ev.Seq-1 {
+			t.Fatalf("event %d payload A=%d for seq %d", i, ev.A, ev.Seq)
+		}
+	}
+}
+
+func TestRecorderMinimumSize(t *testing.T) {
+	if got := NewRecorder(0).Size(); got != 16 {
+		t.Fatalf("NewRecorder(0) size = %d, want 16", got)
+	}
+	if got := NewRecorder(100).Size(); got != 100 {
+		t.Fatalf("NewRecorder(100) size = %d, want 100", got)
+	}
+}
+
+func TestRecorderNoteRegistry(t *testing.T) {
+	r := NewRecorder(16)
+	a := r.Note("alpha")
+	if r.Note("alpha") != a {
+		t.Fatal("Note is not idempotent")
+	}
+	if r.Note("") != 0 {
+		t.Fatal("empty note must be ID 0")
+	}
+	if got := r.noteString(a); got != "alpha" {
+		t.Fatalf("noteString = %q", got)
+	}
+	// Past maxNotes distinct strings, registration degrades to one
+	// shared overflow note instead of growing without bound.
+	for i := 0; i < maxNotes+10; i++ {
+		r.Note(fmt.Sprintf("note-%d", i))
+	}
+	over1 := r.Note("fresh-after-overflow-1")
+	over2 := r.Note("fresh-after-overflow-2")
+	if over1 != over2 {
+		t.Fatalf("overflow notes got distinct IDs %d, %d", over1, over2)
+	}
+	if got := r.noteString(over1); got != "(notes overflow)" {
+		t.Fatalf("overflow note resolves to %q", got)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	want := map[EventKind]string{
+		EvNone:                "none",
+		EvSlowQuery:           "slow_query",
+		EvProtoError:          "proto_error",
+		EvSessionPark:         "session_park",
+		EvSessionResume:       "session_resume",
+		EvSessionShed:         "session_shed",
+		EvCheckpointBegin:     "checkpoint_begin",
+		EvCheckpointInstall:   "checkpoint_install",
+		EvCheckpointSupersede: "checkpoint_supersede",
+		EvGroupCommit:         "group_commit",
+		EvFsyncStall:          "fsync_stall",
+		EvDeferredError:       "deferred_error",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("EventKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must stringify as unknown")
+	}
+}
+
+// TestRecorderConcurrency hammers writers and scrapers together; under
+// -race this proves the seqlock ring is data-race-free, and in any mode
+// it proves a scrape never observes a torn event (a slot mixing two
+// writers' payloads would surface as a seq/payload mismatch).
+func TestRecorderConcurrency(t *testing.T) {
+	r := NewRecorder(32)
+	const writers, perWriter = 4, 2000
+	var writeWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func() {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Record(EvGroupCommit, 0, time.Duration(i), int64(i), int64(i)*2)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range r.Snapshot() {
+				if ev.Kind != EvGroupCommit || ev.B != ev.A*2 {
+					t.Errorf("torn event: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	writeWG.Wait()
+	close(stop)
+	<-scrapeDone
+}

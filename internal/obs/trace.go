@@ -30,6 +30,27 @@ type Trace struct {
 	cacheMisses  atomic.Uint64
 	prepareNanos atomic.Int64
 	evalNanos    atomic.Int64
+	walWaitNanos atomic.Int64
+	queueNanos   atomic.Int64
+}
+
+// Reset zeroes every counter, making the trace reusable (the engine's
+// slow-query capture pools traces across queries).
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.candidates.Store(0)
+	t.preselected.Store(0)
+	t.refined.Store(0)
+	t.undecided.Store(0)
+	t.iterations.Store(0)
+	t.cacheHits.Store(0)
+	t.cacheMisses.Store(0)
+	t.prepareNanos.Store(0)
+	t.evalNanos.Store(0)
+	t.walWaitNanos.Store(0)
+	t.queueNanos.Store(0)
 }
 
 // AddCandidates records n candidates entering the filter stage.
@@ -97,6 +118,25 @@ func (t *Trace) AddEval(d time.Duration) {
 	t.evalNanos.Add(int64(d))
 }
 
+// AddWALWait records time spent waiting for a (group) fsync to cover a
+// journaled commit — a mutation's durability wait, after the store lock
+// was released.
+func (t *Trace) AddWALWait(d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.walWaitNanos.Add(int64(d))
+}
+
+// AddQueue records time a request spent between arriving (decoded off
+// the wire) and starting to execute — the server's dispatch/decode span.
+func (t *Trace) AddQueue(d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.queueNanos.Add(int64(d))
+}
+
 // TraceSnapshot is a plain copy of a Trace's counters.
 type TraceSnapshot struct {
 	// Candidates entered the filter stage; every one is either
@@ -115,6 +155,14 @@ type TraceSnapshot struct {
 	// Prepare/Eval split the query wall time by phase.
 	Prepare time.Duration
 	Eval    time.Duration
+	// WALWait is the durability wait of a traced mutation: journaled
+	// commit → covered by a (group) fsync. Zero for queries and for
+	// non-SyncAlways stores.
+	WALWait time.Duration
+	// Queue is the server-side dispatch span of a traced request:
+	// decoded off the wire → execution started (argument parsing and
+	// object decoding live here). Zero for in-process queries.
+	Queue time.Duration
 }
 
 // Snapshot returns the trace's current counters (zero for a nil trace).
@@ -132,15 +180,17 @@ func (t *Trace) Snapshot() TraceSnapshot {
 		CacheMisses: t.cacheMisses.Load(),
 		Prepare:     time.Duration(t.prepareNanos.Load()),
 		Eval:        time.Duration(t.evalNanos.Load()),
+		WALWait:     time.Duration(t.walWaitNanos.Load()),
+		Queue:       time.Duration(t.queueNanos.Load()),
 	}
 }
 
 // String renders the snapshot as one log-friendly line.
 func (s TraceSnapshot) String() string {
 	return fmt.Sprintf(
-		"candidates=%d preselected=%d refined=%d undecided=%d iterations=%d cache_hits=%d cache_misses=%d prepare=%v eval=%v",
+		"candidates=%d preselected=%d refined=%d undecided=%d iterations=%d cache_hits=%d cache_misses=%d prepare=%v eval=%v wal_wait=%v queue=%v",
 		s.Candidates, s.Preselected, s.Refined, s.Undecided, s.Iterations,
-		s.CacheHits, s.CacheMisses, s.Prepare, s.Eval)
+		s.CacheHits, s.CacheMisses, s.Prepare, s.Eval, s.WALWait, s.Queue)
 }
 
 // traceKey is the context key of WithTrace. A zero-size key type makes

@@ -23,6 +23,9 @@ type ckptScheduler struct {
 	gate    func()       // test hook: runs before each install, outside mu
 	queue   *obs.Gauge   // optional: pending + running installs (0..2)
 	merged  *obs.Counter // optional: pins coalesced away before installing
+	// events resolves the armed flight recorder (nil func or nil result
+	// when disarmed); coalesced pins record a supersede event.
+	events func() *obs.Recorder
 }
 
 func newCkptScheduler(onErr func(error)) *ckptScheduler {
@@ -35,8 +38,14 @@ func newCkptScheduler(onErr func(error)) *ckptScheduler {
 // pending one.
 func (c *ckptScheduler) submit(install func() error) {
 	c.mu.Lock()
-	if c.pending != nil && c.merged != nil {
-		c.merged.Inc()
+	if c.pending != nil {
+		if c.merged != nil {
+			c.merged.Inc()
+		}
+		if c.events != nil {
+			// Record is lock-free, so holding c.mu across it is safe.
+			c.events().Record(obs.EvCheckpointSupersede, 0, 0, 0, 0)
+		}
 	}
 	c.pending = install
 	spawn := !c.busy

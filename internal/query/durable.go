@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probprune/internal/core"
+	"probprune/internal/obs"
 	"probprune/internal/uncertain"
 	"probprune/internal/wal"
 )
@@ -56,6 +58,12 @@ type storeJournal struct {
 
 	sched *ckptScheduler
 
+	// rec is the armed flight recorder (nil when disarmed): checkpoint
+	// lifecycle and deferred durability errors record into it, and
+	// setRecorder forwards it to the wal journal for group-commit and
+	// fsync-stall events. Atomic so arming is safe mid-serving.
+	rec atomic.Pointer[obs.Recorder]
+
 	emu     sync.Mutex // guards ckptErr (the scheduler writes it off s.mu)
 	ckptErr error      // first deferred auto-checkpoint failure
 }
@@ -63,11 +71,31 @@ type storeJournal struct {
 func newStoreJournal(j *wal.Journal, checkpointEvery int, m *Metrics) *storeJournal {
 	sj := &storeJournal{j: j, checkpointEvery: checkpointEvery}
 	sj.sched = newCkptScheduler(sj.noteCkptErr)
+	sj.sched.events = sj.recorder
 	if m != nil {
 		sj.sched.queue = m.ckptQueue
 		sj.sched.merged = m.ckptMerged
 	}
 	return sj
+}
+
+// setRecorder arms (or disarms, with nil) the journal's flight-recorder
+// event sources, including the wal journal's. Nil-safe (in-memory
+// store).
+func (sj *storeJournal) setRecorder(rec *obs.Recorder) {
+	if sj == nil {
+		return
+	}
+	sj.rec.Store(rec)
+	sj.j.SetRecorder(rec)
+}
+
+// recorder returns the armed recorder, nil when disarmed (nil-safe).
+func (sj *storeJournal) recorder() *obs.Recorder {
+	if sj == nil {
+		return nil
+	}
+	return sj.rec.Load()
 }
 
 // noteCkptErr records a deferred checkpoint failure (keeping the first).
@@ -77,6 +105,11 @@ func (sj *storeJournal) noteCkptErr(err error) {
 		sj.ckptErr = err
 	}
 	sj.emu.Unlock()
+	// Cold path: registering the error text as a note may lock and
+	// allocate, which a failure path can afford.
+	if r := sj.recorder(); r != nil {
+		r.Record(obs.EvDeferredError, r.Note(err.Error()), 0, 0, 0)
+	}
 }
 
 // takeCkptErr returns and clears the deferred checkpoint failure.
@@ -105,9 +138,14 @@ func (sj *storeJournal) waitDurable(seq uint64) error {
 func (sj *storeJournal) install(job *ckptJob) error {
 	sj.installMu.Lock()
 	defer sj.installMu.Unlock()
+	start := time.Now()
 	err := sj.j.InstallCheckpoint(job.pin, job.ck)
 	if errors.Is(err, wal.ErrCheckpointSuperseded) {
+		sj.recorder().Record(obs.EvCheckpointSupersede, 0, 0, int64(job.ck.Version), 0)
 		return nil
+	}
+	if err == nil {
+		sj.recorder().Record(obs.EvCheckpointInstall, 0, time.Since(start), int64(job.ck.Version), 0)
 	}
 	return err
 }
@@ -180,6 +218,9 @@ func (s *Store) pinCheckpointLocked() (*ckptJob, error) {
 	for i, o := range db {
 		decomp[i] = s.cache.Materialized(o)
 	}
+	// Lock-free, allocation-free record: the pin runs on the commit path
+	// under s.mu, which the recorder never stalls.
+	s.journal.recorder().Record(obs.EvCheckpointBegin, 0, 0, int64(s.version), 0)
 	return &ckptJob{pin: pin, ck: &wal.Checkpoint{
 		Version:      s.version,
 		Objects:      db,

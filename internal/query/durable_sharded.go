@@ -1,13 +1,16 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"probprune/internal/core"
+	"probprune/internal/obs"
 	"probprune/internal/uncertain"
 	"probprune/internal/wal"
 )
@@ -36,6 +39,11 @@ type shardedJournal struct {
 
 	sched *ckptScheduler
 
+	// rec is the armed flight recorder (nil when disarmed); router-level
+	// deferred durability failures and coalesced checkpoints record into
+	// it (the shard journals carry their own reference).
+	rec atomic.Pointer[obs.Recorder]
+
 	emu     sync.Mutex
 	ckptErr error // first deferred durability failure (auto-checkpoint, rebalance)
 }
@@ -43,11 +51,20 @@ type shardedJournal struct {
 func newShardedJournal(popts PersistOptions, m *Metrics) *shardedJournal {
 	sj := &shardedJournal{popts: popts}
 	sj.sched = newCkptScheduler(sj.noteCkptErr)
+	sj.sched.events = sj.recorder
 	if m != nil {
 		sj.sched.queue = m.ckptQueue
 		sj.sched.merged = m.ckptMerged
 	}
 	return sj
+}
+
+// recorder returns the armed recorder, nil when disarmed (nil-safe).
+func (sj *shardedJournal) recorder() *obs.Recorder {
+	if sj == nil {
+		return nil
+	}
+	return sj.rec.Load()
 }
 
 // noteCkptErr records a deferred durability failure (keeping the first).
@@ -57,6 +74,9 @@ func (sj *shardedJournal) noteCkptErr(err error) {
 		sj.ckptErr = err
 	}
 	sj.emu.Unlock()
+	if r := sj.recorder(); r != nil {
+		r.Record(obs.EvDeferredError, r.Note(err.Error()), 0, 0, 0)
+	}
 }
 
 // takeCkptErr returns and clears the deferred durability failure.
@@ -446,7 +466,7 @@ func (s *ShardedStore) assemble(m *wal.Manifest, events [][]wal.Record, viaMoveI
 		}
 	}
 	for _, d := range danglers {
-		if _, err := s.shards[d.shard].deleteOp(d.id, wal.OpMoveOut, m.Version); err != nil {
+		if _, err := s.shards[d.shard].deleteOp(context.Background(), d.id, wal.OpMoveOut, m.Version); err != nil {
 			return fmt.Errorf("sharded store: compensating interrupted migration of object %d: %w", d.id, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -486,7 +487,7 @@ func TestRecoveryInterruptedMigration(t *testing.T) {
 	src, _ := s.ShardOf(id)
 	dst := (src + 1) % 3
 	o, _ := s.Get(id)
-	if err := s.shards[dst].insertOp(o, wal.OpMoveIn, s.Version()); err != nil {
+	if err := s.shards[dst].insertOp(context.Background(), o, wal.OpMoveIn, s.Version()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {

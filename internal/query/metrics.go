@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +69,14 @@ type Metrics struct {
 	// atomic.Value so SetSlowQueryLog is safe while queries run and the
 	// per-query load costs no lock.
 	slow atomic.Value
+
+	// rec holds the flight-recorder arming (a recState). When armed
+	// together with slowRecNanos, every query above the threshold
+	// records an EvSlowQuery event — with its full trace snapshot —
+	// into the ring, whether or not the caller attached a trace
+	// (untraced queries borrow a pooled one, see traceFor).
+	rec          atomic.Value
+	slowRecNanos atomic.Int64
 }
 
 // slowQueryLog is the slow-query logging configuration.
@@ -74,6 +84,19 @@ type slowQueryLog struct {
 	threshold time.Duration
 	logf      func(format string, args ...any)
 }
+
+// recState is the installed flight recorder plus the pre-registered
+// per-kind note IDs, swapped atomically so arming is safe mid-serving
+// and the per-query load costs no lock.
+type recState struct {
+	rec   *obs.Recorder
+	notes [numQueryKinds]obs.NoteID
+}
+
+// tracePool recycles the traces the slow-query capture arms for
+// otherwise-untraced queries, keeping the always-on recorder inside the
+// engine's allocation ceilings.
+var tracePool = sync.Pool{New: func() any { return &obs.Trace{} }}
 
 // NewMetrics builds the query metric set:
 //
@@ -131,22 +154,90 @@ func (m *Metrics) SetSlowQueryLog(threshold time.Duration, logf func(format stri
 	m.slow.Store(slowQueryLog{threshold: threshold, logf: logf})
 }
 
+// SetRecorder installs (or, with nil, removes) the flight recorder the
+// slow-query capture records into. Pair with SetSlowQueryThreshold to
+// arm it. Safe to call while queries run.
+func (m *Metrics) SetRecorder(rec *obs.Recorder) {
+	if m == nil {
+		return
+	}
+	var rs recState
+	if rec != nil {
+		rs.rec = rec
+		for k := queryKind(0); k < numQueryKinds; k++ {
+			rs.notes[k] = rec.Note(kindNames[k])
+		}
+	}
+	m.rec.Store(rs)
+}
+
+// Recorder returns the installed flight recorder, nil when disarmed.
+func (m *Metrics) Recorder() *obs.Recorder {
+	if m == nil {
+		return nil
+	}
+	rs, _ := m.rec.Load().(recState)
+	return rs.rec
+}
+
+// SetSlowQueryThreshold arms the flight-recorder slow-query capture:
+// every query at least this slow records an EvSlowQuery event with its
+// full trace snapshot. <= 0 disarms. Independent of SetSlowQueryLog
+// (the log writes lines, the recorder writes ring events).
+func (m *Metrics) SetSlowQueryThreshold(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.slowRecNanos.Store(int64(d))
+}
+
+// traceFor resolves the trace a query records into: the caller's, when
+// the context carries one, or a pooled trace when the flight recorder
+// is armed for slow-query capture — so an untraced slow query still
+// leaves its anatomy in the ring. pooled reports the latter; observe
+// returns the pooled trace to the pool.
+func (m *Metrics) traceFor(ctx context.Context) (tr *obs.Trace, pooled bool) {
+	tr = obs.TraceFrom(ctx)
+	if tr != nil || m == nil {
+		return tr, false
+	}
+	if m.slowRecNanos.Load() <= 0 {
+		return nil, false
+	}
+	rs, _ := m.rec.Load().(recState)
+	if rs.rec == nil {
+		return nil, false
+	}
+	t := tracePool.Get().(*obs.Trace)
+	t.Reset()
+	return t, true
+}
+
 // observe records one completed query: latency into the kind's
-// histogram, plus the slow-query log when the threshold is exceeded.
-func (m *Metrics) observe(kind queryKind, start time.Time, tr *obs.Trace) {
+// histogram, a flight-recorder event when the capture threshold is
+// exceeded, plus the slow-query log when its threshold is exceeded.
+// pooled marks a trace traceFor borrowed; it is returned to the pool
+// here, after the snapshot was taken.
+func (m *Metrics) observe(kind queryKind, start time.Time, tr *obs.Trace, pooled bool) {
 	if m == nil {
 		return
 	}
 	d := time.Since(start)
 	m.latency[kind].Observe(d)
-	sl, _ := m.slow.Load().(slowQueryLog)
-	if sl.logf == nil || sl.threshold <= 0 || d < sl.threshold {
-		return
+	if thr := m.slowRecNanos.Load(); thr > 0 && int64(d) >= thr {
+		if rs, _ := m.rec.Load().(recState); rs.rec != nil {
+			rs.rec.RecordTrace(obs.EvSlowQuery, rs.notes[kind], d, 0, 0, tr.Snapshot())
+		}
 	}
-	if tr != nil {
-		sl.logf("slow query kind=%s latency=%v %v", kindNames[kind], d, tr.Snapshot())
-	} else {
-		sl.logf("slow query kind=%s latency=%v", kindNames[kind], d)
+	if sl, _ := m.slow.Load().(slowQueryLog); sl.logf != nil && sl.threshold > 0 && d >= sl.threshold {
+		if tr != nil {
+			sl.logf("slow query kind=%s latency=%v %v", kindNames[kind], d, tr.Snapshot())
+		} else {
+			sl.logf("slow query kind=%s latency=%v", kindNames[kind], d)
+		}
+	}
+	if pooled {
+		tracePool.Put(tr)
 	}
 }
 

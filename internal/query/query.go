@@ -190,7 +190,7 @@ func (e *Engine) KNN(q *uncertain.Object, k int, tau float64) []Match {
 // evaluated concurrently on Options.Parallelism workers; the result is
 // identical to the sequential evaluation, in database order.
 func (e *Engine) KNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]Match, error) {
-	tr := obs.TraceFrom(ctx)
+	tr, pooled := e.Obs.traceFor(ctx)
 	start := time.Now()
 	cache := e.queryCache()
 	j := e.newKNNJob(q, k, tau, cache)
@@ -204,7 +204,7 @@ func (e *Engine) KNNCtx(ctx context.Context, q *uncertain.Object, k int, tau flo
 	}
 	tr.AddEval(time.Since(evalStart))
 	recordCache(e.Obs, tr, cache)
-	e.Obs.observe(kindKNN, start, tr)
+	e.Obs.observe(kindKNN, start, tr, pooled)
 	return j.matches, nil
 }
 
@@ -318,7 +318,7 @@ func (e *Engine) RKNNCtx(ctx context.Context, q *uncertain.Object, k int, tau fl
 	if k < 1 {
 		return nil, nil
 	}
-	tr := obs.TraceFrom(ctx)
+	tr, pooled := e.Obs.traceFor(ctx)
 	start := time.Now()
 	norm := e.normOrDefault()
 	cands := e.candidates(q)
@@ -340,7 +340,7 @@ func (e *Engine) RKNNCtx(ctx context.Context, q *uncertain.Object, k int, tau fl
 	}
 	tr.AddEval(time.Since(evalStart))
 	recordCache(e.Obs, tr, cache)
-	e.Obs.observe(kindRKNN, start, tr)
+	e.Obs.observe(kindRKNN, start, tr, pooled)
 	return matches, nil
 }
 
@@ -421,7 +421,7 @@ func (e *Engine) InverseRank(b, r *uncertain.Object) *RankDistribution {
 	opts.SharedDecomps = cache
 	res := e.run(b, r, opts)
 	recordCache(e.Obs, nil, cache)
-	e.Obs.observe(kindInverseRank, start, nil)
+	e.Obs.observe(kindInverseRank, start, nil, false)
 	ranks := make([]gf.Interval, len(res.Bounds))
 	copy(ranks, res.Bounds)
 	return &RankDistribution{
@@ -488,7 +488,7 @@ func (e *Engine) RankByExpectedRank(q *uncertain.Object) []Ranked {
 // stable sort runs over per-candidate bounds computed independently of
 // worker count and completion order.
 func (e *Engine) RankByExpectedRankCtx(ctx context.Context, q *uncertain.Object) ([]Ranked, error) {
-	tr := obs.TraceFrom(ctx)
+	tr, pooled := e.Obs.traceFor(ctx)
 	start := time.Now()
 	cands := e.candidates(q)
 	cache := e.queryCache()
@@ -513,7 +513,7 @@ func (e *Engine) RankByExpectedRankCtx(ctx context.Context, q *uncertain.Object)
 	}
 	tr.AddEval(time.Since(evalStart))
 	recordCache(e.Obs, tr, cache)
-	e.Obs.observe(kindExpectedRank, start, tr)
+	e.Obs.observe(kindExpectedRank, start, tr, pooled)
 	sort.SliceStable(out, func(i, j int) bool {
 		mi := out[i].ExpectedRankLB + out[i].ExpectedRankUB
 		mj := out[j].ExpectedRankLB + out[j].ExpectedRankUB

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"probprune/internal/core"
 	"probprune/internal/geom"
+	"probprune/internal/obs"
 	"probprune/internal/rtree"
 	"probprune/internal/uncertain"
 	"probprune/internal/wal"
@@ -329,6 +331,13 @@ func (s *ShardedStore) detachLocked() {
 // Insert adds a new object, routing it to its partition shard; the ID
 // must not be in use.
 func (s *ShardedStore) Insert(o *uncertain.Object) error {
+	return s.InsertCtx(context.Background(), o)
+}
+
+// InsertCtx is Insert with a context: a trace attached via
+// obs.WithTrace records the home shard's durability wait as its
+// WAL-wait phase (see Store.InsertCtx).
+func (s *ShardedStore) InsertCtx(ctx context.Context, o *uncertain.Object) error {
 	if o == nil {
 		return fmt.Errorf("sharded store: nil object")
 	}
@@ -342,7 +351,7 @@ func (s *ShardedStore) Insert(o *uncertain.Object) error {
 	}
 	si := s.shardFor(o)
 	s.detachLocked()
-	if err := s.shards[si].insertOp(o, wal.OpInsert, s.version+1); err != nil {
+	if err := s.shards[si].insertOp(ctx, o, wal.OpInsert, s.version+1); err != nil {
 		return err
 	}
 	s.byID[o.ID] = o
@@ -368,6 +377,12 @@ func (s *ShardedStore) Delete(id int) bool {
 // whether the ID was stored, err a failure to journal the commit (the
 // store is unchanged when err != nil).
 func (s *ShardedStore) DeleteErr(id int) (bool, error) {
+	return s.DeleteErrCtx(context.Background(), id)
+}
+
+// DeleteErrCtx is DeleteErr with a context carrying an optional trace
+// (see InsertCtx).
+func (s *ShardedStore) DeleteErrCtx(ctx context.Context, id int) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.surfaceCkptErrLocked(); err != nil {
@@ -378,7 +393,7 @@ func (s *ShardedStore) DeleteErr(id int) (bool, error) {
 		return false, nil
 	}
 	s.detachLocked()
-	if _, err := s.shards[s.home[id]].deleteOp(id, wal.OpDelete, s.version+1); err != nil {
+	if _, err := s.shards[s.home[id]].deleteOp(ctx, id, wal.OpDelete, s.version+1); err != nil {
 		return false, err
 	}
 	for i, x := range s.db {
@@ -401,6 +416,12 @@ func (s *ShardedStore) DeleteErr(id int) (bool, error) {
 // position) even when the partitioner would now route it elsewhere —
 // use Rebalance to re-home drifted objects.
 func (s *ShardedStore) Update(o *uncertain.Object) error {
+	return s.UpdateCtx(context.Background(), o)
+}
+
+// UpdateCtx is Update with a context carrying an optional trace (see
+// InsertCtx).
+func (s *ShardedStore) UpdateCtx(ctx context.Context, o *uncertain.Object) error {
 	if o == nil {
 		return fmt.Errorf("sharded store: nil object")
 	}
@@ -414,7 +435,7 @@ func (s *ShardedStore) Update(o *uncertain.Object) error {
 		return fmt.Errorf("sharded store: update of unknown object ID %d", o.ID)
 	}
 	s.detachLocked()
-	if err := s.shards[s.home[o.ID]].updateOp(o, s.version+1); err != nil {
+	if err := s.shards[s.home[o.ID]].updateOp(ctx, o, s.version+1); err != nil {
 		return err
 	}
 	for i, x := range s.db {
@@ -471,14 +492,15 @@ func (s *ShardedStore) Move(id, dst int) error {
 func (s *ShardedStore) moveLocked(id, src, dst int) error {
 	o := s.byID[id]
 	s.detachLocked()
-	if err := s.shards[dst].insertOp(o, wal.OpMoveIn, s.version); err != nil {
+	ctx := context.Background()
+	if err := s.shards[dst].insertOp(ctx, o, wal.OpMoveIn, s.version); err != nil {
 		return err
 	}
-	if _, err := s.shards[src].deleteOp(id, wal.OpMoveOut, s.version); err != nil {
+	if _, err := s.shards[src].deleteOp(ctx, id, wal.OpMoveOut, s.version); err != nil {
 		// Undo the half-applied migration; if even the compensating
 		// move-out cannot be journaled, the store cannot reach a
 		// consistent durable state and must not keep serving.
-		if _, uerr := s.shards[dst].deleteOp(id, wal.OpMoveOut, s.version); uerr != nil {
+		if _, uerr := s.shards[dst].deleteOp(ctx, id, wal.OpMoveOut, s.version); uerr != nil {
 			panic(fmt.Sprintf("sharded store: move of object %d failed (%v) and could not be rolled back: %v", id, err, uerr))
 		}
 		return err
@@ -619,6 +641,33 @@ func (sn *ShardedSnapshot) Engine() *Engine {
 // Metrics returns the router-level query metric set, shared by every
 // shard and every sharded snapshot engine.
 func (s *ShardedStore) Metrics() *Metrics { return s.obs }
+
+// SetRecorder arms (or, with nil, disarms) the flight recorder across
+// the router and every shard: slow queries, every shard journal's
+// checkpoint lifecycle and the shard WALs' durability events all flow
+// into the one ring (see Store.SetRecorder).
+func (s *ShardedStore) SetRecorder(rec *obs.Recorder) {
+	s.obs.SetRecorder(rec)
+	s.mu.RLock()
+	shards := s.shards
+	sj := s.sj
+	s.mu.RUnlock()
+	if sj != nil {
+		sj.rec.Store(rec)
+	}
+	for _, sh := range shards {
+		sh.mu.RLock()
+		sj := sh.journal
+		sh.mu.RUnlock()
+		sj.setRecorder(rec)
+	}
+}
+
+// SetSlowQueryThreshold arms the flight-recorder slow-query capture
+// (see Metrics.SetSlowQueryThreshold). <= 0 disarms.
+func (s *ShardedStore) SetSlowQueryThreshold(d time.Duration) {
+	s.obs.SetSlowQueryThreshold(d)
+}
 
 // WALStats returns the journal metrics of a durable sharded store,
 // merged across all shard journals; ok is false on an in-memory store.

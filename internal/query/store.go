@@ -266,13 +266,22 @@ func (s *Store) detachLocked() {
 // on them. A group-fsync failure is reported after the commit was
 // applied in memory; the journal wedges and every later commit fails.
 func (s *Store) Insert(o *uncertain.Object) error {
-	return s.insertOp(o, wal.OpInsert, 0)
+	return s.insertOp(context.Background(), o, wal.OpInsert, 0)
+}
+
+// InsertCtx is Insert with a context: a trace attached via
+// obs.WithTrace records the commit's durability wait (the span between
+// journaling and the covering group fsync) as its WAL-wait phase. The
+// context does not cancel the commit — a journaled commit always
+// applies.
+func (s *Store) InsertCtx(ctx context.Context, o *uncertain.Object) error {
+	return s.insertOp(ctx, o, wal.OpInsert, 0)
 }
 
 // insertOp is the insert body shared by the public path and the sharded
 // router (which passes the move op kinds and the router epoch for the
 // shard journals).
-func (s *Store) insertOp(o *uncertain.Object, op wal.Op, global uint64) error {
+func (s *Store) insertOp(ctx context.Context, o *uncertain.Object, op wal.Op, global uint64) error {
 	if o == nil {
 		return fmt.Errorf("store: nil object")
 	}
@@ -293,7 +302,25 @@ func (s *Store) insertOp(o *uncertain.Object, op wal.Op, global uint64) error {
 	s.maybeCheckpointLocked()
 	sj := s.journal
 	s.mu.Unlock()
-	return sj.waitDurable(seq)
+	return waitDurableTraced(ctx, sj, seq)
+}
+
+// waitDurableTraced is the post-lock durability wait of a commit,
+// measured into the context's trace (when one is attached) as the
+// WAL-wait phase. The wait itself is unconditional — tracing never
+// changes commit semantics.
+func waitDurableTraced(ctx context.Context, sj *storeJournal, seq uint64) error {
+	if sj == nil || seq == 0 {
+		return nil
+	}
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return sj.waitDurable(seq)
+	}
+	start := time.Now()
+	err := sj.waitDurable(seq)
+	tr.AddWALWait(time.Since(start))
+	return err
 }
 
 // addLocked links o into the slice, map, index and cache. Requires
@@ -310,7 +337,7 @@ func (s *Store) addLocked(o *uncertain.Object) {
 // DeleteErr; Delete itself keeps the boolean contract and leaves the
 // store unchanged when journaling fails.
 func (s *Store) Delete(id int) bool {
-	ok, _ := s.deleteOp(id, wal.OpDelete, 0)
+	ok, _ := s.deleteOp(context.Background(), id, wal.OpDelete, 0)
 	return ok
 }
 
@@ -320,12 +347,18 @@ func (s *Store) Delete(id int) bool {
 // under wal.SyncAlways, which is reported after the commit was applied
 // in memory (ok stays true and the journal wedges).
 func (s *Store) DeleteErr(id int) (bool, error) {
-	return s.deleteOp(id, wal.OpDelete, 0)
+	return s.deleteOp(context.Background(), id, wal.OpDelete, 0)
+}
+
+// DeleteErrCtx is DeleteErr with a context carrying an optional trace
+// (see InsertCtx).
+func (s *Store) DeleteErrCtx(ctx context.Context, id int) (bool, error) {
+	return s.deleteOp(ctx, id, wal.OpDelete, 0)
 }
 
 // deleteOp is the delete body shared by the public path and the sharded
 // router.
-func (s *Store) deleteOp(id int, op wal.Op, global uint64) (bool, error) {
+func (s *Store) deleteOp(ctx context.Context, id int, op wal.Op, global uint64) (bool, error) {
 	s.mu.Lock()
 	o, ok := s.byID[id]
 	if !ok {
@@ -344,7 +377,7 @@ func (s *Store) deleteOp(id int, op wal.Op, global uint64) (bool, error) {
 	s.maybeCheckpointLocked()
 	sj := s.journal
 	s.mu.Unlock()
-	return true, sj.waitDurable(seq)
+	return true, waitDurableTraced(ctx, sj, seq)
 }
 
 // Update atomically replaces the object carrying o.ID with o: no query
@@ -352,12 +385,18 @@ func (s *Store) deleteOp(id int, op wal.Op, global uint64) (bool, error) {
 // missing, or with both present. It returns an error when the ID is not
 // stored (use Insert for new objects).
 func (s *Store) Update(o *uncertain.Object) error {
-	return s.updateOp(o, 0)
+	return s.updateOp(context.Background(), o, 0)
+}
+
+// UpdateCtx is Update with a context carrying an optional trace (see
+// InsertCtx).
+func (s *Store) UpdateCtx(ctx context.Context, o *uncertain.Object) error {
+	return s.updateOp(ctx, o, 0)
 }
 
 // updateOp is the update body shared by the public path and the sharded
 // router.
-func (s *Store) updateOp(o *uncertain.Object, global uint64) error {
+func (s *Store) updateOp(ctx context.Context, o *uncertain.Object, global uint64) error {
 	if o == nil {
 		return fmt.Errorf("store: nil object")
 	}
@@ -379,7 +418,7 @@ func (s *Store) updateOp(o *uncertain.Object, global uint64) error {
 	s.maybeCheckpointLocked()
 	sj := s.journal
 	s.mu.Unlock()
-	return sj.waitDurable(seq)
+	return waitDurableTraced(ctx, sj, seq)
 }
 
 // replaceLocked swaps old for o in the slice, map, index and cache.
@@ -451,6 +490,26 @@ func (s *Store) snapshotLocked() *Snapshot {
 // snapshot engine the store has published. See Metrics.Snapshot for the
 // flat map the server surfaces.
 func (s *Store) Metrics() *Metrics { return s.obs }
+
+// SetRecorder arms (or, with nil, disarms) the store's flight
+// recorder: slow queries above the SetSlowQueryThreshold record their
+// trace anatomy, and a durable store's checkpoint lifecycle and
+// durability events (pin, install, supersede, group-commit batches,
+// fsync stalls, deferred errors) flow into the same ring. Safe to call
+// while the store serves.
+func (s *Store) SetRecorder(rec *obs.Recorder) {
+	s.obs.SetRecorder(rec)
+	s.mu.RLock()
+	sj := s.journal
+	s.mu.RUnlock()
+	sj.setRecorder(rec)
+}
+
+// SetSlowQueryThreshold arms the flight-recorder slow-query capture
+// (see Metrics.SetSlowQueryThreshold). <= 0 disarms.
+func (s *Store) SetSlowQueryThreshold(d time.Duration) {
+	s.obs.SetSlowQueryThreshold(d)
+}
 
 // WALStats returns a snapshot of the journal metrics of a durable
 // store (append/fsync/checkpoint counts and latencies); ok is false on
@@ -651,7 +710,7 @@ func (sn *Snapshot) BatchKNN(ctx context.Context, reqs []KNNRequest) ([][]Match,
 // ShardedSnapshot: the engine already carries the snapshot binding (and
 // the scatter-gather plane, for sharded snapshots).
 func batchKNN(e *Engine, ctx context.Context, reqs []KNNRequest) ([][]Match, error) {
-	tr := obs.TraceFrom(ctx)
+	tr, pooled := e.Obs.traceFor(ctx)
 	start := time.Now()
 	// One cache overlay for the whole batch: influence objects come from
 	// the persistent store cache, repeated query objects are decomposed
@@ -690,7 +749,7 @@ func batchKNN(e *Engine, ctx context.Context, reqs []KNNRequest) ([][]Match, err
 	}
 	tr.AddEval(time.Since(evalStart))
 	recordCache(e.Obs, tr, cache)
-	e.Obs.observe(kindBatchKNN, start, tr)
+	e.Obs.observe(kindBatchKNN, start, tr, pooled)
 	out := make([][]Match, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.matches

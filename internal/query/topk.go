@@ -9,7 +9,6 @@ import (
 	"probprune/internal/core"
 	"probprune/internal/geom"
 	"probprune/internal/gf"
-	"probprune/internal/obs"
 	"probprune/internal/uncertain"
 )
 
@@ -46,7 +45,7 @@ func (e *Engine) TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) (
 	if k < 1 || m < 1 {
 		return nil, nil
 	}
-	tr := obs.TraceFrom(ctx)
+	tr, pooled := e.Obs.traceFor(ctx)
 	start := time.Now()
 	type cand struct {
 		obj     *uncertain.Object
@@ -73,7 +72,7 @@ func (e *Engine) TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) (
 		objs = append(objs, b)
 	}
 	if len(objs) == 0 {
-		e.Obs.observe(kindTopK, start, tr)
+		e.Obs.observe(kindTopK, start, tr, pooled)
 		return nil, nil
 	}
 	cache := e.queryCache()
@@ -190,7 +189,7 @@ func (e *Engine) TopKNNCtx(ctx context.Context, q *uncertain.Object, k, m int) (
 		e.Obs.countRefined(len(c.session.Result().Iterations))
 	}
 	recordCache(e.Obs, tr, cache)
-	e.Obs.observe(kindTopK, start, tr)
+	e.Obs.observe(kindTopK, start, tr, pooled)
 	return out, nil
 }
 

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"probprune/internal/gf"
-	"probprune/internal/obs"
 	"probprune/internal/uncertain"
 )
 
@@ -47,7 +46,7 @@ func (e *Engine) UKRanksCtx(ctx context.Context, q *uncertain.Object, k int) ([]
 	if k < 1 {
 		return nil, nil
 	}
-	tr := obs.TraceFrom(ctx)
+	tr, pooled := e.Obs.traceFor(ctx)
 	start := time.Now()
 	type entry struct {
 		obj    *uncertain.Object
@@ -80,7 +79,7 @@ func (e *Engine) UKRanksCtx(ctx context.Context, q *uncertain.Object, k int) ([]
 	}
 	tr.AddEval(time.Since(evalStart))
 	recordCache(e.Obs, tr, cache)
-	defer e.Obs.observe(kindUKRanks, start, tr)
+	defer e.Obs.observe(kindUKRanks, start, tr, pooled)
 	probAt := func(en entry, rank int) gf.Interval {
 		i := rank - 1 - en.offset // count index
 		if i < 0 || i >= len(en.bounds) {

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 
+	"probprune/internal/obs"
 	"probprune/internal/server"
 	"probprune/internal/uncertain"
 )
@@ -215,13 +216,40 @@ func (c *Client) Ping() error {
 	return nil
 }
 
-// Version returns the store's current mutation epoch.
-func (c *Client) Version() (uint64, error) {
+// ServerInfo is the VERSION identity reply: the store's mutation epoch
+// plus the serving process's identity.
+type ServerInfo struct {
+	Version       uint64
+	GoVersion     string
+	GoMaxProcs    int
+	UptimeSeconds int64
+}
+
+// ServerInfo fetches the server's identity reply.
+func (c *Client) ServerInfo() (ServerInfo, error) {
+	var info ServerInfo
 	r, err := c.call([]byte("VERSION"))
 	if err != nil {
-		return 0, err
+		return info, err
 	}
-	return uint64(r.Int), expectInt(r)
+	if r.Type != server.TArray || r.Null || len(r.Array) != 4 {
+		return info, fmt.Errorf("client: malformed VERSION reply")
+	}
+	a := r.Array
+	if a[0].Type != server.TInt || a[1].Type != server.TBulk || a[2].Type != server.TInt || a[3].Type != server.TInt {
+		return info, fmt.Errorf("client: malformed VERSION reply")
+	}
+	info.Version = uint64(a[0].Int)
+	info.GoVersion = string(a[1].Bulk)
+	info.GoMaxProcs = int(a[2].Int)
+	info.UptimeSeconds = a[3].Int
+	return info, nil
+}
+
+// Version returns the store's current mutation epoch.
+func (c *Client) Version() (uint64, error) {
+	info, err := c.ServerInfo()
+	return info.Version, err
 }
 
 // Len returns the number of stored objects.
@@ -312,6 +340,116 @@ func (c *Client) InvRank(b, r *uncertain.Object) (server.RankDist, error) {
 		return server.RankDist{}, err
 	}
 	return server.DecodeRankDist(f)
+}
+
+// splitTraced pulls apart a TRACE-flagged command's 2-element reply:
+// [normal-reply, trace-frame].
+func splitTraced(r server.Frame) (server.Frame, obs.TraceSnapshot, error) {
+	if r.Type != server.TArray || r.Null || len(r.Array) != 2 {
+		return server.Frame{}, obs.TraceSnapshot{}, fmt.Errorf("client: want [reply, trace] pair, got %q of %d", r.Type, len(r.Array))
+	}
+	ts, err := server.DecodeTraceFrame(r.Array[1])
+	if err != nil {
+		return server.Frame{}, obs.TraceSnapshot{}, err
+	}
+	return r.Array[0], ts, nil
+}
+
+// KNNTrace is KNN with the TRACE flag: the server threads a trace
+// through the query and ships its snapshot back with the matches.
+func (c *Client) KNNTrace(q *uncertain.Object, k int, tau float64) ([]server.Match, obs.TraceSnapshot, error) {
+	r, err := c.call([]byte("KNN"), itob(k), ftob(tau), server.EncodeObject(q), []byte("TRACE"))
+	if err != nil {
+		return nil, obs.TraceSnapshot{}, err
+	}
+	reply, ts, err := splitTraced(r)
+	if err != nil {
+		return nil, ts, err
+	}
+	ms, err := server.DecodeMatches(reply)
+	return ms, ts, err
+}
+
+// RKNNTrace is RKNN with the TRACE flag.
+func (c *Client) RKNNTrace(q *uncertain.Object, k int, tau float64) ([]server.Match, obs.TraceSnapshot, error) {
+	r, err := c.call([]byte("RKNN"), itob(k), ftob(tau), server.EncodeObject(q), []byte("TRACE"))
+	if err != nil {
+		return nil, obs.TraceSnapshot{}, err
+	}
+	reply, ts, err := splitTraced(r)
+	if err != nil {
+		return nil, ts, err
+	}
+	ms, err := server.DecodeMatches(reply)
+	return ms, ts, err
+}
+
+// TopKNNTrace is TopKNN with the TRACE flag.
+func (c *Client) TopKNNTrace(q *uncertain.Object, k, m int) ([]server.Match, obs.TraceSnapshot, error) {
+	r, err := c.call([]byte("TOPKNN"), itob(k), itob(m), server.EncodeObject(q), []byte("TRACE"))
+	if err != nil {
+		return nil, obs.TraceSnapshot{}, err
+	}
+	reply, ts, err := splitTraced(r)
+	if err != nil {
+		return nil, ts, err
+	}
+	ms, err := server.DecodeMatches(reply)
+	return ms, ts, err
+}
+
+// InsertTrace is Insert with the TRACE flag: the snapshot carries the
+// mutation's WAL-wait span (time blocked on the group-commit fsync) and
+// the server-side queue span.
+func (c *Client) InsertTrace(o *uncertain.Object) (obs.TraceSnapshot, error) {
+	r, err := c.call([]byte("INSERT"), server.EncodeObject(o), []byte("TRACE"))
+	if err != nil {
+		return obs.TraceSnapshot{}, err
+	}
+	_, ts, err := splitTraced(r)
+	return ts, err
+}
+
+// UpdateTrace is Update with the TRACE flag.
+func (c *Client) UpdateTrace(o *uncertain.Object) (obs.TraceSnapshot, error) {
+	r, err := c.call([]byte("UPDATE"), server.EncodeObject(o), []byte("TRACE"))
+	if err != nil {
+		return obs.TraceSnapshot{}, err
+	}
+	_, ts, err := splitTraced(r)
+	return ts, err
+}
+
+// DeleteTrace is Delete with the TRACE flag.
+func (c *Client) DeleteTrace(id int) (bool, obs.TraceSnapshot, error) {
+	r, err := c.call([]byte("DELETE"), itob(id), []byte("TRACE"))
+	if err != nil {
+		return false, obs.TraceSnapshot{}, err
+	}
+	reply, ts, err := splitTraced(r)
+	if err != nil {
+		return false, ts, err
+	}
+	return reply.Int != 0, ts, expectInt(reply)
+}
+
+// Events fetches the server's flight-recorder ring (the EVENTS
+// command), oldest first. n > 0 limits the reply to the newest n
+// events; n <= 0 fetches the whole ring.
+func (c *Client) Events(n int) ([]server.RecorderEvent, error) {
+	var (
+		r   server.Frame
+		err error
+	)
+	if n > 0 {
+		r, err = c.call([]byte("EVENTS"), itob(n))
+	} else {
+		r, err = c.call([]byte("EVENTS"))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return server.DecodeRecorderEvents(r)
 }
 
 // BatchReq is one query of a BatchKNN submission.

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"net"
 	"reflect"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"probprune/internal/cq"
+	"probprune/internal/obs"
 	"probprune/internal/query"
 	"probprune/internal/uncertain"
 )
@@ -49,6 +51,14 @@ type conn struct {
 
 	mu   sync.Mutex
 	subs map[int64]*subState // sessions attached to this connection
+
+	// tr is the connection's reusable trace for TRACE-flagged commands.
+	// Dispatch is strictly serial on the read goroutine (pipelining is
+	// just reading ahead), so one trace per connection suffices and the
+	// traced path allocates no trace per command. qstart is the current
+	// command's dispatch start, the base of the queue span.
+	tr     obs.Trace
+	qstart time.Time
 }
 
 func newConn(srv *Server, nc net.Conn) *conn {
@@ -183,6 +193,7 @@ func (c *conn) readLoop() {
 		if err != nil {
 			if errors.Is(err, ErrProto) {
 				c.srv.metrics.protoErrors.Inc()
+				c.srv.rec.Record(obs.EvProtoError, c.srv.rec.Note(err.Error()), 0, c.id, 0)
 				c.srv.logf("server: protocol violation from %s: %v", c.nc.RemoteAddr(), err)
 				c.srv.log.Warn("protocol violation", "conn", c.id, "err", err)
 				c.reply(errf(codeProto, "%v", err))
@@ -194,6 +205,7 @@ func (c *conn) readLoop() {
 		args, ok := commandArgs(f)
 		if !ok {
 			c.srv.metrics.protoErrors.Inc()
+			c.srv.rec.Record(obs.EvProtoError, c.srv.rec.Note("command is not an array of bulk strings"), 0, c.id, 0)
 			c.srv.log.Warn("protocol violation", "conn", c.id, "err", "command is not an array of bulk strings")
 			c.reply(errf(codeProto, "commands must be arrays of bulk strings"))
 			time.Sleep(10 * time.Millisecond)
@@ -269,11 +281,46 @@ func argPolicy(b []byte) (Policy, error) {
 	return 0, fmt.Errorf("bad policy %q (want disconnect or dropoldest)", b)
 }
 
-// dispatch executes one command and enqueues its reply.
+// stripTrace recognizes a trailing TRACE flag on a command's argument
+// list, reporting whether it was present (and returning the arguments
+// without it).
+func stripTrace(rest [][]byte) ([][]byte, bool) {
+	if n := len(rest); n > 0 && bytes.EqualFold(rest[n-1], []byte("TRACE")) {
+		return rest[:n-1], true
+	}
+	return rest, false
+}
+
+// markQueue closes the traced command's queue span: dispatch start to
+// backend execution start, i.e. the server-side time spent parsing
+// arguments and decoding objects before the store saw the request.
+// Handlers call it immediately before invoking the backend.
+func (c *conn) markQueue(ctx context.Context) {
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tr.AddQueue(time.Since(c.qstart))
+	}
+}
+
+// dispatch executes one command and enqueues its reply. Query and
+// mutation commands accept a trailing TRACE flag: the server threads an
+// obs.Trace through the backend call and appends the trace snapshot to
+// the reply as a second frame (see encodeTraceFrame).
 func (c *conn) dispatch(args [][]byte) {
 	cmd := string(bytes.ToUpper(args[0]))
 	rest := args[1:]
 	start := time.Now()
+	c.qstart = start
+	ctx := c.srv.ctx
+	var tr *obs.Trace
+	switch cmd {
+	case "KNN", "RKNN", "TOPKNN", "INVRANK", "BATCH", "INSERT", "UPDATE", "DELETE":
+		var traced bool
+		if rest, traced = stripTrace(rest); traced {
+			tr = &c.tr
+			tr.Reset()
+			ctx = obs.WithTrace(ctx, tr)
+		}
+	}
 	var f Frame
 	switch cmd {
 	case "PING":
@@ -283,27 +330,27 @@ func (c *conn) dispatch(args [][]byte) {
 			f = simple("PONG")
 		}
 	case "VERSION":
-		f = intf(int64(c.srv.backend.Version()))
+		f = c.cmdVersion(rest)
 	case "LEN":
 		f = intf(int64(c.srv.backend.Len()))
 	case "GET":
 		f = c.cmdGet(rest)
 	case "INSERT":
-		f = c.cmdMutate(rest, c.srv.backend.Insert)
+		f = c.cmdMutate(ctx, rest, c.srv.backend.InsertCtx)
 	case "UPDATE":
-		f = c.cmdMutate(rest, c.srv.backend.Update)
+		f = c.cmdMutate(ctx, rest, c.srv.backend.UpdateCtx)
 	case "DELETE":
-		f = c.cmdDelete(rest)
+		f = c.cmdDelete(ctx, rest)
 	case "KNN":
-		f = c.cmdThresholdQuery(rest, c.srv.backend.KNNCtx)
+		f = c.cmdThresholdQuery(ctx, rest, c.srv.backend.KNNCtx)
 	case "RKNN":
-		f = c.cmdThresholdQuery(rest, c.srv.backend.RKNNCtx)
+		f = c.cmdThresholdQuery(ctx, rest, c.srv.backend.RKNNCtx)
 	case "TOPKNN":
-		f = c.cmdTopKNN(rest)
+		f = c.cmdTopKNN(ctx, rest)
 	case "INVRANK":
-		f = c.cmdInvRank(rest)
+		f = c.cmdInvRank(ctx, rest)
 	case "BATCH":
-		f = c.cmdBatch(rest)
+		f = c.cmdBatch(ctx, rest)
 	case "WAITVERSION":
 		f = c.cmdWaitVersion(rest)
 	case "SUBSCRIBE":
@@ -314,8 +361,13 @@ func (c *conn) dispatch(args [][]byte) {
 		f = c.cmdUnsubscribe(rest)
 	case "STATS":
 		f = c.cmdStats(rest)
+	case "EVENTS":
+		f = c.cmdEvents(rest)
 	default:
 		f = errf(codeUnknown, "unknown command %q", cmd)
+	}
+	if tr != nil && f.Type != 0 && f.Type != TError {
+		f = array(f, encodeTraceFrame(tr.Snapshot()))
 	}
 	cm := c.srv.metrics.cmd(cmd)
 	cm.calls.Inc()
@@ -326,6 +378,45 @@ func (c *conn) dispatch(args [][]byte) {
 	if f.Type != 0 { // zero Frame: the handler already replied
 		c.reply(f)
 	}
+}
+
+// cmdVersion serves the identity reply: the store's mutation epoch plus
+// the serving process's identity — Go version, GOMAXPROCS, and uptime.
+func (c *conn) cmdVersion(rest [][]byte) Frame {
+	if len(rest) != 0 {
+		return errf(codeBadArg, "VERSION takes no arguments")
+	}
+	return array(
+		intf(int64(c.srv.backend.Version())),
+		bulkStr(runtime.Version()),
+		intf(int64(runtime.GOMAXPROCS(0))),
+		intf(int64(time.Since(c.srv.started)/time.Second)),
+	)
+}
+
+// cmdEvents serves the flight recorder: EVENTS [n] returns the ring's
+// current events oldest-first (the newest n when a count is given).
+func (c *conn) cmdEvents(rest [][]byte) Frame {
+	if len(rest) > 1 {
+		return errf(codeBadArg, "EVENTS [n]")
+	}
+	n := 0
+	if len(rest) == 1 {
+		v, err := argInt(rest[0])
+		if err != nil || v < 0 {
+			return errf(codeBadArg, "bad event count %q", rest[0])
+		}
+		n = v
+	}
+	evs := c.srv.rec.Snapshot()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	elems := make([]Frame, len(evs))
+	for i, ev := range evs {
+		elems[i] = encodeRecorderEvent(ev)
+	}
+	return array(elems...)
 }
 
 func (c *conn) cmdGet(rest [][]byte) Frame {
@@ -343,7 +434,7 @@ func (c *conn) cmdGet(rest [][]byte) Frame {
 	return bulk(EncodeObject(o))
 }
 
-func (c *conn) cmdMutate(rest [][]byte, op func(*uncertain.Object) error) Frame {
+func (c *conn) cmdMutate(ctx context.Context, rest [][]byte, op func(context.Context, *uncertain.Object) error) Frame {
 	if len(rest) != 1 {
 		return errf(codeBadArg, "INSERT|UPDATE <object>")
 	}
@@ -351,13 +442,14 @@ func (c *conn) cmdMutate(rest [][]byte, op func(*uncertain.Object) error) Frame 
 	if err != nil {
 		return errf(codeBadArg, "%v", err)
 	}
-	if err := op(o); err != nil {
+	c.markQueue(ctx)
+	if err := op(ctx, o); err != nil {
 		return errf(codeErr, "%v", err)
 	}
 	return simple("OK")
 }
 
-func (c *conn) cmdDelete(rest [][]byte) Frame {
+func (c *conn) cmdDelete(ctx context.Context, rest [][]byte) Frame {
 	if len(rest) != 1 {
 		return errf(codeBadArg, "DELETE <id>")
 	}
@@ -365,14 +457,15 @@ func (c *conn) cmdDelete(rest [][]byte) Frame {
 	if err != nil {
 		return errf(codeBadArg, "%v", err)
 	}
-	found, err := c.srv.backend.DeleteErr(id)
+	c.markQueue(ctx)
+	found, err := c.srv.backend.DeleteErrCtx(ctx, id)
 	if err != nil {
 		return errf(codeErr, "%v", err)
 	}
 	return intf(boolInt(found))
 }
 
-func (c *conn) cmdThresholdQuery(rest [][]byte, run func(context.Context, *uncertain.Object, int, float64) ([]query.Match, error)) Frame {
+func (c *conn) cmdThresholdQuery(ctx context.Context, rest [][]byte, run func(context.Context, *uncertain.Object, int, float64) ([]query.Match, error)) Frame {
 	if len(rest) != 3 {
 		return errf(codeBadArg, "KNN|RKNN <k> <tau> <object>")
 	}
@@ -388,14 +481,15 @@ func (c *conn) cmdThresholdQuery(rest [][]byte, run func(context.Context, *uncer
 	if err != nil {
 		return errf(codeBadArg, "%v", err)
 	}
-	ms, err := run(c.srv.ctx, q, k, tau)
+	c.markQueue(ctx)
+	ms, err := run(ctx, q, k, tau)
 	if err != nil {
 		return errf(codeErr, "%v", err)
 	}
 	return EncodeMatches(ms)
 }
 
-func (c *conn) cmdTopKNN(rest [][]byte) Frame {
+func (c *conn) cmdTopKNN(ctx context.Context, rest [][]byte) Frame {
 	if len(rest) != 3 {
 		return errf(codeBadArg, "TOPKNN <k> <m> <object>")
 	}
@@ -411,14 +505,15 @@ func (c *conn) cmdTopKNN(rest [][]byte) Frame {
 	if err != nil {
 		return errf(codeBadArg, "%v", err)
 	}
-	ms, err := c.srv.backend.TopKNNCtx(c.srv.ctx, q, k, m)
+	c.markQueue(ctx)
+	ms, err := c.srv.backend.TopKNNCtx(ctx, q, k, m)
 	if err != nil {
 		return errf(codeErr, "%v", err)
 	}
 	return EncodeMatches(ms)
 }
 
-func (c *conn) cmdInvRank(rest [][]byte) Frame {
+func (c *conn) cmdInvRank(ctx context.Context, rest [][]byte) Frame {
 	if len(rest) != 2 {
 		return errf(codeBadArg, "INVRANK <object-b> <object-r>")
 	}
@@ -430,12 +525,13 @@ func (c *conn) cmdInvRank(rest [][]byte) Frame {
 	if err != nil {
 		return errf(codeBadArg, "%v", err)
 	}
+	c.markQueue(ctx)
 	return EncodeRankDist(c.srv.backend.InverseRank(b, r))
 }
 
 // cmdBatch routes a whole pipeline of kNN queries onto the store's
 // one-snapshot BatchKNN path: BATCH <n> then n×(<k> <tau> <object>).
-func (c *conn) cmdBatch(rest [][]byte) Frame {
+func (c *conn) cmdBatch(ctx context.Context, rest [][]byte) Frame {
 	if len(rest) < 1 {
 		return errf(codeBadArg, "BATCH <n> (<k> <tau> <object>)...")
 	}
@@ -462,7 +558,8 @@ func (c *conn) cmdBatch(rest [][]byte) Frame {
 		}
 		reqs[i] = query.KNNRequest{Q: q, K: k, Tau: tau}
 	}
-	results, err := c.srv.backend.BatchKNN(c.srv.ctx, reqs)
+	c.markQueue(ctx)
+	results, err := c.srv.backend.BatchKNN(ctx, reqs)
 	if err != nil {
 		return errf(codeErr, "%v", err)
 	}

@@ -4,24 +4,52 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+
+	"probprune/internal/obs"
 )
 
 // DebugHandler serves the server's observability surface over HTTP,
 // for the opt-in udbserver -debug-addr listener:
 //
-//	/metrics      the StatsMap as a JSON object (keys sorted)
+//	/metrics      the metric snapshot as a JSON object (keys sorted);
+//	              ?format=prom renders the Prometheus/OpenMetrics text
+//	              exposition instead (histograms as cumulative buckets)
+//	/events       the flight recorder's current events as a JSON array,
+//	              oldest first
 //	/debug/pprof  the standard net/http/pprof profiles
 //
 // It is intentionally separate from the data-plane protocol: the debug
 // listener binds its own (typically loopback) address and can stay off
-// in production.
+// in production. Every handler works from one immutable snapshot, so
+// scrapes never hold a lock the serving path could block on.
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		pts := s.MetricPoints()
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := obs.WriteProm(w, pts); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s.StatsMap()); err != nil {
+		if err := enc.Encode(obs.PointsMap(pts)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		evs := s.rec.Snapshot()
+		out := make([]RecorderEvent, len(evs))
+		for i, ev := range evs {
+			out[i] = recorderEventFromObs(ev)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -1,0 +1,136 @@
+package server_test
+
+// The docs-sync lint: docs/METRICS.md and the served metric namespace
+// may not drift. Every key a fully wired server serves must match a
+// documented key pattern, and every documented pattern must be hit by
+// at least one served key. The doc is parsed from its `| key |` tables;
+// `<cmd>`/`<kind>` placeholders and trailing `.*` histogram wildcards
+// are expanded into matchers.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"probprune/internal/query"
+	"probprune/internal/server"
+	"probprune/internal/server/client"
+	"probprune/internal/wal"
+)
+
+// docKeyPatterns extracts the code spans from the key column of every
+// `| key | kind | meaning |` table in METRICS.md.
+func docKeyPatterns(t *testing.T) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "METRICS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := regexp.MustCompile("`([^`]+)`")
+	var pats []string
+	inKeyTable := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case strings.HasPrefix(line, "| key |"):
+			inKeyTable = true
+			continue
+		case !strings.HasPrefix(line, "|"):
+			inKeyTable = false
+			continue
+		case !inKeyTable || strings.HasPrefix(line, "|--"):
+			continue
+		}
+		cells := strings.SplitN(line, "|", 3)
+		if len(cells) < 3 {
+			continue
+		}
+		for _, m := range span.FindAllStringSubmatch(cells[1], -1) {
+			pats = append(pats, m[1])
+		}
+	}
+	if len(pats) < 20 {
+		t.Fatalf("parsed only %d documented keys from METRICS.md — table parsing broke", len(pats))
+	}
+	return pats
+}
+
+// patternRegexp compiles one documented key pattern into a full-match
+// regexp: `<cmd>`/`<kind>` match one lower-case name segment, a
+// trailing `.*` matches the histogram suffix expansion.
+func patternRegexp(t *testing.T, pat string) *regexp.Regexp {
+	t.Helper()
+	wild := strings.HasSuffix(pat, ".*")
+	pat = strings.TrimSuffix(pat, ".*")
+	esc := regexp.QuoteMeta(pat)
+	esc = strings.ReplaceAll(esc, regexp.QuoteMeta("<cmd>"), `[a-z0-9_]+`)
+	esc = strings.ReplaceAll(esc, regexp.QuoteMeta("<kind>"), `[a-z0-9_]+`)
+	if wild {
+		esc += `\.[a-z0-9_.]+`
+	}
+	return regexp.MustCompile("^" + esc + "$")
+}
+
+// TestMetricsDocsSync serves as the drift tripwire in both directions.
+func TestMetricsDocsSync(t *testing.T) {
+	// A fully wired server: durable backend (wal.* and store.* present),
+	// one live subscription (cq.* exercised), one command of each
+	// metric-bearing family so nothing is lazily absent.
+	db := testDB(23, 24)
+	durable, err := query.BootstrapStore(db, query.PersistOptions{
+		Dir: t.TempDir(), Sync: wal.SyncAlways, CheckpointEvery: 4}, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { durable.Close() })
+	srv, addr := startServer(t, durable, server.Options{
+		CursorPath: filepath.Join(t.TempDir(), "cursor")})
+	cl := dial(t, addr)
+	rng := rand.New(rand.NewSource(3))
+	q := testObj(rng, -1)
+	if _, err := cl.KNN(q, 3, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cl.Subscribe(client.SubOptions{Kind: "KNN", K: 3, Tau: 0.3, Q: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert(testObj(rng, 8001)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unsubscribe(sub); err != nil {
+		t.Fatal(err)
+	}
+
+	served := srv.StatsMap()
+	pats := docKeyPatterns(t)
+	res := make([]*regexp.Regexp, len(pats))
+	for i, p := range pats {
+		res[i] = patternRegexp(t, p)
+	}
+
+	// Direction 1: every served key is documented.
+	matched := make([]bool, len(pats))
+	for key := range served {
+		ok := false
+		for i, re := range res {
+			if re.MatchString(key) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("served metric %q is not documented in docs/METRICS.md", key)
+		}
+	}
+
+	// Direction 2: every documented pattern names something the server
+	// actually serves.
+	for i, hit := range matched {
+		if !hit {
+			t.Errorf("docs/METRICS.md documents %q but a fully wired server never serves it", pats[i])
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"runtime"
 	"strings"
+	"time"
 
 	"probprune/internal/obs"
 	"probprune/internal/query"
@@ -14,7 +16,7 @@ import (
 var commandNames = []string{
 	"PING", "VERSION", "LEN", "GET", "INSERT", "UPDATE", "DELETE",
 	"KNN", "RKNN", "TOPKNN", "INVRANK", "BATCH", "WAITVERSION",
-	"SUBSCRIBE", "RESUME", "UNSUBSCRIBE", "STATS",
+	"SUBSCRIBE", "RESUME", "UNSUBSCRIBE", "STATS", "EVENTS",
 }
 
 // cmdMetrics are one command's dispatch counters.
@@ -26,7 +28,8 @@ type cmdMetrics struct {
 
 // srvMetrics are the server-side counters: connection lifecycle,
 // per-command dispatch, and the push plane. Everything is atomic and
-// allocation-free on the record side; StatsMap flattens it on demand.
+// allocation-free on the record side; the typed point snapshot flattens
+// it on demand.
 type srvMetrics struct {
 	connsAccepted obs.Counter
 	connsOpen     obs.Gauge
@@ -57,30 +60,39 @@ func (m *srvMetrics) cmd(name string) *cmdMetrics {
 	return m.unknown
 }
 
-// addTo flattens the server-side metrics under the "server." prefix.
-func (m *srvMetrics) addTo(out map[string]int64) {
-	out["server.conns.accepted"] = int64(m.connsAccepted.Load())
-	out["server.conns.open"] = m.connsOpen.Load()
-	out["server.proto_errors"] = int64(m.protoErrors.Load())
-	out["server.pushed"] = int64(m.pushed.Load())
-	out["server.shed"] = int64(m.shed.Load())
-	out["server.slow_kills"] = int64(m.slowKills.Load())
+// points renders the server-side metrics as typed points under the
+// "server." prefix.
+func (m *srvMetrics) points() []obs.MetricPoint {
+	pts := make([]obs.MetricPoint, 0, 8+3*len(m.cmds))
+	pts = append(pts,
+		obs.MetricPoint{Name: "server.conns.accepted", Kind: obs.KindCounter, Value: int64(m.connsAccepted.Load())},
+		obs.MetricPoint{Name: "server.conns.open", Kind: obs.KindGauge, Value: m.connsOpen.Load()},
+		obs.MetricPoint{Name: "server.proto_errors", Kind: obs.KindCounter, Value: int64(m.protoErrors.Load())},
+		obs.MetricPoint{Name: "server.pushed", Kind: obs.KindCounter, Value: int64(m.pushed.Load())},
+		obs.MetricPoint{Name: "server.shed", Kind: obs.KindCounter, Value: int64(m.shed.Load())},
+		obs.MetricPoint{Name: "server.slow_kills", Kind: obs.KindCounter, Value: int64(m.slowKills.Load())},
+		obs.MetricPoint{Name: "server.cmd.unknown.calls", Kind: obs.KindCounter, Value: int64(m.unknown.calls.Load())},
+	)
 	for name, cm := range m.cmds {
 		prefix := "server.cmd." + strings.ToLower(name)
-		out[prefix+".calls"] = int64(cm.calls.Load())
-		out[prefix+".errors"] = int64(cm.errors.Load())
-		obs.AddHist(out, prefix+".latency", cm.latency.Snapshot())
+		pts = append(pts,
+			obs.MetricPoint{Name: prefix + ".calls", Kind: obs.KindCounter, Value: int64(cm.calls.Load())},
+			obs.MetricPoint{Name: prefix + ".errors", Kind: obs.KindCounter, Value: int64(cm.errors.Load())},
+			obs.MetricPoint{Name: prefix + ".latency", Kind: obs.KindTimeHist, Hist: cm.latency.Snapshot()},
+		)
 	}
-	out["server.cmd.unknown.calls"] = int64(m.unknown.calls.Load())
+	return pts
 }
 
-// StatsMap assembles the full metric map the STATS command and the
-// debug endpoint serve: server-side counters, session-registry gauges,
-// cq maintenance stats, and — when the backend exposes them — query
-// engine metrics and WAL durability metrics.
-func (s *Server) StatsMap() map[string]int64 {
-	out := make(map[string]int64, 256)
-	s.metrics.addTo(out)
+// MetricPoints assembles the full typed metric snapshot every surfacing
+// layer shares: server-side counters, session-registry gauges, cq
+// maintenance stats, the backend's query-engine and WAL metrics, and
+// process runtime gauges sampled at scrape time. The result is sorted
+// by name — STATS flattens it, the debug endpoint renders it as JSON,
+// and the Prometheus exposition renders it as text, all from this one
+// snapshot path.
+func (s *Server) MetricPoints() []obs.MetricPoint {
+	pts := s.metrics.points()
 
 	s.mu.Lock()
 	var parked, backlog int64
@@ -94,39 +106,65 @@ func (s *Server) StatsMap() map[string]int64 {
 		st.mu.Unlock()
 	}
 	s.mu.Unlock()
-	out["server.sessions"] = sessions
-	out["server.sessions.parked"] = parked
-	out["server.push.backlog"] = backlog
+	pts = append(pts,
+		obs.MetricPoint{Name: "server.sessions", Kind: obs.KindGauge, Value: sessions},
+		obs.MetricPoint{Name: "server.sessions.parked", Kind: obs.KindGauge, Value: parked},
+		obs.MetricPoint{Name: "server.push.backlog", Kind: obs.KindGauge, Value: backlog},
+	)
 
 	cs := s.mon.Stats()
-	out["cq.changes"] = int64(cs.Changes)
-	out["cq.woken"] = int64(cs.Woken)
-	out["cq.runs"] = int64(cs.Runs)
-	out["cq.setup_runs"] = int64(cs.SetupRuns)
-	out["cq.saved"] = int64(cs.Saved)
-	out["cq.events"] = int64(cs.Events)
-	out["cq.lost"] = int64(cs.Lost)
-	out["cq.dropped"] = int64(cs.Dropped)
-	out["cq.cursor.saves"] = int64(cs.CursorSaves)
-	out["cq.cursor.save_failures"] = int64(cs.CursorSaveFailures)
-	out["cq.cursor.delta_bytes"] = int64(cs.CursorDeltaBytes)
-	out["cq.cursor.compactions"] = int64(cs.CursorCompactions)
+	pts = append(pts,
+		obs.MetricPoint{Name: "cq.changes", Kind: obs.KindCounter, Value: int64(cs.Changes)},
+		obs.MetricPoint{Name: "cq.woken", Kind: obs.KindCounter, Value: int64(cs.Woken)},
+		obs.MetricPoint{Name: "cq.runs", Kind: obs.KindCounter, Value: int64(cs.Runs)},
+		obs.MetricPoint{Name: "cq.setup_runs", Kind: obs.KindCounter, Value: int64(cs.SetupRuns)},
+		obs.MetricPoint{Name: "cq.saved", Kind: obs.KindCounter, Value: int64(cs.Saved)},
+		obs.MetricPoint{Name: "cq.events", Kind: obs.KindCounter, Value: int64(cs.Events)},
+		obs.MetricPoint{Name: "cq.lost", Kind: obs.KindCounter, Value: int64(cs.Lost)},
+		obs.MetricPoint{Name: "cq.dropped", Kind: obs.KindCounter, Value: int64(cs.Dropped)},
+		obs.MetricPoint{Name: "cq.cursor.saves", Kind: obs.KindCounter, Value: int64(cs.CursorSaves)},
+		obs.MetricPoint{Name: "cq.cursor.save_failures", Kind: obs.KindCounter, Value: int64(cs.CursorSaveFailures)},
+		obs.MetricPoint{Name: "cq.cursor.delta_bytes", Kind: obs.KindCounter, Value: int64(cs.CursorDeltaBytes)},
+		obs.MetricPoint{Name: "cq.cursor.compactions", Kind: obs.KindCounter, Value: int64(cs.CursorCompactions)},
+	)
 
 	if b, ok := s.backend.(interface{ Metrics() *query.Metrics }); ok {
-		if qm := b.Metrics(); qm != nil {
-			for k, v := range qm.Snapshot() {
-				out[k] = v
-			}
-		}
+		pts = append(pts, b.Metrics().Registry().Points()...)
 	}
 	if b, ok := s.backend.(interface {
 		WALStats() (wal.MetricsSnapshot, bool)
 	}); ok {
 		if ws, have := b.WALStats(); have {
-			ws.AddTo(out)
+			pts = append(pts, ws.Points()...)
 		}
 	}
-	return out
+
+	pts = append(pts, s.runtimePoints()...)
+	obs.SortPoints(pts)
+	return pts
+}
+
+// runtimePoints samples the serving process itself: goroutines, heap,
+// GC activity, and the identity gauges the VERSION reply carries.
+// Sampled only at scrape time — recording paths never touch these.
+func (s *Server) runtimePoints() []obs.MetricPoint {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []obs.MetricPoint{
+		{Name: "runtime.goroutines", Kind: obs.KindGauge, Value: int64(runtime.NumGoroutine())},
+		{Name: "runtime.heap_alloc_bytes", Kind: obs.KindGauge, Value: int64(ms.HeapAlloc)},
+		{Name: "runtime.heap_objects", Kind: obs.KindGauge, Value: int64(ms.HeapObjects)},
+		{Name: "runtime.gc_cycles", Kind: obs.KindCounter, Value: int64(ms.NumGC)},
+		{Name: "runtime.gc_pause_total_ns", Kind: obs.KindCounter, Value: int64(ms.PauseTotalNs)},
+		{Name: "server.gomaxprocs", Kind: obs.KindGauge, Value: int64(runtime.GOMAXPROCS(0))},
+		{Name: "server.uptime_seconds", Kind: obs.KindGauge, Value: int64(time.Since(s.started) / time.Second)},
+	}
+}
+
+// StatsMap flattens the typed snapshot into the flat name → value map
+// the STATS command and the debug endpoint's JSON format serve.
+func (s *Server) StatsMap() map[string]int64 {
+	return obs.PointsMap(s.MetricPoints())
 }
 
 // cmdStats serves STATS: the full metric map as a flat array of

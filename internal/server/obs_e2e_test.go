@@ -1,0 +1,406 @@
+package server_test
+
+// Observability end-to-end tier: the flight recorder through a real
+// durable serving run (slow-query capture with full traces, checkpoint
+// lifecycle) surfaced over both the EVENTS protocol command and the
+// GET /events debug endpoint; the Prometheus exposition of a fully
+// wired server; and a concurrency hammer that scrapes the debug
+// handler while writers commit and subscribers churn. The whole file
+// is race-clean — CI runs it under -race in the e2e step.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"probprune/internal/query"
+	"probprune/internal/server"
+	"probprune/internal/server/client"
+	"probprune/internal/wal"
+)
+
+// kinds collects the set of event kinds in a slice of decoded events.
+func kinds(evs []server.RecorderEvent) map[string]int {
+	m := map[string]int{}
+	for _, ev := range evs {
+		m[ev.Kind]++
+	}
+	return m
+}
+
+// TestFlightRecorderE2E drives a durable server hard enough that the
+// flight recorder captures a slow query (with its full trace) and a
+// complete checkpoint begin → install sequence, then verifies both the
+// EVENTS command and the GET /events debug endpoint serve the same
+// story.
+func TestFlightRecorderE2E(t *testing.T) {
+	db := testDB(13, 32)
+	durable, err := query.BootstrapStore(db, query.PersistOptions{
+		Dir: t.TempDir(), Sync: wal.SyncBackground, CheckpointEvery: 8}, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { durable.Close() })
+	srv, addr := startServer(t, durable, server.Options{
+		CursorPath: filepath.Join(t.TempDir(), "cursor"),
+		SlowQuery:  time.Nanosecond, // everything is slow: deterministic capture
+	})
+	cl := dial(t, addr)
+	rng := rand.New(rand.NewSource(87))
+
+	// One traced-threshold query and enough mutations to cross
+	// CheckpointEvery and trigger a background checkpoint install.
+	q := testObj(rng, -1)
+	if _, err := cl.KNN(q, 4, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		victim := db[rng.Intn(len(db))]
+		if found, err := cl.Delete(victim.ID); err != nil || !found {
+			t.Fatalf("delete %d: found=%v err=%v", victim.ID, found, err)
+		}
+		if err := cl.Insert(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The checkpoint install is asynchronous; poll EVENTS until it
+	// lands (bounded, fails loudly).
+	var evs []server.RecorderEvent
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evs, err = cl.Events(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k := kinds(evs); k["slow_query"] > 0 && k["checkpoint_begin"] > 0 && k["checkpoint_install"] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recorder never saw slow_query + checkpoint_begin + checkpoint_install; kinds: %v", kinds(evs))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The slow query carries its full trace.
+	var sawTrace bool
+	for _, ev := range evs {
+		if ev.Kind == "slow_query" {
+			if !ev.HasTrace || ev.Trace.Candidates == 0 || ev.Dur <= 0 {
+				t.Fatalf("slow-query event missing its trace: %+v", ev)
+			}
+			if ev.Note == "" {
+				t.Fatalf("slow-query event has no kind note: %+v", ev)
+			}
+			sawTrace = true
+		}
+	}
+	if !sawTrace {
+		t.Fatal("no slow-query event decoded")
+	}
+	// The checkpoint install names a version the begin pinned, and the
+	// sequence is ordered begin-before-install.
+	beginSeq, installSeq := int64(-1), int64(-1)
+	for _, ev := range evs {
+		switch ev.Kind {
+		case "checkpoint_begin":
+			if beginSeq < 0 {
+				beginSeq = ev.Seq
+			}
+		case "checkpoint_install":
+			if installSeq < 0 {
+				installSeq = ev.Seq
+				if ev.A <= 0 {
+					t.Fatalf("checkpoint_install carries no version: %+v", ev)
+				}
+			}
+		}
+	}
+	if beginSeq < 0 || installSeq < 0 || installSeq < beginSeq {
+		t.Fatalf("checkpoint sequence out of order: begin seq %d, install seq %d", beginSeq, installSeq)
+	}
+	// Events arrive oldest-first with ascending ordinals.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("EVENTS not ascending at %d: %d after %d", i, evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+
+	// GET /events tells the same story through JSON.
+	dbg := httptest.NewServer(srv.DebugHandler())
+	defer dbg.Close()
+	resp, err := http.Get(dbg.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET /events content type %q", ct)
+	}
+	var httpEvs []server.RecorderEvent
+	if err := json.NewDecoder(resp.Body).Decode(&httpEvs); err != nil {
+		t.Fatal(err)
+	}
+	hk := kinds(httpEvs)
+	if hk["slow_query"] == 0 || hk["checkpoint_begin"] == 0 || hk["checkpoint_install"] == 0 {
+		t.Fatalf("GET /events missing kinds: %v", hk)
+	}
+	for _, ev := range httpEvs {
+		if ev.Kind == "slow_query" && (!ev.HasTrace || ev.Trace.Candidates == 0) {
+			t.Fatalf("GET /events slow-query lost its trace: %+v", ev)
+		}
+	}
+}
+
+// TestPromExposition scrapes ?format=prom from a fully wired durable
+// server and validates the exposition: every line parses, histograms
+// render cumulative _bucket series closed by +Inf plus _sum/_count,
+// and the scrape-time runtime gauges are present.
+func TestPromExposition(t *testing.T) {
+	db := testDB(17, 24)
+	durable, err := query.BootstrapStore(db, query.PersistOptions{
+		Dir: t.TempDir(), Sync: wal.SyncAlways}, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { durable.Close() })
+	srv, addr := startServer(t, durable, server.Options{
+		CursorPath: filepath.Join(t.TempDir(), "cursor")})
+	cl := dial(t, addr)
+	rng := rand.New(rand.NewSource(5))
+	if _, err := cl.KNN(testObj(rng, -1), 3, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert(testObj(rng, 7001)); err != nil {
+		t.Fatal(err)
+	}
+
+	dbg := httptest.NewServer(srv.DebugHandler())
+	defer dbg.Close()
+	resp, err := http.Get(dbg.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("prom content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Minimal exposition parse (the CI scrape step runs the same shape):
+	// every sample line is `name[{le="..."}] value`, every comment a
+	// TYPE line, histogram types close with +Inf, _sum and _count.
+	types := map[string]string{}
+	samples := map[string]float64{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 || parts[1] != "TYPE" {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value in %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		samples[line[:sp]] = v
+	}
+	if len(types) == 0 || len(samples) == 0 {
+		t.Fatal("empty exposition")
+	}
+	for name, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		if _, ok := samples[name+`_bucket{le="+Inf"}`]; !ok {
+			t.Errorf("histogram %s has no +Inf bucket", name)
+		}
+		if _, ok := samples[name+"_sum"]; !ok {
+			t.Errorf("histogram %s has no _sum", name)
+		}
+		count, ok := samples[name+"_count"]
+		if !ok {
+			t.Errorf("histogram %s has no _count", name)
+		}
+		if inf := samples[name+`_bucket{le="+Inf"}`]; inf != count {
+			t.Errorf("histogram %s: +Inf bucket %v != _count %v", name, inf, count)
+		}
+	}
+	for _, want := range []string{
+		"server_cmd_knn_latency", "wal_appends", "runtime_goroutines",
+		"runtime_heap_alloc_bytes", "server_gomaxprocs", "server_uptime_seconds",
+	} {
+		found := false
+		for name := range samples {
+			if name == want || strings.HasPrefix(name, want+"_bucket{") || name == want+"_count" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+	if types["server_cmd_knn_latency"] != "histogram" {
+		t.Errorf("server_cmd_knn_latency typed %q, want histogram", types["server_cmd_knn_latency"])
+	}
+	if samples["server_cmd_knn_calls"] < 1 {
+		t.Errorf("server_cmd_knn_calls = %v, want >= 1", samples["server_cmd_knn_calls"])
+	}
+
+	// The JSON endpoint serves the same snapshot shape: identical keys
+	// to the STATS command.
+	jresp, err := http.Get(dbg.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var jm map[string]int64
+	if err := json.NewDecoder(jresp.Body).Decode(&jm); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range st {
+		if _, ok := jm[k]; !ok {
+			t.Errorf("STATS key %s missing from /metrics JSON", k)
+		}
+	}
+}
+
+// TestDebugHandlerConcurrency hammers GET /metrics (JSON and prom) and
+// GET /events while wire writers commit mutations and subscribers
+// attach and churn — under -race this proves a scrape never races the
+// serving path, and it must never observe an error or torn payload.
+func TestDebugHandlerConcurrency(t *testing.T) {
+	db := testDB(19, 24)
+	store, err := query.NewStore(db, testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, store, server.Options{SlowQuery: time.Nanosecond})
+	dbg := httptest.NewServer(srv.DebugHandler())
+	defer dbg.Close()
+
+	const (
+		writers  = 2
+		scrapers = 3
+		subLoops = 2
+		iters    = 25
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+scrapers+subLoops)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < iters; i++ {
+				// Disjoint victim sets per writer, so two writers never
+				// interleave a delete/reinsert pair on the same object.
+				victim := db[rng.Intn(len(db)/writers)*writers+w]
+				if _, err := cl.Delete(victim.ID); err != nil {
+					errc <- fmt.Errorf("writer %d delete: %w", w, err)
+					return
+				}
+				if err := cl.Insert(victim); err != nil {
+					errc <- fmt.Errorf("writer %d insert: %w", w, err)
+					return
+				}
+				if _, err := cl.KNN(testObj(rng, -1), 3, 0.3); err != nil {
+					errc <- fmt.Errorf("writer %d knn: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for s := 0; s < subLoops; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + s)))
+			for i := 0; i < iters/5; i++ {
+				cl, err := client.Dial(addr)
+				if err != nil {
+					errc <- err
+					return
+				}
+				sub, err := cl.Subscribe(client.SubOptions{Kind: "KNN", K: 3, Tau: 0.3, Q: testObj(rng, -(s*100 + i + 1))})
+				if err != nil {
+					cl.Close()
+					errc <- fmt.Errorf("subscriber %d: %w", s, err)
+					return
+				}
+				tryNext(sub, 5*time.Millisecond)
+				cl.Close() // churn: drop the connection with the sub live
+			}
+		}(s)
+	}
+
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			paths := []string{"/metrics", "/metrics?format=prom", "/events"}
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(dbg.URL + paths[(s+i)%len(paths)])
+				if err != nil {
+					errc <- fmt.Errorf("scraper %d: %w", s, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- fmt.Errorf("scraper %d read: %w", s, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("scraper %d: status %d: %s", s, resp.StatusCode, body)
+					return
+				}
+				if len(body) == 0 {
+					errc <- fmt.Errorf("scraper %d: empty scrape", s)
+					return
+				}
+			}
+		}(s)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

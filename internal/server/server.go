@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"probprune/internal/cq"
+	"probprune/internal/obs"
 	"probprune/internal/query"
 	"probprune/internal/uncertain"
 )
@@ -27,6 +28,13 @@ type Backend interface {
 	DeleteErr(id int) (bool, error)
 	Get(id int) (*uncertain.Object, bool)
 	Len() int
+
+	// The context-threading mutation variants carry an obs.Trace for the
+	// TRACE protocol flag: a traced INSERT measures its WAL-wait span
+	// (group-commit fsync) and ships it back to the client.
+	InsertCtx(ctx context.Context, o *uncertain.Object) error
+	UpdateCtx(ctx context.Context, o *uncertain.Object) error
+	DeleteErrCtx(ctx context.Context, id int) (bool, error)
 
 	KNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]query.Match, error)
 	RKNNCtx(ctx context.Context, q *uncertain.Object, k int, tau float64) ([]query.Match, error)
@@ -60,6 +68,15 @@ type Options struct {
 	// sessions to deliver their tails before force-closing
 	// connections; <= 0 selects 5s.
 	DrainTimeout time.Duration
+	// SlowQuery arms the flight recorder's slow-query capture: every
+	// query at least this slow records its full trace snapshot into the
+	// recorder ring, whether or not the client asked for TRACE. <= 0
+	// disables the capture (the recorder still logs errors and
+	// durability events).
+	SlowQuery time.Duration
+	// RecorderSize is the flight-recorder ring capacity in events;
+	// <= 0 selects 1024.
+	RecorderSize int
 	// Logf, when set, receives server diagnostics.
 	Logf func(format string, args ...any)
 	// Logger, when set, receives structured lifecycle logging: connect,
@@ -103,6 +120,13 @@ func (o Options) drainTimeout() time.Duration {
 	return o.DrainTimeout
 }
 
+func (o Options) recorderSize() int {
+	if o.RecorderSize <= 0 {
+		return 1024
+	}
+	return o.RecorderSize
+}
+
 // Modes a SUBSCRIBE/RESUME reply reports, telling the client how to
 // interpret the initial events:
 const (
@@ -131,6 +155,8 @@ type Server struct {
 	backend Backend
 	mon     *cq.Monitor
 	metrics *srvMetrics
+	rec     *obs.Recorder
+	started time.Time
 	log     *slog.Logger
 
 	nextConnID atomic.Int64
@@ -162,12 +188,25 @@ func New(backend Backend, opts Options) *Server {
 		opts:     opts,
 		backend:  backend,
 		metrics:  newSrvMetrics(),
+		rec:      obs.NewRecorder(opts.recorderSize()),
+		started:  time.Now(),
 		log:      log,
 		ctx:      ctx,
 		cancel:   cancel,
 		conns:    make(map[*conn]struct{}),
 		sessions: make(map[int64]*subState),
 		named:    make(map[string]*subState),
+	}
+	// The flight recorder is server-owned but records store-side events
+	// too: backends that can carry one (both stores do) get it installed,
+	// along with the slow-query capture threshold.
+	if b, ok := backend.(interface{ SetRecorder(*obs.Recorder) }); ok {
+		b.SetRecorder(s.rec)
+	}
+	if opts.SlowQuery > 0 {
+		if b, ok := backend.(interface{ SetSlowQueryThreshold(time.Duration) }); ok {
+			b.SetSlowQueryThreshold(opts.SlowQuery)
+		}
 	}
 	s.mon = cq.NewMonitor(backend, cq.Options{
 		Buffer:      opts.subBuffer(),
@@ -239,6 +278,10 @@ func (s *Server) Addr() net.Addr {
 
 // Monitor exposes the server's subscription monitor (stats, SaveCursor).
 func (s *Server) Monitor() *cq.Monitor { return s.mon }
+
+// Recorder exposes the server's flight recorder (the EVENTS command and
+// the debug endpoint serve its snapshots).
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
@@ -450,6 +493,7 @@ func (s *Server) resume(c *conn, sp subSpec, w watermark) (*subState, string, ui
 		st.hold = true
 		st.mu.Unlock()
 		c.addSub(st)
+		s.rec.Record(obs.EvSessionResume, s.rec.Note(sp.name), 0, st.id, int64(lost))
 		return st, ModeContinue, lost, nil
 	}
 	if s.opts.CursorPath == "" {

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"probprune/internal/cq"
+	"probprune/internal/obs"
 	"probprune/internal/uncertain"
 )
 
@@ -166,6 +167,7 @@ func (st *subState) append(ev EventMsg) {
 			st.evictFrontLocked()
 			st.lost++
 			st.srv.metrics.shed.Inc()
+			st.srv.rec.Record(obs.EvSessionShed, 0, 0, st.id, 1)
 		default:
 			// PolicyDisconnect with an entirely unconsumed ring: the
 			// subscriber (parked, or attached but stalled) is further
@@ -226,6 +228,7 @@ func (st *subState) detach(c *conn) {
 	st.mu.Unlock()
 	if parked {
 		st.srv.log.Info("park", "conn", c.id, "sub", st.id, "name", st.name)
+		st.srv.rec.Record(obs.EvSessionPark, st.srv.rec.Note(st.name), 0, st.id, 0)
 	}
 	st.kickDelivery()
 }

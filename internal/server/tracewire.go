@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"probprune/internal/obs"
+)
+
+// This file is the wire form of the observability surface: the trace
+// frame a TRACE-flagged command appends to its reply, and the
+// flight-recorder events the EVENTS command serves. Everything rides on
+// the existing frame vocabulary (arrays of integers and bulk strings),
+// so clients and fuzzers need no new frame types.
+
+// traceFields is the number of integers in a trace frame, in the fixed
+// order encodeTraceFrame writes them.
+const traceFields = 11
+
+// encodeTraceFrame renders a trace snapshot as an 11-integer array:
+//
+//	[candidates, preselected, refined, undecided, iterations,
+//	 cache_hits, cache_misses, prepare_ns, eval_ns, wal_wait_ns, queue_ns]
+func encodeTraceFrame(ts obs.TraceSnapshot) Frame {
+	return array(
+		intf(int64(ts.Candidates)),
+		intf(int64(ts.Preselected)),
+		intf(int64(ts.Refined)),
+		intf(int64(ts.Undecided)),
+		intf(int64(ts.Iterations)),
+		intf(int64(ts.CacheHits)),
+		intf(int64(ts.CacheMisses)),
+		intf(int64(ts.Prepare)),
+		intf(int64(ts.Eval)),
+		intf(int64(ts.WALWait)),
+		intf(int64(ts.Queue)),
+	)
+}
+
+// DecodeTraceFrame parses an encodeTraceFrame array back into a
+// snapshot.
+func DecodeTraceFrame(f Frame) (obs.TraceSnapshot, error) {
+	var ts obs.TraceSnapshot
+	if f.Type != TArray || f.Null || len(f.Array) != traceFields {
+		return ts, fmt.Errorf("trace: want %d-element array", traceFields)
+	}
+	v := make([]int64, traceFields)
+	for i, el := range f.Array {
+		if el.Type != TInt {
+			return ts, fmt.Errorf("trace: element %d is not an integer", i)
+		}
+		v[i] = el.Int
+	}
+	ts.Candidates = uint64(v[0])
+	ts.Preselected = uint64(v[1])
+	ts.Refined = uint64(v[2])
+	ts.Undecided = uint64(v[3])
+	ts.Iterations = uint64(v[4])
+	ts.CacheHits = uint64(v[5])
+	ts.CacheMisses = uint64(v[6])
+	ts.Prepare = time.Duration(v[7])
+	ts.Eval = time.Duration(v[8])
+	ts.WALWait = time.Duration(v[9])
+	ts.Queue = time.Duration(v[10])
+	return ts, nil
+}
+
+// RecorderEvent is the wire (and JSON) form of one flight-recorder
+// event: obs.Event with the kind resolved to its wire name.
+type RecorderEvent struct {
+	Seq      int64             `json:"seq"`
+	Kind     string            `json:"kind"`
+	Note     string            `json:"note,omitempty"`
+	Time     time.Time         `json:"time"`
+	Dur      time.Duration     `json:"dur_ns"`
+	A        int64             `json:"a"`
+	B        int64             `json:"b"`
+	HasTrace bool              `json:"has_trace,omitempty"`
+	Trace    obs.TraceSnapshot `json:"trace"`
+}
+
+func recorderEventFromObs(ev obs.Event) RecorderEvent {
+	return RecorderEvent{
+		Seq:      ev.Seq,
+		Kind:     ev.Kind.String(),
+		Note:     ev.Note,
+		Time:     ev.Time,
+		Dur:      ev.Dur,
+		A:        ev.A,
+		B:        ev.B,
+		HasTrace: ev.HasTrace,
+		Trace:    ev.Trace,
+	}
+}
+
+// encodeRecorderEvent renders one event:
+//
+//	[:seq, $kind, $note, :unixnano, :dur_ns, :a, :b]            without a trace
+//	[:seq, $kind, $note, :unixnano, :dur_ns, :a, :b, [trace]]   with one
+func encodeRecorderEvent(ev obs.Event) Frame {
+	elems := []Frame{
+		intf(ev.Seq),
+		bulkStr(ev.Kind.String()),
+		bulkStr(ev.Note),
+		intf(ev.Time.UnixNano()),
+		intf(int64(ev.Dur)),
+		intf(ev.A),
+		intf(ev.B),
+	}
+	if ev.HasTrace {
+		elems = append(elems, encodeTraceFrame(ev.Trace))
+	}
+	return array(elems...)
+}
+
+// DecodeRecorderEvent parses one encodeRecorderEvent array.
+func DecodeRecorderEvent(f Frame) (RecorderEvent, error) {
+	var ev RecorderEvent
+	if f.Type != TArray || f.Null || (len(f.Array) != 7 && len(f.Array) != 8) {
+		return ev, fmt.Errorf("event: want 7- or 8-element array")
+	}
+	a := f.Array
+	if a[0].Type != TInt || a[1].Type != TBulk || a[2].Type != TBulk ||
+		a[3].Type != TInt || a[4].Type != TInt || a[5].Type != TInt || a[6].Type != TInt {
+		return ev, fmt.Errorf("event: wrong element types")
+	}
+	ev.Seq = a[0].Int
+	ev.Kind = string(a[1].Bulk)
+	ev.Note = string(a[2].Bulk)
+	ev.Time = time.Unix(0, a[3].Int)
+	ev.Dur = time.Duration(a[4].Int)
+	ev.A = a[5].Int
+	ev.B = a[6].Int
+	if len(a) == 8 {
+		ts, err := DecodeTraceFrame(a[7])
+		if err != nil {
+			return ev, err
+		}
+		ev.HasTrace = true
+		ev.Trace = ts
+	}
+	return ev, nil
+}
+
+// DecodeRecorderEvents parses an EVENTS reply.
+func DecodeRecorderEvents(f Frame) ([]RecorderEvent, error) {
+	if f.Type != TArray || f.Null {
+		return nil, fmt.Errorf("events: want array reply, got %q", f.Type)
+	}
+	evs := make([]RecorderEvent, len(f.Array))
+	for i, el := range f.Array {
+		ev, err := DecodeRecorderEvent(el)
+		if err != nil {
+			return nil, fmt.Errorf("events: element %d: %v", i, err)
+		}
+		evs[i] = ev
+	}
+	return evs, nil
+}

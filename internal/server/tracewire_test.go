@@ -1,0 +1,91 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"probprune/internal/obs"
+)
+
+func testTraceSnapshot() obs.TraceSnapshot {
+	return obs.TraceSnapshot{
+		Candidates: 24, Preselected: 9, Refined: 6, Undecided: 1,
+		Iterations: 3, CacheHits: 17, CacheMisses: 7,
+		Prepare: 42 * time.Microsecond, Eval: 900 * time.Microsecond,
+		WALWait: 3 * time.Millisecond, Queue: 11 * time.Microsecond,
+	}
+}
+
+func TestTraceFrameRoundTrip(t *testing.T) {
+	want := testTraceSnapshot()
+	got, err := DecodeTraceFrame(encodeTraceFrame(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("trace frame round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeTraceFrameRejects(t *testing.T) {
+	for name, f := range map[string]Frame{
+		"not array":     intf(3),
+		"null":          {Type: TArray, Null: true},
+		"short":         array(intf(1), intf(2)),
+		"wrong element": array(intf(0), intf(1), intf(2), intf(3), intf(4), intf(5), intf(6), intf(7), intf(8), intf(9), bulkStr("x")),
+	} {
+		if _, err := DecodeTraceFrame(f); err == nil {
+			t.Errorf("%s: decode accepted a malformed trace frame", name)
+		}
+	}
+}
+
+func TestRecorderEventRoundTrip(t *testing.T) {
+	now := time.Now()
+	plain := obs.Event{
+		Seq: 4, Kind: obs.EvGroupCommit, Time: now,
+		Dur: 2 * time.Millisecond, A: 9, B: 1,
+	}
+	traced := obs.Event{
+		Seq: 5, Kind: obs.EvSlowQuery, Note: "knn", Time: now,
+		Dur: 60 * time.Millisecond, HasTrace: true, Trace: testTraceSnapshot(),
+	}
+	for _, ev := range []obs.Event{plain, traced} {
+		got, err := DecodeRecorderEvent(encodeRecorderEvent(ev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := recorderEventFromObs(ev)
+		// The wire carries unix nanos; compare at that precision.
+		want.Time = time.Unix(0, ev.Time.UnixNano())
+		if got != want {
+			t.Fatalf("event round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeRecorderEventsRejects(t *testing.T) {
+	if _, err := DecodeRecorderEvents(bulkStr("nope")); err == nil {
+		t.Fatal("non-array EVENTS reply accepted")
+	}
+	bad := array(array(intf(1), intf(2)))
+	if _, err := DecodeRecorderEvents(bad); err == nil {
+		t.Fatal("malformed event element accepted")
+	}
+}
+
+func TestStripTrace(t *testing.T) {
+	args := [][]byte{[]byte("1"), []byte("0.5")}
+	rest, traced := stripTrace(append(args[:len(args):len(args)], []byte("trace")))
+	if !traced || len(rest) != 2 {
+		t.Fatalf("lowercase trace flag: traced=%v rest=%d", traced, len(rest))
+	}
+	rest, traced = stripTrace(args)
+	if traced || len(rest) != 2 {
+		t.Fatalf("no flag: traced=%v rest=%d", traced, len(rest))
+	}
+	rest, traced = stripTrace(nil)
+	if traced || rest != nil {
+		t.Fatalf("empty args: traced=%v", traced)
+	}
+}

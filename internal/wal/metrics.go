@@ -75,6 +75,23 @@ func (s MetricsSnapshot) AddTo(out map[string]int64) {
 	obs.AddHistValue(out, "wal.group_commit.batch", s.GroupBatch)
 }
 
+// Points renders the snapshot as typed metric points under the "wal."
+// prefix — the same names AddTo flattens, kept as histograms so the
+// Prometheus exposition can serve cumulative buckets.
+func (s MetricsSnapshot) Points() []obs.MetricPoint {
+	return []obs.MetricPoint{
+		{Name: "wal.appends", Kind: obs.KindCounter, Value: int64(s.Appends)},
+		{Name: "wal.append_bytes", Kind: obs.KindCounter, Value: int64(s.AppendBytes)},
+		{Name: "wal.append.latency", Kind: obs.KindTimeHist, Hist: s.AppendLat},
+		{Name: "wal.fsyncs", Kind: obs.KindCounter, Value: int64(s.Fsyncs)},
+		{Name: "wal.fsync.latency", Kind: obs.KindTimeHist, Hist: s.FsyncLat},
+		{Name: "wal.rotations", Kind: obs.KindCounter, Value: int64(s.Rotations)},
+		{Name: "wal.checkpoints", Kind: obs.KindCounter, Value: int64(s.Checkpoints)},
+		{Name: "wal.checkpoint.latency", Kind: obs.KindTimeHist, Hist: s.CheckpointLat},
+		{Name: "wal.group_commit.batch", Kind: obs.KindValueHist, Hist: s.GroupBatch},
+	}
+}
+
 // MetricsSnapshot returns the journal's current metrics.
 func (j *Journal) MetricsSnapshot() MetricsSnapshot {
 	return MetricsSnapshot{

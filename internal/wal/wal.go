@@ -46,7 +46,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"probprune/internal/obs"
 )
 
 // SyncPolicy selects when appended records are fsynced to stable
@@ -176,6 +179,37 @@ type Journal struct {
 	// metrics are the journal's cumulative durability metrics (see
 	// metrics.go); the zero value records from the first append.
 	metrics journalMetrics
+
+	// rec is the armed flight recorder (nil when disarmed): every group
+	// fsync records an EvGroupCommit event and every fsync past the stall
+	// threshold an EvFsyncStall. Recording is lock-free and
+	// allocation-free, so the commit path never stalls on a scrape.
+	rec atomic.Pointer[obs.Recorder]
+}
+
+// SetRecorder arms (or, with nil, disarms) the journal's
+// flight-recorder event sources. Safe to call while commits run.
+func (j *Journal) SetRecorder(rec *obs.Recorder) {
+	if j == nil {
+		return
+	}
+	j.rec.Store(rec)
+}
+
+// fsyncStallThreshold marks an fsync worth a flight-recorder event:
+// 10ms is roughly the rotational-disk budget, so an fsync beyond it on
+// SSD-class storage signals device contention or a saturated queue.
+const fsyncStallThreshold = 10 * time.Millisecond
+
+// noteFsync records one completed fsync: the counter and latency
+// histogram always, plus a stall event when the armed recorder should
+// hear about it.
+func (j *Journal) noteFsync(d time.Duration) {
+	j.metrics.fsyncs.Inc()
+	j.metrics.fsyncLat.Observe(d)
+	if d >= fsyncStallThreshold {
+		j.rec.Load().Record(obs.EvFsyncStall, 0, d, 0, 0)
+	}
 }
 
 func segName(i uint64) string  { return fmt.Sprintf("wal-%08d.log", i) }
@@ -552,7 +586,9 @@ func (j *Journal) WaitDurable(seq uint64) error {
 		synced := j.gcSynced
 		siblings := j.gcBatch > 1
 		j.gcMu.Unlock()
+		fsyncStart := time.Now()
 		target, err := j.leaderFsync(synced, siblings)
+		fsyncDur := time.Since(fsyncStart)
 		j.gcMu.Lock()
 		j.gcSyncing = false
 		if err != nil {
@@ -560,6 +596,9 @@ func (j *Journal) WaitDurable(seq uint64) error {
 		} else if target > j.gcSynced {
 			j.gcBatch = target - j.gcSynced
 			j.metrics.groupBatch.ObserveValue(j.gcBatch)
+			// Lock-free record under gcMu: a scrape can never block the
+			// group-commit cohort.
+			j.rec.Load().Record(obs.EvGroupCommit, 0, fsyncDur, int64(j.gcBatch), 0)
 			j.gcSynced = target
 		} else {
 			j.gcBatch = 0
@@ -641,8 +680,7 @@ func (j *Journal) leaderFsync(synced uint64, siblings bool) (uint64, error) {
 		// already covered target.
 		return target, nil
 	}
-	j.metrics.fsyncs.Inc()
-	j.metrics.fsyncLat.Observe(time.Since(start))
+	j.noteFsync(time.Since(start))
 	return target, nil
 }
 
@@ -700,8 +738,7 @@ func (j *Journal) fsyncLocked() error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	j.metrics.fsyncs.Inc()
-	j.metrics.fsyncLat.Observe(time.Since(start))
+	j.noteFsync(time.Since(start))
 	return nil
 }
 
